@@ -1,0 +1,65 @@
+//! # goat-apps — GoReal-style application corpus
+//!
+//! GoBench pairs its bug kernels (GoKer) with *real-program* subjects
+//! (GoReal). This crate is the reproduction's analogue: three realistic
+//! concurrent services built on the GoAT runtime, each with
+//!
+//! * a **correct** configuration, exercised across schedules, policies
+//!   and delay bounds in tests (no false positives allowed), and
+//! * one or more **seeded bug** variants reproducing a documented
+//!   real-world bug pattern at application scale, which GoAT must expose.
+//!
+//! The services use the full primitive surface the paper's taxonomy
+//! covers — channels (rendezvous and buffered), select with and without
+//! default, mutexes, RWMutexes, wait groups, contexts and timers — so
+//! they double as high-coverage integration subjects.
+//!
+//! | module | service | seeded bug pattern |
+//! |---|---|---|
+//! | [`pubsub`] | topic broker with fan-out | slow-subscriber back-pressure leak (moby33293 at scale) |
+//! | [`kvstore`] | replicated key-value store | replication ack under store lock (etcd-style mixed cycle) |
+//! | [`crawler`] | bounded-depth crawl pipeline | frontier push while holding the visited-set lock |
+
+#![warn(missing_docs)]
+
+pub mod crawler;
+pub mod kvstore;
+pub mod pubsub;
+
+use goat_core::{FnProgram, Program};
+use std::sync::Arc;
+
+/// All application programs (correct and buggy), for sweep harnesses.
+pub fn all_programs() -> Vec<Arc<dyn Program>> {
+    vec![
+        program("pubsub_correct", || pubsub::run(pubsub::Config::correct())),
+        program("pubsub_slow_subscriber_leak", || {
+            pubsub::run(pubsub::Config::slow_subscriber_bug())
+        }),
+        program("kvstore_correct", || kvstore::run(kvstore::Config::correct())),
+        program("kvstore_replication_deadlock", || {
+            kvstore::run(kvstore::Config::replication_bug())
+        }),
+        program("crawler_correct", || crawler::run(crawler::Config::correct())),
+        program("crawler_frontier_deadlock", || {
+            crawler::run(crawler::Config::frontier_bug())
+        }),
+    ]
+}
+
+fn program(name: &str, f: impl Fn() + Send + Sync + 'static) -> Arc<dyn Program> {
+    Arc::new(FnProgram::new(name, f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_correct_and_buggy_pairs() {
+        let names: Vec<String> =
+            all_programs().iter().map(|p| p.name().to_string()).collect();
+        assert_eq!(names.len(), 6);
+        assert_eq!(names.iter().filter(|n| n.contains("correct")).count(), 3);
+    }
+}

@@ -1,0 +1,61 @@
+//! Detection benchmarks: the cost of one instrumented execution plus
+//! offline analysis on representative benchmark kernels, and of a full
+//! campaign-until-detection — the quantities behind Table IV's
+//! "minimum executions" columns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goat_core::{GoatTool, Program};
+use goat_detectors::{BuiltinDetector, Detector};
+use goat_runtime::Config;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_single_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("single_execution_plus_analysis");
+    for name in ["moby28462", "etcd7443", "cockroach584"] {
+        let kernel = goat_goker::by_name(name).expect("kernel");
+        let program: goat_detectors::ProgramFn = Arc::new(move || Program::main(kernel));
+        g.bench_function(format!("goat_d0/{name}"), |b| {
+            let tool = GoatTool::new(0);
+            b.iter(|| tool.run_once(Config::new(1), Arc::clone(&program)))
+        });
+        g.bench_function(format!("builtin/{name}"), |b| {
+            let tool = BuiltinDetector::new();
+            b.iter(|| tool.run_once(Config::new(1), Arc::clone(&program)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    c.bench_function("campaign_until_detection/moby28462_d2", |b| {
+        let kernel = goat_goker::by_name("moby28462").expect("kernel");
+        let program: goat_detectors::ProgramFn = Arc::new(move || Program::main(kernel));
+        let tool = GoatTool::new(2);
+        b.iter(|| {
+            let mut found = false;
+            for i in 0..100u64 {
+                let v = tool.run_once(Config::new(1 + i), Arc::clone(&program));
+                if v.detected {
+                    found = true;
+                    break;
+                }
+            }
+            assert!(found, "moby28462 must be detectable within 100 runs at D2");
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_single_run, bench_campaign
+}
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Micro-benchmarks of the Go-style runtime primitives: the cost of one
+//! scheduled operation under the single-token scheduler. These quantify
+//! the substrate the whole evaluation runs on (and explain the paper's
+//! "ease of deployment" angle: tracing is always compiled in; the knob
+//! is only whether events are recorded).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goat_runtime::{go, gosched, Chan, Config, Mutex, Runtime, Select, WaitGroup};
+use std::time::Duration;
+
+fn quiet(seed: u64) -> Config {
+    Config::new(seed).with_native_preempt_prob(0.0).with_trace(false)
+}
+
+fn bench_spawn_join(c: &mut Criterion) {
+    c.bench_function("spawn_join_8_goroutines", |b| {
+        b.iter(|| {
+            let r = Runtime::run(quiet(1), || {
+                let wg = WaitGroup::new();
+                for _ in 0..8 {
+                    wg.add(1);
+                    let wg = wg.clone();
+                    go(move || wg.done());
+                }
+                wg.wait();
+            });
+            assert!(r.clean());
+        })
+    });
+}
+
+fn bench_unbuffered_pingpong(c: &mut Criterion) {
+    c.bench_function("unbuffered_pingpong_100", |b| {
+        b.iter(|| {
+            let r = Runtime::run(quiet(2), || {
+                let ping: Chan<u32> = Chan::new(0);
+                let pong: Chan<u32> = Chan::new(0);
+                let (p1, p2) = (ping.clone(), pong.clone());
+                go(move || {
+                    for _ in 0..100 {
+                        let v = p1.recv().unwrap();
+                        p2.send(v + 1);
+                    }
+                });
+                for i in 0..100 {
+                    ping.send(i);
+                    pong.recv().unwrap();
+                }
+            });
+            assert!(r.clean());
+        })
+    });
+}
+
+fn bench_buffered_throughput(c: &mut Criterion) {
+    c.bench_function("buffered_chan_1000_items_cap16", |b| {
+        b.iter(|| {
+            let r = Runtime::run(quiet(3), || {
+                let ch: Chan<u64> = Chan::new(16);
+                let tx = ch.clone();
+                go(move || {
+                    for i in 0..1000 {
+                        tx.send(i);
+                    }
+                    tx.close();
+                });
+                let mut sum = 0u64;
+                for v in ch.range() {
+                    sum += v;
+                }
+                assert_eq!(sum, 499_500);
+            });
+            assert!(r.clean());
+        })
+    });
+}
+
+fn bench_mutex(c: &mut Criterion) {
+    c.bench_function("uncontended_mutex_1000_cycles", |b| {
+        b.iter(|| {
+            let r = Runtime::run(quiet(4), || {
+                let mu = Mutex::new();
+                for _ in 0..1000 {
+                    mu.lock();
+                    mu.unlock();
+                }
+            });
+            assert!(r.clean());
+        })
+    });
+    c.bench_function("contended_mutex_4x100", |b| {
+        b.iter(|| {
+            let r = Runtime::run(quiet(5), || {
+                let mu = Mutex::new();
+                let wg = WaitGroup::new();
+                for _ in 0..4 {
+                    wg.add(1);
+                    let (mu, wg) = (mu.clone(), wg.clone());
+                    go(move || {
+                        for _ in 0..100 {
+                            mu.lock();
+                            mu.unlock();
+                        }
+                        wg.done();
+                    });
+                }
+                wg.wait();
+            });
+            assert!(r.clean());
+        })
+    });
+}
+
+fn bench_select(c: &mut Criterion) {
+    c.bench_function("select_two_ready_cases_500", |b| {
+        b.iter(|| {
+            let r = Runtime::run(quiet(6), || {
+                let a: Chan<u32> = Chan::new(1);
+                let bch: Chan<u32> = Chan::new(1);
+                for _ in 0..500 {
+                    a.send(1);
+                    bch.send(2);
+                    let _ = Select::new().recv(&a, |v| v).recv(&bch, |v| v).run();
+                    // drain whichever was not taken
+                    let _ = a.try_recv();
+                    let _ = bch.try_recv();
+                }
+            });
+            assert!(r.clean());
+        })
+    });
+}
+
+fn bench_gosched(c: &mut Criterion) {
+    c.bench_function("gosched_1000", |b| {
+        b.iter(|| {
+            let r = Runtime::run(quiet(7), || {
+                for _ in 0..1000 {
+                    gosched();
+                }
+            });
+            assert!(r.clean());
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_spawn_join, bench_unbuffered_pingpong, bench_buffered_throughput,
+              bench_mutex, bench_select, bench_gosched
+}
+criterion_main!(benches);

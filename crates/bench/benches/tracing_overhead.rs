@@ -1,0 +1,90 @@
+//! Tracing overhead: the same pipeline workload with ECT recording on
+//! vs off, and with yield perturbation enabled — quantifying what GoAT's
+//! "whole-program dynamic tracing" costs on this runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goat_runtime::{go, Chan, Config, Mutex, Runtime, WaitGroup};
+use std::time::Duration;
+
+/// A busy little pipeline: 4 producers → shared queue → 2 consumers,
+/// with a mutex-protected tally. ~1.5k traced events per run.
+fn pipeline() {
+    let queue: Chan<u64> = Chan::new(8);
+    let tally = Mutex::new();
+    let wg = WaitGroup::new();
+    for p in 0..4u64 {
+        wg.add(1);
+        let (queue, wg) = (queue.clone(), wg.clone());
+        go(move || {
+            for i in 0..50 {
+                queue.send(p * 1000 + i);
+            }
+            wg.done();
+        });
+    }
+    let done: Chan<()> = Chan::new(2);
+    for _ in 0..2 {
+        let (queue, tally, done) = (queue.clone(), tally.clone(), done.clone());
+        go(move || {
+            while queue.recv().is_some() {
+                tally.lock();
+                tally.unlock();
+            }
+            done.send(());
+        });
+    }
+    wg.wait();
+    queue.close();
+    done.recv();
+    done.recv();
+}
+
+fn bench_tracing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_200_items");
+    g.bench_function("trace_off", |b| {
+        b.iter(|| {
+            let r = Runtime::run(
+                Config::new(1).with_native_preempt_prob(0.0).with_trace(false),
+                pipeline,
+            );
+            assert!(r.clean());
+        })
+    });
+    g.bench_function("trace_on", |b| {
+        b.iter(|| {
+            let r = Runtime::run(
+                Config::new(1).with_native_preempt_prob(0.0).with_trace(true),
+                pipeline,
+            );
+            assert!(r.clean());
+            assert!(r.ect.unwrap().len() > 500);
+        })
+    });
+    g.bench_function("trace_on_with_yields_d4", |b| {
+        b.iter(|| {
+            let r = Runtime::run(
+                Config::new(1)
+                    .with_native_preempt_prob(0.0)
+                    .with_trace(true)
+                    .with_delay_bound(4),
+                pipeline,
+            );
+            assert!(r.outcome.is_completed());
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tracing
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Application-scale detection (extension): run GoAT and the baselines
+//! on the GoReal-style corpus — realistic services with seeded
+//! real-world bug patterns — the kind of subject the paper's
+//! "field-debugging of Go programs" conclusion targets.
+//!
+//! ```text
+//! cargo run -p goat-bench --release --bin apps_detect
+//! ```
+
+use goat_bench::{freq, seed0, tool_names, tools};
+use goat_detectors::Symptom;
+use std::sync::Arc;
+
+fn main() {
+    let budget = freq().min(300);
+    let s0 = seed0();
+    let tools = tools();
+    let names = tool_names();
+
+    println!("Application corpus — detection per tool (budget {budget} executions)\n");
+    print!("{:<32}", "program");
+    for n in &names {
+        print!("{n:>12}");
+    }
+    println!();
+    println!("{}", "-".repeat(32 + 12 * names.len()));
+
+    for program in goat_apps::all_programs() {
+        print!("{:<32}", program.name());
+        let is_correct = program.name().contains("correct");
+        for tool in &tools {
+            let mut cell = format!("X ({budget})");
+            for i in 0..budget {
+                let cfg = goat_runtime::Config::new(s0 + i as u64);
+                let p = Arc::clone(&program);
+                let v = tool.run_once(cfg, Arc::new(move || p.main()));
+                if v.detected {
+                    cell = format!("{} ({})", v.symptom.code(), i + 1);
+                    break;
+                }
+            }
+            print!("{cell:>12}");
+        }
+        println!("{}", if is_correct { "   [must be all X]" } else { "" });
+    }
+    println!(
+        "\nExpected: every `correct` row is all X (no false positives); every \
+         seeded-bug row is detected by GoAT (and by baselines only where the \
+         symptom is in their reach: builtin sees the GDLs, goleak the leaks, \
+         LockDL almost nothing — the cycles run through channels)."
+    );
+    let _ = Symptom::None; // keep the import used on all paths
+}

@@ -1,0 +1,51 @@
+//! Figure 2: histogram of the 68 blocking bug kernels grouped by the
+//! number of trials GOAT takes to detect them under **native** execution
+//! (no randomization, D = 0) — the paper's motivation that ≈30 % of bugs
+//! need more than one execution.
+//!
+//! ```text
+//! cargo run -p goat-bench --release --bin fig2_trials
+//! ```
+
+use goat_bench::{bar, bucket_label, detect, freq, seed0, BUCKETS};
+use goat_core::GoatTool;
+use std::collections::BTreeMap;
+
+fn main() {
+    let budget = freq();
+    let s0 = seed0();
+    let tool = GoatTool::new(0); // native execution: D = 0
+
+    let mut buckets: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut undetected = 0usize;
+    let mut details: Vec<(&str, Option<usize>)> = Vec::new();
+    for kernel in goat_goker::all_kernels() {
+        let d = detect(&tool, kernel, budget, s0);
+        match d.first_iter {
+            Some(i) => *buckets.entry(bucket_label(i)).or_default() += 1,
+            None => undetected += 1,
+        }
+        details.push((kernel.name, d.first_iter));
+    }
+
+    println!("Figure 2 — trials until detection, GOAT D0 (native), budget {budget}\n");
+    let max = buckets.values().copied().max().unwrap_or(1).max(undetected);
+    for (_, _, label) in BUCKETS {
+        let n = buckets.get(label).copied().unwrap_or(0);
+        println!("{label:>10} trials | {:<40} {n}", bar(n, max, 40));
+    }
+    println!("{:>10}        | {:<40} {undetected}", "undetected", bar(undetected, max, 40));
+    let one = buckets.get("1").copied().unwrap_or(0);
+    println!(
+        "\n{one}/68 bugs detected on the first native run; {} require more \
+         than one execution (paper: ≈30 %).",
+        68 - one
+    );
+    println!("\nper-bug first-detection iteration:");
+    for (name, iter) in details {
+        match iter {
+            Some(i) => println!("  {name:<18} {i}"),
+            None => println!("  {name:<18} X"),
+        }
+    }
+}

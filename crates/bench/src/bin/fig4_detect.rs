@@ -1,0 +1,53 @@
+//! Figure 4: histogram of detected bugs by each tool on the 68 GoKer
+//! blocking bugs, split by reported symptom — PDL (partial deadlock),
+//! GDL/TO (global deadlock or timeout), Crash/Halt.
+//!
+//! ```text
+//! cargo run -p goat-bench --release --bin fig4_detect
+//! ```
+
+use goat_bench::{bar, detect, freq, seed0, tool_names, tools};
+use goat_detectors::Symptom;
+
+fn main() {
+    let budget = freq();
+    let s0 = seed0();
+    let tools = tools();
+    let names = tool_names();
+
+    println!("Figure 4 — detected bugs per tool (budget {budget} executions)\n");
+    println!(
+        "{:<10} {:>5} {:>8} {:>12} {:>7} {:>6}   histogram",
+        "tool", "PDL", "GDL/TO", "Crash/Halt", "DL", "total"
+    );
+    for (tool, name) in tools.iter().zip(&names) {
+        let mut pdl = 0usize;
+        let mut gdl = 0usize;
+        let mut crash = 0usize;
+        let mut dl = 0usize;
+        for kernel in goat_goker::all_kernels() {
+            let d = detect(tool.as_ref(), kernel, budget, s0);
+            if d.first_iter.is_none() {
+                continue;
+            }
+            match d.symptom {
+                Symptom::PartialDeadlock { .. } => pdl += 1,
+                Symptom::GlobalDeadlock => gdl += 1,
+                Symptom::Crash | Symptom::Hang => crash += 1,
+                Symptom::PotentialDeadlock => dl += 1,
+                Symptom::None => {}
+            }
+        }
+        let total = pdl + gdl + crash + dl;
+        println!(
+            "{name:<10} {pdl:>5} {gdl:>8} {crash:>12} {dl:>7} {total:>3}/68   {}",
+            bar(total, 68, 34)
+        );
+    }
+    println!(
+        "\nExpected shape (paper): every GOAT variant detects (nearly) all 68 \
+         and their union is 100 %; the builtin detector sees only global \
+         deadlocks and crashes; LockDL adds lock-order warnings; goleak sees \
+         leaks only when they manifest natively and main still exits."
+    );
+}

@@ -1,0 +1,51 @@
+//! Figure 5: for each tool, the percentage distribution of the number of
+//! iterations required to detect the 68 GoKer blocking bugs, over the
+//! intervals {1, 2–10, 11–100, 101–1000} — the evidence that a few
+//! random schedule perturbations drastically reduce the iterations
+//! needed to expose rare bugs.
+//!
+//! ```text
+//! cargo run -p goat-bench --release --bin fig5_iters
+//! ```
+
+use goat_bench::{bucket_label, detect, freq, seed0, tool_names, tools, BUCKETS};
+use std::collections::BTreeMap;
+
+fn main() {
+    let budget = freq();
+    let s0 = seed0();
+    let tools = tools();
+    let names = tool_names();
+
+    println!(
+        "Figure 5 — % distribution of detection iterations per tool (budget {budget})\n"
+    );
+    print!("{:<10}", "tool");
+    for (_, _, label) in BUCKETS {
+        print!("{label:>12}");
+    }
+    println!("{:>12}", "undetected");
+
+    for (tool, name) in tools.iter().zip(&names) {
+        let mut dist: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut undetected = 0usize;
+        for kernel in goat_goker::all_kernels() {
+            let d = detect(tool.as_ref(), kernel, budget, s0);
+            match d.first_iter {
+                Some(i) => *dist.entry(bucket_label(i)).or_default() += 1,
+                None => undetected += 1,
+            }
+        }
+        print!("{name:<10}");
+        for (_, _, label) in BUCKETS {
+            let n = dist.get(label).copied().unwrap_or(0);
+            print!("{:>11.1}%", 100.0 * n as f64 / 68.0);
+        }
+        println!("{:>11.1}%", 100.0 * undetected as f64 / 68.0);
+    }
+    println!(
+        "\nExpected shape (paper fig. 5): moving from D0 to D≥1 shifts mass \
+         from the high-iteration intervals toward 1 and 2–10; higher D does \
+         not monotonically improve further."
+    );
+}

@@ -1,0 +1,88 @@
+//! Metric comparison (extension): GoAT's requirement coverage
+//! (Req1–Req5, §III-C) vs. the earlier synchronization-pair coverage
+//! family (§II-D) on the two coverage-study kernels.
+//!
+//! The paper argues the older metrics do not transfer to Go because
+//! they only see *wakeup edges*: nothing about select-case choice,
+//! non-blocking (NOP) behaviour, or requirements that exist before any
+//! execution. This harness quantifies that argument: per iteration it
+//! reports GoAT's coverage percentage (against its growing universe)
+//! next to the raw sync-pair count (which has no denominator at all),
+//! and finally lists what the requirement metric still wants tested
+//! while the pair metric has long saturated.
+//!
+//! ```text
+//! cargo run -p goat-bench --release --bin metric_compare
+//! ```
+
+use goat_bench::{name_salt, seed0};
+use goat_core::{extract_coverage, extract_sync_pairs, Program};
+use goat_model::{CoverageSet, RequirementUniverse, SyncPairCoverage};
+use goat_runtime::{Config, Runtime};
+
+fn main() {
+    let iterations: usize =
+        std::env::var("GOAT_COV_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(40);
+    let s0 = seed0();
+
+    for kernel_name in ["etcd7443", "kubernetes11298"] {
+        let kernel = goat_goker::by_name(kernel_name).expect("study kernel");
+        println!("\n=== {kernel_name}: requirement coverage vs sync-pair coverage ===");
+        println!("(D = 2, {iterations} iterations)\n");
+
+        let mut universe = RequirementUniverse::new();
+        let mut covered = CoverageSet::new();
+        let mut pairs = SyncPairCoverage::new();
+        let mut pair_saturated_at = None;
+        let mut req_last_growth = 0usize;
+
+        println!(
+            "{:>4}  {:>12} {:>10}  {:>10}",
+            "iter", "req-covered", "req-%", "sync-pairs"
+        );
+        for i in 0..iterations {
+            let seed = s0.wrapping_add(name_salt(kernel_name)).wrapping_add(i as u64);
+            let cfg = Config::new(seed).with_delay_bound(2);
+            let r = Runtime::run(cfg, move || Program::main(kernel));
+            let ect = r.ect.expect("traced");
+            let cov = extract_coverage(&ect, &mut universe);
+            let before_pairs = pairs.len();
+            let before_req = covered.len();
+            covered.merge(&cov.covered);
+            pairs.merge(&extract_sync_pairs(&ect));
+            if pairs.len() == before_pairs && pair_saturated_at.is_none() && i > 0 {
+                pair_saturated_at = Some(i);
+            }
+            if covered.len() > before_req {
+                req_last_growth = i;
+            }
+            if i % (iterations / 10).max(1) == 0 || i + 1 == iterations {
+                println!(
+                    "{:>4}  {:>12} {:>9.1}%  {:>10}",
+                    i + 1,
+                    covered.len(),
+                    covered.percent(&universe),
+                    pairs.len()
+                );
+            }
+        }
+
+        println!("\nsync-pair metric first stalled at iteration {:?};", pair_saturated_at);
+        println!("requirement metric last grew at iteration {req_last_growth}.");
+        println!(
+            "requirements still uncovered (invisible to the pair metric): {}",
+            universe.uncovered(&covered).count()
+        );
+        let mut shown = 0;
+        for key in universe.uncovered(&covered) {
+            println!("  - {}", universe.resolve(*key));
+            shown += 1;
+            if shown == 6 {
+                println!("  …");
+                break;
+            }
+        }
+        println!("\nobserved synchronization pairs:");
+        print!("{}", pairs.render());
+    }
+}

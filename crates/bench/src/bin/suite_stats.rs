@@ -1,0 +1,55 @@
+//! Benchmark composition: the GoKer-style suite broken down by project,
+//! cause class, expected symptom and native rarity — the reproduction's
+//! analogue of GoBench's bug-taxonomy table, useful for sanity-checking
+//! the corpus against §II-B's taxonomy.
+//!
+//! ```text
+//! cargo run -p goat-bench --release --bin suite_stats
+//! ```
+
+use goat_goker::{suite_stats, Project};
+
+fn main() {
+    let stats = suite_stats();
+    println!("GoKer-style blocking-bug suite — 68 kernels\n");
+
+    println!("{:<12} {:>7}", "project", "kernels");
+    for (p, n) in &stats.per_project {
+        println!("{:<12} {:>7}", p.to_string(), n);
+    }
+    let total: usize = stats.per_project.iter().map(|(_, n)| n).sum();
+    println!("{:<12} {:>7}\n", "total", total);
+
+    let (res, comm, mixed) = stats.per_cause;
+    println!("cause class (taxonomy of §II-B):");
+    println!("  resource (mutex/RWMutex/wait/cond) : {res}");
+    println!("  communication (channel misuse)     : {comm}");
+    println!("  mixed (channel + lock cycles)      : {mixed}\n");
+
+    let (leak, gdl, either, crash) = stats.per_symptom;
+    println!("expected symptom:");
+    println!("  goroutine leak (partial deadlock)  : {leak}");
+    println!("  global deadlock                    : {gdl}");
+    println!("  leak or global (schedule-decided)  : {either}");
+    println!("  crash (closed-channel panics)      : {crash}\n");
+
+    let (common, uncommon, rare, very_rare) = stats.per_rarity;
+    println!("native-manifestation rarity (drives figure 2):");
+    println!("  common    (≈ every native run)     : {common}");
+    println!("  uncommon  (needs a wide window)    : {uncommon}");
+    println!("  rare      (needs a narrow window)  : {rare}");
+    println!("  very rare (perturbation-only)      : {very_rare}\n");
+
+    println!("per-project detail:");
+    for p in Project::ALL {
+        println!("  {p}:");
+        for k in goat_goker::by_project(p) {
+            println!(
+                "    {:<18} {:<14} {:?}",
+                k.name,
+                k.cause.to_string(),
+                k.rarity
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Table IV: output of each tool on the GoKer blocking bugs —
+//! detected symptom and minimum number of executions required.
+//!
+//! ```text
+//! cargo run -p goat-bench --release --bin table4
+//! GOAT_FREQ=1000 cargo run -p goat-bench --release --bin table4   # paper budget
+//! ```
+
+use goat_bench::{detect, freq, seed0, tool_names, tools};
+
+fn main() {
+    let budget = freq();
+    let s0 = seed0();
+    let tools = tools();
+    let names = tool_names();
+
+    println!(
+        "Table IV — per-bug output of each tool ({} executions max, seed0={})",
+        budget, s0
+    );
+    println!("legend: SYMPTOM (min executions) | X (budget) = undetected\n");
+    print!("{:<18}", "bug");
+    for n in &names {
+        print!("{n:>16}");
+    }
+    println!();
+    println!("{}", "-".repeat(18 + 16 * names.len()));
+
+    let mut per_tool_detected = vec![0usize; tools.len()];
+    for kernel in goat_goker::all_kernels() {
+        print!("{:<18}", kernel.name);
+        for (ti, tool) in tools.iter().enumerate() {
+            let d = detect(tool.as_ref(), kernel, budget, s0);
+            if d.first_iter.is_some() {
+                per_tool_detected[ti] += 1;
+            }
+            print!("{:>16}", d.cell(budget));
+        }
+        println!();
+    }
+    println!("{}", "-".repeat(18 + 16 * names.len()));
+    print!("{:<18}", "detected");
+    for c in &per_tool_detected {
+        print!("{:>13}/68", c);
+    }
+    println!();
+}

@@ -1,0 +1,168 @@
+//! # goat-bench — the evaluation harness
+//!
+//! Shared machinery for regenerating the paper's tables and figures:
+//!
+//! | binary         | paper artifact |
+//! |----------------|----------------|
+//! | `fig2_trials`  | Figure 2 — histogram of bugs by #trials (GOAT D0) |
+//! | `fig4_detect`  | Figure 4 — detected bugs per tool by symptom |
+//! | `fig5_iters`   | Figure 5 — distribution of detection iterations |
+//! | `table4`       | Table IV — per-bug verdict + min executions per tool |
+//! | `fig6_coverage`| Figures 6a/6b — coverage % vs iteration per D |
+//! | `table3_cu`    | Table III — CU table + covered requirements (listing 1) |
+//!
+//! Environment knobs: `GOAT_FREQ` (iterations per bug/tool pair; default
+//! 200, the paper uses 1000) and `GOAT_SEED0` (base seed, default 1).
+
+#![warn(missing_docs)]
+
+use goat_core::{GoatTool, Program};
+use goat_detectors::{
+    BuiltinDetector, Detector, GoleakDetector, LockdlDetector, ProgramFn, Symptom,
+};
+use goat_goker::BugKernel;
+use goat_runtime::Config;
+use std::sync::Arc;
+
+/// Iterations per (bug, tool) pair: `GOAT_FREQ`, default 200.
+pub fn freq() -> usize {
+    std::env::var("GOAT_FREQ").ok().and_then(|v| v.parse().ok()).unwrap_or(200)
+}
+
+/// Base seed: `GOAT_SEED0`, default 1.
+pub fn seed0() -> u64 {
+    std::env::var("GOAT_SEED0").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
+/// The tool line-up of §IV-A: GOAT D0–D4 plus the three baselines.
+pub fn tools() -> Vec<Box<dyn Detector>> {
+    vec![
+        Box::new(GoatTool::new(0)),
+        Box::new(GoatTool::new(1)),
+        Box::new(GoatTool::new(2)),
+        Box::new(GoatTool::new(3)),
+        Box::new(GoatTool::new(4)),
+        Box::new(BuiltinDetector::new()),
+        Box::new(LockdlDetector::new()),
+        Box::new(GoleakDetector::new()),
+    ]
+}
+
+/// Names in table order.
+pub fn tool_names() -> Vec<&'static str> {
+    vec!["goat-d0", "goat-d1", "goat-d2", "goat-d3", "goat-d4", "builtin", "lockdl", "goleak"]
+}
+
+/// Result of iterating one tool on one bug.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// 1-based iteration of the first detection (`None` = undetected
+    /// within the budget — the paper's `X (1000)` entries).
+    pub first_iter: Option<usize>,
+    /// The symptom reported at first detection.
+    pub symptom: Symptom,
+}
+
+impl Detection {
+    /// Table IV cell text, e.g. `PDL-2 (3)` or `X (200)`.
+    pub fn cell(&self, budget: usize) -> String {
+        match self.first_iter {
+            Some(i) => format!("{} ({i})", self.symptom.code()),
+            None => format!("X ({budget})"),
+        }
+    }
+}
+
+/// Convert a kernel into the closure form detectors consume.
+pub fn kernel_program(k: &'static BugKernel) -> ProgramFn {
+    Arc::new(move || Program::main(k))
+}
+
+/// Stable FNV-1a hash used to decorrelate seed streams across kernels
+/// (otherwise kernels with identical window structure detect on the
+/// same iteration, which no real testbed would show).
+pub fn name_salt(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `tool` on `kernel` for up to `budget` iterations (fresh seed per
+/// iteration, per-kernel salted), returning the first detection.
+pub fn detect(tool: &dyn Detector, kernel: &'static BugKernel, budget: usize, seed0: u64) -> Detection {
+    let program = kernel_program(kernel);
+    let salt = name_salt(kernel.name);
+    for i in 0..budget {
+        let cfg = Config::new(seed0.wrapping_add(salt).wrapping_add(i as u64));
+        let v = tool.run_once(cfg, Arc::clone(&program));
+        if v.detected {
+            return Detection { first_iter: Some(i + 1), symptom: v.symptom };
+        }
+    }
+    Detection { first_iter: None, symptom: Symptom::None }
+}
+
+/// The Figure 2 / Figure 5 iteration buckets.
+pub const BUCKETS: [(usize, usize, &str); 4] =
+    [(1, 1, "1"), (2, 10, "2-10"), (11, 100, "11-100"), (101, 1000, "101-1000")];
+
+/// Bucket label for an iteration count.
+pub fn bucket_label(iter: usize) -> &'static str {
+    for (lo, hi, label) in BUCKETS {
+        if iter >= lo && iter <= hi {
+            return label;
+        }
+    }
+    ">1000"
+}
+
+/// Render an ASCII bar.
+pub fn bar(count: usize, max: usize, width: usize) -> String {
+    let n = (count * width).checked_div(max).unwrap_or(0);
+    "█".repeat(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_positive_range() {
+        assert_eq!(bucket_label(1), "1");
+        assert_eq!(bucket_label(2), "2-10");
+        assert_eq!(bucket_label(10), "2-10");
+        assert_eq!(bucket_label(11), "11-100");
+        assert_eq!(bucket_label(100), "11-100");
+        assert_eq!(bucket_label(101), "101-1000");
+        assert_eq!(bucket_label(1001), ">1000");
+    }
+
+    #[test]
+    fn detection_cell_format() {
+        let d = Detection { first_iter: Some(3), symptom: Symptom::PartialDeadlock { leaked: 2 } };
+        assert_eq!(d.cell(200), "PDL-2 (3)");
+        let x = Detection { first_iter: None, symptom: Symptom::None };
+        assert_eq!(x.cell(200), "X (200)");
+    }
+
+    #[test]
+    fn tool_lineup_matches_names() {
+        let tools = tools();
+        let names = tool_names();
+        assert_eq!(tools.len(), names.len());
+        for (t, n) in tools.iter().zip(names) {
+            assert_eq!(t.name(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_kernel_detected_immediately() {
+        let k = goat_goker::by_name("moby7559").expect("kernel");
+        let d = detect(&GoatTool::new(0), k, 5, 1);
+        assert_eq!(d.first_iter, Some(1));
+        assert_eq!(d.symptom, Symptom::GlobalDeadlock);
+    }
+}

@@ -1,0 +1,262 @@
+//! Offline deadlock detection from the ECT (paper §III-E.1).
+//!
+//! An execution is *successful* iff
+//!
+//! 1. every goroutine spawned (transitively) from main has `GoEnd` as its
+//!    final event, and
+//! 2. the main goroutine's final event is the trace-stopping `GoSched`.
+//!
+//! Otherwise the program suffers a blocking bug: Procedure 1 walks the
+//! goroutine tree in BFS order and classifies it as a global deadlock
+//! (main itself never reached its final yield) or a partial deadlock
+//! (one or more leaked goroutines).
+
+use goat_detectors::Symptom;
+use goat_runtime::{RunOutcome, RunResult};
+use goat_trace::{EventKind, GTree, Gid};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// GoAT's verdict on one execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GoatVerdict {
+    /// Successful execution: every application goroutine finished.
+    Pass,
+    /// One or more goroutines leaked (partial deadlock).
+    PartialDeadlock {
+        /// The leaked goroutines.
+        leaked: Vec<Gid>,
+    },
+    /// The main goroutine never finished.
+    GlobalDeadlock,
+    /// The program crashed.
+    Crash {
+        /// The panic message.
+        msg: String,
+    },
+    /// The watchdog aborted a non-terminating run.
+    Hang,
+}
+
+impl GoatVerdict {
+    /// Did GoAT flag a bug?
+    pub fn is_bug(&self) -> bool {
+        !matches!(self, GoatVerdict::Pass)
+    }
+
+    /// The Table IV symptom code for this verdict.
+    pub fn symptom(&self) -> Symptom {
+        match self {
+            GoatVerdict::Pass => Symptom::None,
+            GoatVerdict::PartialDeadlock { leaked } => {
+                Symptom::PartialDeadlock { leaked: leaked.len() }
+            }
+            GoatVerdict::GlobalDeadlock => Symptom::GlobalDeadlock,
+            GoatVerdict::Crash { .. } => Symptom::Crash,
+            GoatVerdict::Hang => Symptom::Hang,
+        }
+    }
+}
+
+impl fmt::Display for GoatVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoatVerdict::Crash { msg } => write!(f, "CRASH({msg})"),
+            other => write!(f, "{}", other.symptom()),
+        }
+    }
+}
+
+/// Procedure 1: BFS over the application goroutine tree.
+///
+/// Returns [`GoatVerdict::GlobalDeadlock`] when the root's final event is
+/// not the trace-stopping yield, [`GoatVerdict::PartialDeadlock`] when
+/// any descendant's final event is not `GoEnd`, [`GoatVerdict::Pass`]
+/// otherwise.
+pub fn deadlock_check(tree: &GTree) -> GoatVerdict {
+    let Some(root) = tree.root() else {
+        return GoatVerdict::GlobalDeadlock;
+    };
+    if !matches!(root.last_event, Some(EventKind::GoSched { trace_stop: true })) {
+        return GoatVerdict::GlobalDeadlock;
+    }
+    let mut leaked = Vec::new();
+    for node in tree.app_nodes() {
+        if node.g == Gid::MAIN {
+            continue;
+        }
+        if !matches!(node.last_event, Some(EventKind::GoEnd)) {
+            leaked.push(node.g);
+        }
+    }
+    if leaked.is_empty() {
+        GoatVerdict::Pass
+    } else {
+        GoatVerdict::PartialDeadlock { leaked }
+    }
+}
+
+/// Full per-run analysis: combine the run outcome with the offline
+/// trace-based deadlock check.
+///
+/// The outcome dominates for crashes/hangs (the trace is truncated); for
+/// completed and globally deadlocked runs the ECT analysis supplies the
+/// verdict, exactly as GoAT derives everything from the trace.
+pub fn analyze_run(result: &RunResult) -> GoatVerdict {
+    match &result.outcome {
+        RunOutcome::Panicked { msg, .. } => GoatVerdict::Crash { msg: msg.clone() },
+        RunOutcome::StepLimit => GoatVerdict::Hang,
+        RunOutcome::GlobalDeadlock { .. } | RunOutcome::Completed => match &result.ect {
+            Some(ect) => deadlock_check(&GTree::from_ect(ect)),
+            // Tracing off: fall back to runtime ground truth.
+            None => match &result.outcome {
+                RunOutcome::GlobalDeadlock { .. } => GoatVerdict::GlobalDeadlock,
+                _ if result.alive_at_end.is_empty() => GoatVerdict::Pass,
+                _ => GoatVerdict::PartialDeadlock {
+                    leaked: result.alive_at_end.iter().map(|a| a.g).collect(),
+                },
+            },
+        },
+    }
+}
+
+/// Cross-check helper used by tests: the ECT-derived verdict must agree
+/// with the runtime's ground truth about leaked goroutines.
+///
+/// # Errors
+/// Returns a description of the first disagreement found.
+pub fn crosscheck(result: &RunResult) -> Result<(), String> {
+    let Some(ect) = &result.ect else { return Ok(()) };
+    // Crashes and watchdog aborts truncate the trace mid-operation;
+    // there is no leak ground truth to compare against.
+    if matches!(result.outcome, RunOutcome::Panicked { .. } | RunOutcome::StepLimit) {
+        return Ok(());
+    }
+    let verdict = deadlock_check(&GTree::from_ect(ect));
+    match (&result.outcome, &verdict) {
+        (RunOutcome::Completed, GoatVerdict::Pass) => {
+            if result.alive_at_end.is_empty() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "trace says Pass but runtime saw {} alive goroutines",
+                    result.alive_at_end.len()
+                ))
+            }
+        }
+        (RunOutcome::Completed, GoatVerdict::PartialDeadlock { leaked }) => {
+            let rt: std::collections::BTreeSet<Gid> =
+                result.alive_at_end.iter().map(|a| a.g).collect();
+            let tr: std::collections::BTreeSet<Gid> = leaked.iter().copied().collect();
+            if rt == tr {
+                Ok(())
+            } else {
+                Err(format!("leak sets disagree: runtime {rt:?} vs trace {tr:?}"))
+            }
+        }
+        (RunOutcome::GlobalDeadlock { .. }, GoatVerdict::GlobalDeadlock) => Ok(()),
+        (o, v) => Err(format!("outcome {o:?} vs trace verdict {v:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goat_trace::Ect;
+    use goat_runtime::{go, go_named, gosched, Chan, Config, Mutex, Runtime};
+
+    fn cfg(seed: u64) -> Config {
+        Config::new(seed).with_native_preempt_prob(0.0)
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let r = Runtime::run(cfg(0), || {
+            let ch: Chan<u8> = Chan::new(0);
+            let tx = ch.clone();
+            go(move || tx.send(1));
+            ch.recv();
+        });
+        assert_eq!(analyze_run(&r), GoatVerdict::Pass);
+        crosscheck(&r).unwrap();
+    }
+
+    #[test]
+    fn leak_is_partial_deadlock() {
+        let r = Runtime::run(cfg(0), || {
+            let ch: Chan<u8> = Chan::new(0);
+            go_named("leaker", move || {
+                ch.recv();
+            });
+            gosched();
+        });
+        match analyze_run(&r) {
+            GoatVerdict::PartialDeadlock { leaked } => assert_eq!(leaked.len(), 1),
+            other => panic!("expected PDL, got {other:?}"),
+        }
+        crosscheck(&r).unwrap();
+    }
+
+    #[test]
+    fn main_block_is_global_deadlock() {
+        let r = Runtime::run(cfg(0), || {
+            let mu = Mutex::new();
+            mu.lock();
+            mu.lock();
+        });
+        assert_eq!(analyze_run(&r), GoatVerdict::GlobalDeadlock);
+        crosscheck(&r).unwrap();
+    }
+
+    #[test]
+    fn crash_verdict_carries_message() {
+        let r = Runtime::run(cfg(0), || {
+            let ch: Chan<u8> = Chan::new(0);
+            ch.close();
+            ch.close();
+        });
+        match analyze_run(&r) {
+            GoatVerdict::Crash { msg } => assert!(msg.contains("close")),
+            other => panic!("expected crash, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hang_verdict_for_step_limit() {
+        let r = Runtime::run(cfg(0).with_max_steps(100), || loop {
+            gosched();
+        });
+        assert_eq!(analyze_run(&r), GoatVerdict::Hang);
+    }
+
+    #[test]
+    fn verdict_symptoms_match() {
+        assert_eq!(GoatVerdict::Pass.symptom(), Symptom::None);
+        assert!(!GoatVerdict::Pass.is_bug());
+        assert!(GoatVerdict::Hang.is_bug());
+        assert_eq!(
+            GoatVerdict::PartialDeadlock { leaked: vec![Gid(2)] }.symptom(),
+            Symptom::PartialDeadlock { leaked: 1 }
+        );
+    }
+
+    #[test]
+    fn analysis_without_trace_uses_ground_truth() {
+        let r = Runtime::run(cfg(0).with_trace(false), || {
+            let ch: Chan<u8> = Chan::new(0);
+            go_named("leaker", move || {
+                ch.recv();
+            });
+            gosched();
+        });
+        assert!(matches!(analyze_run(&r), GoatVerdict::PartialDeadlock { .. }));
+    }
+
+    #[test]
+    fn deadlock_check_on_empty_trace() {
+        let ect = Ect::new();
+        let tree = GTree::from_ect(&ect);
+        // Main never emitted its final yield.
+        assert_eq!(deadlock_check(&tree), GoatVerdict::GlobalDeadlock);
+    }
+}

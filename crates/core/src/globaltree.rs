@@ -1,0 +1,188 @@
+//! The global goroutine tree: accumulating coverage across runs.
+//!
+//! GoAT maintains one goroutine tree per *program* (not per run) and
+//! maps each run's goroutines onto it using the equivalence of §III-E.2:
+//! two goroutines from different executions are equivalent iff their
+//! parents are equivalent and they were created at the same source
+//! location (`CU` of kind `go`). Loop-spawned goroutines from the same
+//! `go` statement therefore collapse into a single global node, whose
+//! coverage vector is the union over all its dynamic instances.
+
+use crate::coverage::RunCoverage;
+use goat_model::CoverageSet;
+use goat_trace::{GNode, GTree, Gid};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Key identifying a child slot under a parent: the creation site.
+type SiteKey = (String, u32);
+
+/// One node of the global goroutine tree.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalNode {
+    /// Last-seen name of goroutines mapped here.
+    pub name: String,
+    /// Children keyed by creation site.
+    children: BTreeMap<SiteKey, usize>,
+    /// Union of coverage vectors of every dynamic instance.
+    pub covered: CoverageSet,
+    /// How many dynamic goroutine instances mapped to this node.
+    pub occurrences: u64,
+}
+
+/// The global goroutine tree of a testing campaign.
+#[derive(Debug, Clone)]
+pub struct GlobalGTree {
+    nodes: Vec<GlobalNode>,
+}
+
+impl Default for GlobalGTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GlobalGTree {
+    /// A tree containing only the (empty) main node.
+    pub fn new() -> Self {
+        GlobalGTree {
+            nodes: vec![GlobalNode { name: "main".to_string(), ..Default::default() }],
+        }
+    }
+
+    /// Number of global nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the tree trivial (main only, never merged)?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1 && self.nodes[0].occurrences == 0
+    }
+
+    /// Access a node by index (0 = main).
+    pub fn node(&self, idx: usize) -> &GlobalNode {
+        &self.nodes[idx]
+    }
+
+    /// Merge one run's goroutine tree and per-goroutine coverage.
+    pub fn merge_run(&mut self, tree: &GTree, cov: &RunCoverage) {
+        let Some(root) = tree.root() else { return };
+        self.merge_node(0, root, tree, cov);
+    }
+
+    fn merge_node(&mut self, global_idx: usize, node: &GNode, tree: &GTree, cov: &RunCoverage) {
+        self.nodes[global_idx].occurrences += 1;
+        self.nodes[global_idx].name = node.name.clone();
+        if let Some(c) = cov.per_g.get(&node.g) {
+            self.nodes[global_idx].covered.merge(c);
+        }
+        let children: Vec<Gid> = node.children.clone();
+        for cg in children {
+            let Some(child) = tree.get(cg) else { continue };
+            if child.internal {
+                continue;
+            }
+            let key: SiteKey = child
+                .create_cu
+                .as_ref()
+                .map(|cu| (cu.file.clone(), cu.line))
+                .unwrap_or_else(|| (format!("<unknown:{}>", child.name), 0));
+            let child_idx = match self.nodes[global_idx].children.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let i = self.nodes.len();
+                    self.nodes.push(GlobalNode::default());
+                    self.nodes[global_idx].children.insert(key, i);
+                    i
+                }
+            };
+            self.merge_node(child_idx, child, tree, cov);
+        }
+    }
+
+    /// Render the global tree with per-node instance counts and coverage
+    /// sizes.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_node(0, 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, idx: usize, depth: usize, out: &mut String) {
+        let n = &self.nodes[idx];
+        let _ = writeln!(
+            out,
+            "{}{} — {} instance(s), {} requirement(s) covered",
+            "  ".repeat(depth),
+            if n.name.is_empty() { "?" } else { &n.name },
+            n.occurrences,
+            n.covered.len()
+        );
+        for &c in n.children.values() {
+            self.render_node(c, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::extract_coverage;
+    use goat_model::RequirementUniverse;
+    use goat_runtime::{go_named, gosched, Chan, Config, Runtime};
+
+    fn run_once(seed: u64) -> (GTree, RunCoverage) {
+        let r = Runtime::run(Config::new(seed).with_native_preempt_prob(0.0), || {
+            let ch: Chan<u8> = Chan::new(0);
+            for _ in 0..3 {
+                let tx = ch.clone();
+                go_named("worker", move || tx.send(1));
+            }
+            for _ in 0..3 {
+                ch.recv();
+            }
+            gosched();
+        });
+        let ect = r.ect.unwrap();
+        let mut u = RequirementUniverse::new();
+        let cov = extract_coverage(&ect, &mut u);
+        (GTree::from_ect(&ect), cov)
+    }
+
+    #[test]
+    fn loop_spawned_goroutines_collapse() {
+        let mut gt = GlobalGTree::new();
+        let (tree, cov) = run_once(0);
+        gt.merge_run(&tree, &cov);
+        // main + one global node for the three loop-spawned workers
+        assert_eq!(gt.len(), 2, "{}", gt.render());
+        assert_eq!(gt.node(1).occurrences, 3);
+    }
+
+    #[test]
+    fn merging_runs_accumulates_instances_and_coverage() {
+        let mut gt = GlobalGTree::new();
+        let (t1, c1) = run_once(0);
+        gt.merge_run(&t1, &c1);
+        let before = gt.node(1).covered.len();
+        let (t2, c2) = run_once(1);
+        gt.merge_run(&t2, &c2);
+        assert_eq!(gt.len(), 2, "same sites map to same nodes");
+        assert_eq!(gt.node(1).occurrences, 6);
+        assert!(gt.node(1).covered.len() >= before, "coverage only grows");
+        assert_eq!(gt.node(0).occurrences, 2, "main merged twice");
+    }
+
+    #[test]
+    fn render_shows_counts() {
+        let mut gt = GlobalGTree::new();
+        assert!(gt.is_empty());
+        let (t, c) = run_once(0);
+        gt.merge_run(&t, &c);
+        assert!(!gt.is_empty());
+        let r = gt.render();
+        assert!(r.contains("main"), "{r}");
+        assert!(r.contains("3 instance(s)"), "{r}");
+    }
+}

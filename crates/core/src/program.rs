@@ -1,0 +1,75 @@
+//! The program-under-test abstraction.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A program GoAT can test: a `main` body plus optional metadata.
+///
+/// Implementations must be re-runnable — GoAT executes `main` once per
+/// testing iteration under different schedules.
+pub trait Program: Send + Sync {
+    /// The program's name (used in reports and tables).
+    fn name(&self) -> &str;
+
+    /// The program's main function, executed as the main goroutine.
+    fn main(&self);
+
+    /// Source files of the program, fed to the static CU scanner to
+    /// build the model `M`. Empty means "discover CUs dynamically".
+    fn sources(&self) -> Vec<PathBuf> {
+        Vec::new()
+    }
+}
+
+/// A [`Program`] built from a closure.
+///
+/// ```
+/// use goat_core::FnProgram;
+/// use goat_core::Program;
+/// let p = FnProgram::new("demo", || {});
+/// assert_eq!(p.name(), "demo");
+/// ```
+pub struct FnProgram {
+    name: String,
+    body: Arc<dyn Fn() + Send + Sync + 'static>,
+    sources: Vec<PathBuf>,
+}
+
+impl FnProgram {
+    /// Wrap a closure as a program.
+    pub fn new(name: impl Into<String>, body: impl Fn() + Send + Sync + 'static) -> Self {
+        FnProgram { name: name.into(), body: Arc::new(body), sources: Vec::new() }
+    }
+
+    /// Attach source files for the static scanner.
+    pub fn with_sources(mut self, sources: Vec<PathBuf>) -> Self {
+        self.sources = sources;
+        self
+    }
+}
+
+impl Program for FnProgram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn main(&self) {
+        (self.body)()
+    }
+
+    fn sources(&self) -> Vec<PathBuf> {
+        self.sources.clone()
+    }
+}
+
+impl std::fmt::Debug for FnProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnProgram").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+/// Adapt a program into the plain closure detectors consume.
+pub fn program_fn(p: &Arc<dyn Program>) -> goat_detectors::ProgramFn {
+    let p = Arc::clone(p);
+    Arc::new(move || p.main())
+}

@@ -1,0 +1,321 @@
+//! Human-readable reports and visualizations (paper §III-E and fig. 3):
+//! the executed interleaving, the goroutine tree with blocked states,
+//! and the Table III-style coverage table.
+
+use crate::analysis::GoatVerdict;
+use goat_model::{CoverageSet, ReqTarget, RequirementUniverse};
+use goat_trace::{Ect, GTree};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render the detailed bug report GoAT produces when a deadlock is
+/// detected: verdict, goroutine tree, leaked goroutines with their final
+/// states, and the tail of the executed interleaving.
+pub fn bug_report(program: &str, verdict: &GoatVerdict, ect: &Ect) -> String {
+    let tree = GTree::from_ect(ect);
+    let mut out = String::new();
+    let _ = writeln!(out, "=== GoAT bug report: {program} ===");
+    let _ = writeln!(out, "verdict: {verdict}");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "--- goroutine tree ---");
+    out.push_str(&tree.render(ect));
+    if let GoatVerdict::PartialDeadlock { leaked } = verdict {
+        let _ = writeln!(out, "--- leaked goroutines ---");
+        for g in leaked {
+            if let Some(node) = tree.get(*g) {
+                let _ = write!(out, "{} \"{}\"", node.g, node.name);
+                if let Some(cu) = &node.create_cu {
+                    let _ = write!(out, " created at {cu}");
+                }
+                if let Some(last) = &node.last_event {
+                    let _ = write!(out, ", final event {last}");
+                }
+                if let Some(cu) = &node.last_cu {
+                    let _ = write!(out, " @ {cu}");
+                }
+                let _ = writeln!(out);
+            }
+        }
+    }
+    let _ = writeln!(out, "--- executed interleaving (last {} events) ---", TAIL);
+    let events = ect.events();
+    let start = events.len().saturating_sub(TAIL);
+    for ev in &events[start..] {
+        let _ = writeln!(out, "{ev}");
+    }
+    out
+}
+
+const TAIL: usize = 40;
+
+/// Render a Table III-style coverage table: one row per requirement,
+/// grouped by CU, with its covered/uncovered status.
+pub fn coverage_table(universe: &RequirementUniverse, covered: &CoverageSet) -> String {
+    let mut by_cu: BTreeMap<(String, u32, String), Vec<(String, bool)>> = BTreeMap::new();
+    for key in universe.iter() {
+        let req = universe.resolve(*key);
+        let label = match key.target {
+            ReqTarget::Op => key.value.to_string(),
+            ReqTarget::Case { idx, flavor } => format!("case{idx}({flavor})-{}", key.value),
+        };
+        by_cu
+            .entry((req.cu.file.clone(), req.cu.line, req.cu.kind.to_string()))
+            .or_default()
+            .push((label, covered.contains(key)));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<40} {:>5} {:<10} {:<28} covered",
+        "file", "line", "kind", "requirement"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(95));
+    let mut total = 0usize;
+    let mut hit = 0usize;
+    for ((file, line, kind), mut reqs) in by_cu {
+        reqs.sort();
+        let short = file.rsplit('/').next().unwrap_or(&file);
+        for (label, ok) in reqs {
+            total += 1;
+            if ok {
+                hit += 1;
+            }
+            let _ = writeln!(
+                out,
+                "{:<40} {:>5} {:<10} {:<28} {}",
+                short,
+                line,
+                kind,
+                label,
+                if ok { "✓" } else { "✗" }
+            );
+        }
+    }
+    let pct = if total == 0 { 100.0 } else { 100.0 * hit as f64 / total as f64 };
+    let _ = writeln!(out, "{}", "-".repeat(95));
+    let _ = writeln!(out, "coverage: {hit}/{total} requirements ({pct:.1}%)");
+    out
+}
+
+/// One line per uncovered requirement with the paper's suggested action
+/// ("extend testing or remove dead code; a send that never blocks may be
+/// a happens-before guarantee — or a bug").
+pub fn uncovered_report(universe: &RequirementUniverse, covered: &CoverageSet) -> String {
+    let mut out = String::new();
+    let mut any = false;
+    for key in universe.uncovered(covered) {
+        any = true;
+        let _ = writeln!(out, "uncovered: {}", universe.resolve(*key));
+    }
+    if !any {
+        out.push_str("all requirements covered\n");
+    }
+    out
+}
+
+/// Render the goroutine tree as Graphviz DOT (the paper publishes
+/// figure-3-style visualizations; `dot -Tsvg` turns this into one).
+/// Leaked goroutines are highlighted.
+pub fn goroutine_tree_dot(ect: &Ect, verdict: &GoatVerdict) -> String {
+    let tree = GTree::from_ect(ect);
+    let leaked: std::collections::BTreeSet<_> = match verdict {
+        GoatVerdict::PartialDeadlock { leaked } => leaked.iter().copied().collect(),
+        _ => Default::default(),
+    };
+    let mut out = String::from("digraph goroutines {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for node in tree.app_nodes() {
+        let status = match &node.last_event {
+            Some(k) if node.finished() => format!("{k}"),
+            Some(k) => format!("{k}"),
+            None => "never ran".to_string(),
+        };
+        let color = if leaked.contains(&node.g) {
+            ", style=filled, fillcolor=\"#ffcccc\""
+        } else if node.finished() || node.g == goat_trace::Gid::MAIN {
+            ", style=filled, fillcolor=\"#ddffdd\""
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  g{} [label=\"{} {}\\n{}\"{}];",
+            node.g.0,
+            node.g,
+            node.name.replace('"', "'"),
+            status.replace('"', "'"),
+            color
+        );
+        if let Some(parent) = node.parent {
+            let label = node
+                .create_cu
+                .as_ref()
+                .map(|cu| format!("{}:{}", cu.file.rsplit('/').next().unwrap_or(""), cu.line))
+                .unwrap_or_default();
+            let _ = writeln!(out, "  g{} -> g{} [label=\"{label}\"];", parent.0, node.g.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render the executed interleaving as per-goroutine swim lanes: one
+/// column per application goroutine, one row per event — the textual
+/// equivalent of the paper's listing-1 interleaving figure.
+pub fn interleaving_lanes(ect: &Ect, max_rows: usize) -> String {
+    let tree = GTree::from_ect(ect);
+    let lanes: Vec<_> = tree.app_nodes().iter().map(|n| n.g).collect();
+    let width = 26usize;
+    let mut out = String::new();
+    // header
+    let _ = write!(out, "{:>6} ", "seq");
+    for g in &lanes {
+        let name = tree.get(*g).map(|n| n.name.clone()).unwrap_or_default();
+        let _ = write!(out, "{:<width$}", format!("{g} {name}"), width = width);
+    }
+    out.push('\n');
+    let _ = writeln!(out, "{}", "-".repeat(7 + width * lanes.len()));
+    let events = ect.events();
+    let start = events.len().saturating_sub(max_rows);
+    for ev in &events[start..] {
+        let Some(col) = lanes.iter().position(|g| *g == ev.g) else { continue };
+        let _ = write!(out, "{:>6} ", ev.seq);
+        for i in 0..lanes.len() {
+            if i == col {
+                let mut cell = ev.kind.to_string();
+                cell.truncate(width - 1);
+                let _ = write!(out, "{cell:<width$}", width = width);
+            } else {
+                let _ = write!(out, "{:<width$}", "·", width = width);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the complete campaign report: detection outcome (with full bug
+/// report when one was found), trace statistics of the decisive run,
+/// coverage table, uncovered-requirement actions and the global
+/// goroutine tree — everything the original tool writes into its
+/// workstation directory after `goat -path=… -cov`.
+pub fn campaign_report(program: &str, result: &crate::CampaignResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "==== GoAT campaign report: {program} ====");
+    let _ = writeln!(
+        out,
+        "iterations: {}   detected: {}   final coverage: {:.1}%",
+        result.records.len(),
+        result
+            .first_detection
+            .map(|i| format!("yes (iteration {i})"))
+            .unwrap_or_else(|| "no".to_string()),
+        result.coverage_percent()
+    );
+    let _ = writeln!(out);
+    if let (Some(verdict), Some(ect)) = (&result.bug, &result.bug_ect) {
+        out.push_str(&bug_report(program, verdict, ect));
+        let _ = writeln!(out, "--- trace statistics of the buggy run ---");
+        let _ = writeln!(out, "{}", goat_trace::TraceStats::of(ect));
+    }
+    let _ = writeln!(out, "--- coverage ---");
+    out.push_str(&coverage_table(&result.universe, &result.covered));
+    let _ = writeln!(out, "--- uncovered requirements (actions) ---");
+    out.push_str(&uncovered_report(&result.universe, &result.covered));
+    let _ = writeln!(out, "--- global goroutine tree ---");
+    out.push_str(&result.global_tree.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_run;
+    use crate::coverage::extract_coverage;
+    use goat_runtime::{go_named, gosched, Chan, Config, Runtime};
+
+    fn leaky_run() -> (GoatVerdict, Ect) {
+        let r = Runtime::run(Config::new(0).with_native_preempt_prob(0.0), || {
+            let ch: Chan<u8> = Chan::new(0);
+            go_named("monitor", move || {
+                ch.recv();
+            });
+            gosched();
+        });
+        let v = analyze_run(&r);
+        (v, r.ect.unwrap())
+    }
+
+    #[test]
+    fn bug_report_names_leaked_goroutine() {
+        let (v, ect) = leaky_run();
+        let rep = bug_report("demo", &v, &ect);
+        assert!(rep.contains("PDL-1"), "{rep}");
+        assert!(rep.contains("monitor"), "{rep}");
+        assert!(rep.contains("goroutine tree"), "{rep}");
+        assert!(rep.contains("interleaving"), "{rep}");
+        assert!(rep.contains("BLOCKED on recv"), "{rep}");
+    }
+
+    #[test]
+    fn coverage_table_lists_requirements() {
+        let (_, ect) = leaky_run();
+        let mut u = goat_model::RequirementUniverse::new();
+        let cov = extract_coverage(&ect, &mut u);
+        let table = coverage_table(&u, &cov.covered);
+        assert!(table.contains("recv"), "{table}");
+        assert!(table.contains("✓"), "{table}");
+        assert!(table.contains("coverage:"), "{table}");
+    }
+
+    #[test]
+    fn campaign_report_combines_all_sections() {
+        use crate::{FnProgram, Goat, GoatConfig};
+        use goat_runtime::{go_named, gosched, Chan};
+        use std::sync::Arc;
+        let program = Arc::new(FnProgram::new("combo", || {
+            let ch: Chan<u8> = Chan::new(0);
+            go_named("stuck", move || {
+                ch.recv();
+            });
+            gosched();
+        }));
+        let goat = Goat::new(GoatConfig::default().with_iterations(5));
+        let result = goat.test(program);
+        let rep = campaign_report("combo", &result);
+        for section in
+            ["campaign report", "bug report", "trace statistics", "coverage", "goroutine tree"]
+        {
+            assert!(rep.contains(section), "missing section {section}: {rep}");
+        }
+    }
+
+    #[test]
+    fn dot_highlights_leaked_goroutines() {
+        let (v, ect) = leaky_run();
+        let dot = goroutine_tree_dot(&ect, &v);
+        assert!(dot.starts_with("digraph"), "{dot}");
+        assert!(dot.contains("#ffcccc"), "leaked node highlighted: {dot}");
+        assert!(dot.contains("monitor"), "{dot}");
+        assert!(dot.contains("->"), "parent edge present: {dot}");
+    }
+
+    #[test]
+    fn lanes_show_one_column_per_goroutine() {
+        let (_, ect) = leaky_run();
+        let lanes = interleaving_lanes(&ect, 50);
+        let header = lanes.lines().next().unwrap();
+        assert!(header.contains("G1"), "{header}");
+        assert!(header.contains("monitor"), "{header}");
+        assert!(lanes.contains("GoBlock"), "{lanes}");
+    }
+
+    #[test]
+    fn uncovered_report_suggests_actions() {
+        let (_, ect) = leaky_run();
+        let mut u = goat_model::RequirementUniverse::new();
+        let cov = extract_coverage(&ect, &mut u);
+        let rep = uncovered_report(&u, &cov.covered);
+        // a blocked recv never covered unblocking/nop in one run
+        assert!(rep.contains("uncovered"), "{rep}");
+    }
+}

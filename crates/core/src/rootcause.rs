@@ -1,0 +1,260 @@
+//! Root-cause analysis: *why* did this run deadlock when that one
+//! passed?
+//!
+//! The paper lists root-cause analysis among the debugging procedures an
+//! ECT enables (§I, objective 1). This module makes it concrete: given a
+//! failing execution and a passing execution of the same program, find
+//! the **divergence point** — the first scheduling decision where the
+//! two runs took different turns — and render the fatal window around
+//! it. Because the runtime records every nondeterministic choice
+//! ([`goat_runtime::ReplayLog`]), the divergence is exact, not
+//! heuristic.
+
+use crate::analysis::{analyze_run, GoatVerdict};
+use crate::program::Program;
+use goat_runtime::{Config, Decision, ReplayLog, Runtime};
+use goat_trace::{Ect, Event};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// The first point where two executions of the same program differ.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Index of the first differing scheduler decision (into both logs).
+    pub decision_index: usize,
+    /// What the failing run decided there.
+    pub failing_decision: Option<Decision>,
+    /// What the passing run decided there.
+    pub passing_decision: Option<Decision>,
+    /// Length of the common event prefix of the two traces.
+    pub common_events: usize,
+    /// The first event unique to the failing run, if any.
+    pub failing_event: Option<Event>,
+    /// The first event unique to the passing run, if any.
+    pub passing_event: Option<Event>,
+}
+
+/// Compare two events for divergence purposes: sequence numbers always
+/// align by construction and timestamps track steps, so the meaningful
+/// payload is (goroutine, kind, CU).
+fn same_event(a: &Event, b: &Event) -> bool {
+    a.g == b.g && a.kind == b.kind && a.cu == b.cu
+}
+
+/// Locate the divergence between a failing and a passing execution.
+///
+/// Returns `None` when the runs are identical (same schedule — then the
+/// verdicts cannot differ either).
+pub fn find_divergence(
+    failing: (&Ect, &ReplayLog),
+    passing: (&Ect, &ReplayLog),
+) -> Option<Divergence> {
+    let (f_ect, f_log) = failing;
+    let (p_ect, p_log) = passing;
+    let decision_index = f_log
+        .decisions
+        .iter()
+        .zip(p_log.decisions.iter())
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| f_log.decisions.len().min(p_log.decisions.len()));
+    if decision_index == f_log.decisions.len() && f_log.decisions.len() == p_log.decisions.len()
+    {
+        return None;
+    }
+    let common_events = f_ect
+        .iter()
+        .zip(p_ect.iter())
+        .take_while(|(a, b)| same_event(a, b))
+        .count();
+    Some(Divergence {
+        decision_index,
+        failing_decision: f_log.decisions.get(decision_index).cloned(),
+        passing_decision: p_log.decisions.get(decision_index).cloned(),
+        common_events,
+        failing_event: f_ect.events().get(common_events).cloned(),
+        passing_event: p_ect.events().get(common_events).cloned(),
+    })
+}
+
+fn describe_decision(d: &Option<Decision>) -> String {
+    match d {
+        Some(Decision::Pick(g)) => format!("scheduled {g}"),
+        Some(Decision::SelectChoice(i)) => format!("selected case {i}"),
+        Some(Decision::YieldAt(true)) => "yielded at the next concurrency usage".to_string(),
+        Some(Decision::YieldAt(false)) => "did not yield".to_string(),
+        None => "(run ended)".to_string(),
+    }
+}
+
+/// Render a human-readable root-cause report for a failing run, given a
+/// passing run of the same program for contrast.
+pub fn root_cause_report(
+    program: &str,
+    failing: (&GoatVerdict, &Ect, &ReplayLog),
+    passing: (&Ect, &ReplayLog),
+) -> String {
+    let (verdict, f_ect, f_log) = failing;
+    let (p_ect, p_log) = passing;
+    let mut out = String::new();
+    let _ = writeln!(out, "=== root-cause analysis: {program} ===");
+    let _ = writeln!(out, "failing verdict: {verdict}");
+    match find_divergence((f_ect, f_log), (p_ect, p_log)) {
+        None => {
+            let _ = writeln!(out, "the two runs are identical — no schedule divergence");
+        }
+        Some(d) => {
+            let _ = writeln!(
+                out,
+                "runs agree for {} events and {} scheduler decisions, then diverge:",
+                d.common_events, d.decision_index
+            );
+            let _ = writeln!(
+                out,
+                "  failing run: {}",
+                describe_decision(&d.failing_decision)
+            );
+            let _ = writeln!(
+                out,
+                "  passing run: {}",
+                describe_decision(&d.passing_decision)
+            );
+            if let Some(ev) = &d.failing_event {
+                let _ = writeln!(out, "  first failing-only event: {ev}");
+            }
+            if let Some(ev) = &d.passing_event {
+                let _ = writeln!(out, "  first passing-only event: {ev}");
+            }
+            let _ = writeln!(out, "--- failing window (5 events before/after) ---");
+            let events = f_ect.events();
+            let from = d.common_events.saturating_sub(5);
+            let to = (d.common_events + 5).min(events.len());
+            for ev in &events[from..to] {
+                let marker = if ev.seq as usize == d.common_events { ">>" } else { "  " };
+                let _ = writeln!(out, "{marker} {ev}");
+            }
+        }
+    }
+    out
+}
+
+/// Search for a passing schedule of `program` and contrast it with the
+/// failing run: the one-call diagnosis entry point.
+///
+/// Returns `None` if no passing schedule is found within `budget` seeds
+/// (e.g. the bug is deterministic — then there is no schedule to blame).
+pub fn diagnose(
+    program: Arc<dyn Program>,
+    failing_verdict: &GoatVerdict,
+    failing_ect: &Ect,
+    failing_schedule: &ReplayLog,
+    budget: usize,
+) -> Option<String> {
+    for seed in 0..budget as u64 {
+        let cfg = Config::new(0xD1A6_0000u64.wrapping_add(seed));
+        let p = Arc::clone(&program);
+        let run = Runtime::run(cfg, move || p.main());
+        if analyze_run(&run) == GoatVerdict::Pass {
+            let p_ect = run.ect.as_ref()?;
+            return Some(root_cause_report(
+                program.name(),
+                (failing_verdict, failing_ect, failing_schedule),
+                (p_ect, &run.schedule),
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::FnProgram;
+    use crate::runner::{Goat, GoatConfig};
+    use goat_runtime::{go_named, time, Chan, Mutex, Select};
+    use std::time::Duration;
+
+    fn listing1_program() -> Arc<dyn Program> {
+        Arc::new(FnProgram::new("moby28462-like", || {
+            let mu = Mutex::new();
+            let status: Chan<u32> = Chan::new(0);
+            {
+                let (mu, status) = (mu.clone(), status.clone());
+                go_named("Monitor", move || loop {
+                    let got =
+                        Select::new().recv(&status, |v| v).default(|| None).run();
+                    if got.is_some() {
+                        return;
+                    }
+                    mu.lock();
+                    mu.unlock();
+                });
+            }
+            {
+                let (mu, status) = (mu.clone(), status.clone());
+                go_named("StatusChange", move || {
+                    mu.lock();
+                    status.send(1);
+                    mu.unlock();
+                });
+            }
+            time::sleep(Duration::from_millis(30));
+        }))
+    }
+
+    #[test]
+    fn diagnosis_pinpoints_the_fatal_preemption() {
+        let program = listing1_program();
+        let goat = Goat::new(GoatConfig::default().with_iterations(300));
+        let result = goat.test(Arc::clone(&program));
+        let verdict = result.bug.expect("leak found");
+        let ect = result.bug_ect.expect("trace");
+        let schedule = result.bug_schedule.expect("schedule");
+        let report = diagnose(Arc::clone(&program), &verdict, &ect, &schedule, 100)
+            .expect("a passing schedule exists for this racy bug");
+        assert!(report.contains("diverge"), "{report}");
+        assert!(report.contains("failing verdict: PDL"), "{report}");
+        assert!(report.contains("failing window"), "{report}");
+    }
+
+    #[test]
+    fn identical_runs_have_no_divergence() {
+        let program = listing1_program();
+        let p = Arc::clone(&program);
+        let a = Runtime::run(Config::new(3), move || p.main());
+        let p = Arc::clone(&program);
+        let b = Runtime::run(Config::new(3), move || p.main());
+        let d = find_divergence(
+            (a.ect.as_ref().unwrap(), &a.schedule),
+            (b.ect.as_ref().unwrap(), &b.schedule),
+        );
+        assert!(d.is_none(), "{d:?}");
+    }
+
+    #[test]
+    fn different_seeds_diverge_at_a_decision() {
+        let program = listing1_program();
+        let mut pair = None;
+        for (sa, sb) in [(1u64, 2u64), (3, 7), (5, 11)] {
+            let p = Arc::clone(&program);
+            let a = Runtime::run(Config::new(sa), move || p.main());
+            let p = Arc::clone(&program);
+            let b = Runtime::run(Config::new(sb), move || p.main());
+            if a.schedule != b.schedule {
+                pair = Some((a, b));
+                break;
+            }
+        }
+        let (a, b) = pair.expect("some seed pair diverges");
+        let d = find_divergence(
+            (a.ect.as_ref().unwrap(), &a.schedule),
+            (b.ect.as_ref().unwrap(), &b.schedule),
+        )
+        .expect("divergence found");
+        assert!(d.failing_decision.is_some() || d.passing_decision.is_some());
+        // decisions agree up to the reported index
+        assert_eq!(
+            a.schedule.decisions[..d.decision_index],
+            b.schedule.decisions[..d.decision_index]
+        );
+    }
+}

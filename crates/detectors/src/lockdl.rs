@@ -1,0 +1,338 @@
+//! LockDL: a lock-set / lock-order-graph deadlock detector.
+//!
+//! Re-implements the detection principle of sasha-s/go-deadlock, the
+//! "LockDL" baseline of §IV-A: every mutex lock/unlock is intercepted to
+//! maintain each goroutine's *lock set* and a global *lock-order graph*.
+//! The tool warns when
+//!
+//! 1. a goroutine locks a mutex it already holds (double-lock), or
+//! 2. acquiring `b` while holding `a` creates a cycle in the lock-order
+//!    graph (potential AB-BA deadlock — reported even when the deadlock
+//!    does not materialise in this run), and
+//! 3. a 30-second watchdog converts an actually-stuck program into a
+//!    timeout report ("TO/GDL").
+//!
+//! Channel-only deadlocks are invisible to the lock-order analysis; only
+//! the timeout can catch them — which is exactly the blind spot the
+//! paper's Table IV exposes.
+
+use crate::verdict::{Detector, ProgramFn, Symptom, ToolVerdict};
+use goat_model::Cu;
+use goat_runtime::{Config, Monitor, RunOutcome, Runtime};
+use goat_trace::{Gid, RId};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// A directed lock-order graph: edge `a → b` means some goroutine
+/// acquired `b` while holding `a`.
+#[derive(Debug, Clone, Default)]
+pub struct LockGraph {
+    edges: BTreeMap<RId, BTreeSet<RId>>,
+}
+
+impl LockGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add edge `a → b`; returns true if it is new.
+    pub fn add_edge(&mut self, a: RId, b: RId) -> bool {
+        self.edges.entry(a).or_default().insert(b)
+    }
+
+    /// Is `to` reachable from `from`?
+    pub fn reachable(&self, from: RId, to: RId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack = vec![from];
+        let mut seen = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = self.edges.get(&n) {
+                if next.contains(&to) {
+                    return true;
+                }
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Would adding `a → b` close a cycle (i.e. is `a` reachable from
+    /// `b`)?
+    pub fn would_cycle(&self, a: RId, b: RId) -> bool {
+        self.reachable(b, a)
+    }
+
+    /// Number of edges in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(BTreeSet::len).sum()
+    }
+}
+
+/// A warning recorded by the LockDL monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockdlReport {
+    /// A goroutine locked a mutex it already held.
+    DoubleLock {
+        /// The goroutine.
+        g: Gid,
+        /// The mutex.
+        mu: RId,
+        /// Where the second acquisition happened.
+        at: Cu,
+    },
+    /// A lock acquisition closed a cycle in the lock-order graph.
+    OrderCycle {
+        /// The goroutine.
+        g: Gid,
+        /// The mutex already held.
+        held: RId,
+        /// The mutex being acquired.
+        acquiring: RId,
+        /// Where the offending acquisition happened.
+        at: Cu,
+    },
+}
+
+#[derive(Default)]
+struct LockdlState {
+    held: BTreeMap<Gid, Vec<RId>>,
+    graph: LockGraph,
+    reports: Vec<LockdlReport>,
+}
+
+struct LockdlMonitor {
+    st: Mutex<LockdlState>,
+}
+
+impl Monitor for LockdlMonitor {
+    fn on_lock_attempt(&self, g: Gid, mu: RId, cu: &Cu) {
+        let mut st = self.st.lock();
+        let held = st.held.get(&g).cloned().unwrap_or_default();
+        if held.contains(&mu) {
+            st.reports.push(LockdlReport::DoubleLock { g, mu, at: cu.clone() });
+            return;
+        }
+        for h in held {
+            if st.graph.would_cycle(h, mu) {
+                st.reports.push(LockdlReport::OrderCycle {
+                    g,
+                    held: h,
+                    acquiring: mu,
+                    at: cu.clone(),
+                });
+            }
+            st.graph.add_edge(h, mu);
+        }
+    }
+
+    fn on_lock_acquired(&self, g: Gid, mu: RId, _cu: &Cu) {
+        self.st.lock().held.entry(g).or_default().push(mu);
+    }
+
+    fn on_unlock(&self, g: Gid, mu: RId) {
+        let mut st = self.st.lock();
+        // Go allows cross-goroutine unlock; release from whoever holds it.
+        if let Some(v) = st.held.get_mut(&g) {
+            if let Some(pos) = v.iter().rposition(|&m| m == mu) {
+                v.remove(pos);
+                return;
+            }
+        }
+        for v in st.held.values_mut() {
+            if let Some(pos) = v.iter().rposition(|&m| m == mu) {
+                v.remove(pos);
+                return;
+            }
+        }
+    }
+}
+
+/// The LockDL baseline detector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LockdlDetector;
+
+impl LockdlDetector {
+    /// Create the detector.
+    pub fn new() -> Self {
+        LockdlDetector
+    }
+
+    /// Run once, returning both the verdict and the raw warnings.
+    pub fn run_once_with_reports(
+        &self,
+        cfg: Config,
+        program: ProgramFn,
+    ) -> (ToolVerdict, Vec<LockdlReport>) {
+        let cfg = cfg.with_trace(false);
+        let monitor = Arc::new(LockdlMonitor { st: Mutex::new(LockdlState::default()) });
+        let result = Runtime::run_monitored(cfg, Some(monitor.clone() as _), move || program());
+        let reports = monitor.st.lock().reports.clone();
+        let verdict = match result.outcome {
+            _ if !reports.is_empty() => ToolVerdict {
+                detected: true,
+                symptom: Symptom::PotentialDeadlock,
+                detail: format!("{} lock-order warning(s): {:?}", reports.len(), reports[0]),
+            },
+            // The 30 s watchdog: a stuck program times out.
+            RunOutcome::GlobalDeadlock { .. } => ToolVerdict {
+                detected: true,
+                symptom: Symptom::GlobalDeadlock,
+                detail: "timeout: program made no progress (TO/GDL)".to_string(),
+            },
+            RunOutcome::StepLimit => ToolVerdict {
+                detected: true,
+                symptom: Symptom::Hang,
+                detail: "watchdog timeout".to_string(),
+            },
+            RunOutcome::Panicked { g, msg } => ToolVerdict {
+                detected: true,
+                symptom: Symptom::Crash,
+                detail: format!("panic in {g}: {msg}"),
+            },
+            RunOutcome::Completed => ToolVerdict::clean(),
+        };
+        (verdict, reports)
+    }
+}
+
+impl Detector for LockdlDetector {
+    fn name(&self) -> &'static str {
+        "lockdl"
+    }
+
+    fn run_once(&self, cfg: Config, program: ProgramFn) -> ToolVerdict {
+        self.run_once_with_reports(cfg, program).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goat_runtime::{go_named, gosched, Chan, Mutex as GoMutex};
+    use std::sync::Arc;
+
+    #[test]
+    fn graph_cycle_detection() {
+        let mut g = LockGraph::new();
+        assert!(g.add_edge(RId(1), RId(2)));
+        assert!(!g.add_edge(RId(1), RId(2)), "duplicate edge");
+        g.add_edge(RId(2), RId(3));
+        assert!(g.reachable(RId(1), RId(3)));
+        assert!(!g.reachable(RId(3), RId(1)));
+        assert!(g.would_cycle(RId(3), RId(1)));
+        assert!(!g.would_cycle(RId(1), RId(3)));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn detects_ab_ba_even_without_deadlock_occurring() {
+        // The two goroutines run serially here, so no deadlock happens —
+        // but the lock-order cycle is still visible to LockDL.
+        let (v, reports) = LockdlDetector::new().run_once_with_reports(
+            Config::new(0).with_native_preempt_prob(0.0),
+            Arc::new(|| {
+                let a = GoMutex::new();
+                let b = GoMutex::new();
+                let (a2, b2) = (a.clone(), b.clone());
+                go_named("ab", move || {
+                    a2.lock();
+                    b2.lock();
+                    b2.unlock();
+                    a2.unlock();
+                });
+                gosched();
+                gosched();
+                b.lock();
+                a.lock();
+                a.unlock();
+                b.unlock();
+            }),
+        );
+        assert!(v.detected, "{v:?}");
+        assert_eq!(v.symptom, Symptom::PotentialDeadlock);
+        assert!(matches!(reports[0], LockdlReport::OrderCycle { .. }));
+    }
+
+    #[test]
+    fn detects_double_lock() {
+        let (v, reports) = LockdlDetector::new().run_once_with_reports(
+            Config::new(0),
+            Arc::new(|| {
+                let a = GoMutex::new();
+                a.lock();
+                a.lock(); // deadlocks, but the warning fires first
+            }),
+        );
+        assert!(v.detected);
+        assert!(matches!(reports[0], LockdlReport::DoubleLock { .. }));
+    }
+
+    #[test]
+    fn channel_deadlock_only_caught_by_timeout() {
+        let (v, reports) = LockdlDetector::new().run_once_with_reports(
+            Config::new(0),
+            Arc::new(|| {
+                let ch: Chan<u8> = Chan::new(0);
+                ch.recv();
+            }),
+        );
+        assert!(reports.is_empty(), "no lock warnings for channel bugs");
+        assert!(v.detected);
+        assert_eq!(v.symptom, Symptom::GlobalDeadlock, "timeout path");
+    }
+
+    #[test]
+    fn misses_channel_leak_entirely() {
+        let v = LockdlDetector::new().run_once(
+            Config::new(0).with_native_preempt_prob(0.0),
+            Arc::new(|| {
+                let ch: Chan<u8> = Chan::new(0);
+                go_named("leaker", move || {
+                    ch.recv();
+                });
+                gosched();
+            }),
+        );
+        assert!(!v.detected, "{v:?}");
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        let v = LockdlDetector::new().run_once(
+            Config::new(0),
+            Arc::new(|| {
+                let a = GoMutex::new();
+                a.lock();
+                a.unlock();
+                a.lock();
+                a.unlock();
+            }),
+        );
+        assert!(!v.detected);
+    }
+
+    #[test]
+    fn consistent_order_no_warning() {
+        let v = LockdlDetector::new().run_once(
+            Config::new(0).with_native_preempt_prob(0.0),
+            Arc::new(|| {
+                let a = GoMutex::new();
+                let b = GoMutex::new();
+                for _ in 0..3 {
+                    a.lock();
+                    b.lock();
+                    b.unlock();
+                    a.unlock();
+                }
+            }),
+        );
+        assert!(!v.detected, "{v:?}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Common detector interface and verdict types.
+
+use goat_runtime::Config;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A program under test, runnable many times (once per seed).
+pub type ProgramFn = Arc<dyn Fn() + Send + Sync + 'static>;
+
+/// The bug symptom a tool reported, following the paper's Table IV
+/// legend (PDL, GDL, TO/GDL, DL warning, CRASH, HANG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Symptom {
+    /// Partial deadlock: one or more goroutines leaked.
+    PartialDeadlock {
+        /// How many goroutines leaked.
+        leaked: usize,
+    },
+    /// Global deadlock (or timeout treated as one: "TO/GDL").
+    GlobalDeadlock,
+    /// A *warning* of a potential deadlock (LockDL's DL entries), issued
+    /// even if the deadlock did not materialise in this run.
+    PotentialDeadlock,
+    /// The program crashed (e.g. send on closed channel).
+    Crash,
+    /// The program hung without a deadlock verdict (HANG).
+    Hang,
+    /// Nothing detected.
+    None,
+}
+
+impl Symptom {
+    /// Short code used in Table IV.
+    pub fn code(&self) -> String {
+        match self {
+            Symptom::PartialDeadlock { leaked } => format!("PDL-{leaked}"),
+            Symptom::GlobalDeadlock => "GDL".to_string(),
+            Symptom::PotentialDeadlock => "DL".to_string(),
+            Symptom::Crash => "CRASH".to_string(),
+            Symptom::Hang => "HANG".to_string(),
+            Symptom::None => "X".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Symptom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.code())
+    }
+}
+
+/// One tool's verdict on one execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ToolVerdict {
+    /// Did the tool flag a bug?
+    pub detected: bool,
+    /// What it reported.
+    pub symptom: Symptom,
+    /// Human-readable detail for the report.
+    pub detail: String,
+}
+
+impl ToolVerdict {
+    /// A "nothing found" verdict.
+    pub fn clean() -> Self {
+        ToolVerdict { detected: false, symptom: Symptom::None, detail: String::new() }
+    }
+}
+
+/// A dynamic bug detector that can execute a program once and judge it.
+pub trait Detector {
+    /// The tool's name as used in tables and figures.
+    fn name(&self) -> &'static str;
+
+    /// Execute the program under `cfg` and report.
+    fn run_once(&self, cfg: Config, program: ProgramFn) -> ToolVerdict;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symptom_codes_match_table_iv_legend() {
+        assert_eq!(Symptom::PartialDeadlock { leaked: 2 }.code(), "PDL-2");
+        assert_eq!(Symptom::GlobalDeadlock.code(), "GDL");
+        assert_eq!(Symptom::PotentialDeadlock.code(), "DL");
+        assert_eq!(Symptom::Crash.code(), "CRASH");
+        assert_eq!(Symptom::Hang.code(), "HANG");
+        assert_eq!(Symptom::None.code(), "X");
+    }
+
+    #[test]
+    fn clean_verdict() {
+        let v = ToolVerdict::clean();
+        assert!(!v.detected);
+        assert_eq!(v.symptom, Symptom::None);
+    }
+}

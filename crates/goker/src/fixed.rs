@@ -1,0 +1,268 @@
+//! Corrected variants of representative kernels.
+//!
+//! GoAT must *not* report bugs on correct programs; these fixed versions
+//! of benchmark kernels exercise that direction (every program here
+//! terminates with all goroutines finished under any schedule).
+
+use goat_core::{FnProgram, Program};
+use goat_runtime::{go_named, Chan, Mutex, Select, WaitGroup};
+use std::sync::Arc;
+
+/// Fixed moby28462: the status channel gets a buffer slot, so
+/// StatusChange never blocks while holding the container lock.
+pub fn moby28462_fixed() -> Arc<dyn Program> {
+    Arc::new(FnProgram::new("moby28462_fixed", || {
+        let mu = Mutex::new();
+        let status_ch: Chan<u32> = Chan::new(1); // FIX: buffered
+        let wg = WaitGroup::new();
+        wg.add(2);
+        {
+            let (mu, status_ch, wg) = (mu.clone(), status_ch.clone(), wg.clone());
+            go_named("Monitor", move || {
+                loop {
+                    let got =
+                        Select::new().recv(&status_ch, |v| v).default(|| None).run();
+                    if got.is_some() {
+                        break;
+                    }
+                    mu.lock();
+                    mu.unlock();
+                }
+                wg.done();
+            });
+        }
+        {
+            let (mu, status_ch, wg) = (mu.clone(), status_ch.clone(), wg.clone());
+            go_named("StatusChange", move || {
+                mu.lock();
+                status_ch.send(1); // buffered: completes immediately
+                mu.unlock();
+                wg.done();
+            });
+        }
+        wg.wait();
+    }))
+}
+
+/// Fixed moby17176: the unlock is restored on the error path.
+pub fn moby17176_fixed() -> Arc<dyn Program> {
+    Arc::new(FnProgram::new("moby17176_fixed", || {
+        let mu = Mutex::new();
+        let wg = WaitGroup::new();
+        wg.add(2);
+        {
+            let (mu, wg) = (mu.clone(), wg.clone());
+            go_named("deactivateDevice", move || {
+                mu.lock();
+                // error observed — FIX: unlock before returning
+                mu.unlock();
+                wg.done();
+            });
+        }
+        {
+            let (mu, wg) = (mu.clone(), wg.clone());
+            go_named("removeDevice", move || {
+                mu.lock();
+                mu.unlock();
+                wg.done();
+            });
+        }
+        wg.wait();
+    }))
+}
+
+/// Fixed cockroach13755: the fetcher selects on a stop channel so the
+/// iterator's early close no longer strands it.
+pub fn cockroach13755_fixed() -> Arc<dyn Program> {
+    Arc::new(FnProgram::new("cockroach13755_fixed", || {
+        let rows: Chan<u32> = Chan::new(0);
+        let stop: Chan<()> = Chan::new(0);
+        let wg = WaitGroup::new();
+        wg.add(1);
+        {
+            let (rows, stop, wg) = (rows.clone(), stop.clone(), wg.clone());
+            go_named("rowFetcher", move || {
+                for r in 0..4 {
+                    let stopped = Select::new()
+                        .send(&rows, r, || false)
+                        .recv(&stop, |_| true)
+                        .run();
+                    if stopped {
+                        break; // FIX: stop is observable mid-send
+                    }
+                }
+                wg.done();
+            });
+        }
+        {
+            let (rows, stop) = (rows.clone(), stop.clone());
+            go_named("iterator", move || {
+                let _ = rows.recv();
+                stop.close(); // FIX: announce the early close
+            });
+        }
+        wg.wait();
+    }))
+}
+
+/// Fixed kubernetes26980: the result is delivered without holding the
+/// queue lock.
+pub fn kubernetes26980_fixed() -> Arc<dyn Program> {
+    Arc::new(FnProgram::new("kubernetes26980_fixed", || {
+        let queue = Mutex::new();
+        let pod_result: Chan<u32> = Chan::new(0);
+        let wg = WaitGroup::new();
+        wg.add(2);
+        {
+            let (queue, pod_result, wg) = (queue.clone(), pod_result.clone(), wg.clone());
+            go_named("processNextWorkItem", move || {
+                queue.lock();
+                queue.unlock(); // FIX: release before waiting
+                let _ = pod_result.recv();
+                wg.done();
+            });
+        }
+        {
+            let (queue, pod_result, wg) = (queue.clone(), pod_result.clone(), wg.clone());
+            go_named("podWorker", move || {
+                queue.lock();
+                queue.unlock();
+                pod_result.send(1);
+                wg.done();
+            });
+        }
+        wg.wait();
+    }))
+}
+
+/// Fixed etcd7443: victims are drained *before* taking the store mutex,
+/// and the sync loop pushes with a non-blocking send.
+pub fn etcd7443_fixed() -> Arc<dyn Program> {
+    Arc::new(FnProgram::new("etcd7443_fixed", || {
+        let store = Mutex::new();
+        let victims: Chan<u32> = Chan::new(1);
+        victims.send(0);
+        let wg = WaitGroup::new();
+        wg.add(2);
+        {
+            let (store, victims, wg) = (store.clone(), victims.clone(), wg.clone());
+            go_named("victimLoop", move || {
+                // FIX: drain first, lock second
+                while let Some(Some(_batch)) = victims.try_recv() {
+                    store.lock();
+                    store.unlock();
+                }
+                wg.done();
+            });
+        }
+        {
+            let (store, victims, wg) = (store.clone(), victims.clone(), wg.clone());
+            go_named("syncLoop", move || {
+                store.lock();
+                let _ = victims.try_send(1); // FIX: never block under the lock
+                store.unlock();
+                wg.done();
+            });
+        }
+        wg.wait();
+    }))
+}
+
+/// Fixed serving2137: deferral decisions go through a single mutex-held
+/// critical section, so exactly one request always serves the waiter.
+pub fn serving2137_fixed() -> Arc<dyn Program> {
+    Arc::new(FnProgram::new("serving2137_fixed", || {
+        let mu = Mutex::new();
+        let completions: Chan<u32> = Chan::new(2);
+        let served = Chan::<u8>::new(1); // holds a marker once someone served
+        {
+            let completions = completions.clone();
+            go_named("waiter", move || {
+                let _ = completions.recv();
+            });
+        }
+        for i in 0..2u32 {
+            let (mu, completions, served) =
+                (mu.clone(), completions.clone(), served.clone());
+            go_named(&format!("request{i}"), move || {
+                // FIX: atomic check-and-claim under the mutex
+                mu.lock();
+                let claimed = served.try_send(1).is_ok();
+                mu.unlock();
+                if claimed {
+                    completions.send(i);
+                }
+            });
+        }
+        goat_runtime::time::sleep(std::time::Duration::from_millis(20));
+    }))
+}
+
+/// Fixed grpc660: close goes through a Once, so racing teardown paths
+/// cannot double-close the stop channel.
+pub fn grpc660_fixed() -> Arc<dyn Program> {
+    Arc::new(FnProgram::new("grpc660_fixed", || {
+        let stopc: Chan<u32> = Chan::new(1);
+        let close_once = goat_runtime::Once::new();
+        let wg = WaitGroup::new();
+        for i in 0..2 {
+            wg.add(1);
+            let (stopc, close_once, wg) = (stopc.clone(), close_once.clone(), wg.clone());
+            go_named(&format!("teardown{i}"), move || {
+                close_once.do_once(|| stopc.close()); // FIX
+                wg.done();
+            });
+        }
+        wg.wait();
+    }))
+}
+
+/// Fixed cockroach9935: the error path releases the lock before
+/// returning.
+pub fn cockroach9935_fixed() -> Arc<dyn Program> {
+    Arc::new(FnProgram::new("cockroach9935_fixed", || {
+        let mu = Mutex::new();
+        let failed: Chan<bool> = Chan::new(1);
+        failed.send(true);
+        mu.lock();
+        let _err = matches!(failed.try_recv(), Some(Some(true)));
+        mu.unlock(); // FIX: unconditional unlock
+        mu.lock();
+        mu.unlock();
+    }))
+}
+
+/// Fixed moby25348: `done` moves into a defer-like position covering the
+/// error branch.
+pub fn moby25348_fixed() -> Arc<dyn Program> {
+    Arc::new(FnProgram::new("moby25348_fixed", || {
+        let wg = WaitGroup::new();
+        let errors: Chan<bool> = Chan::new(2);
+        for i in 0..2 {
+            wg.add(1);
+            let (wg, errors) = (wg.clone(), errors.clone());
+            go_named(&format!("pushLayer{i}"), move || {
+                if i == 1 {
+                    errors.send(true);
+                }
+                wg.done(); // FIX: done on every path
+            });
+        }
+        wg.wait();
+    }))
+}
+
+/// All fixed programs, for negative testing.
+pub fn all_fixed() -> Vec<Arc<dyn Program>> {
+    vec![
+        moby28462_fixed(),
+        moby17176_fixed(),
+        cockroach13755_fixed(),
+        kubernetes26980_fixed(),
+        etcd7443_fixed(),
+        serving2137_fixed(),
+        grpc660_fixed(),
+        cockroach9935_fixed(),
+        moby25348_fixed(),
+    ]
+}

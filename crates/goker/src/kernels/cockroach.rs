@@ -1,0 +1,639 @@
+//! CockroachDB blocking-bug kernels.
+
+use crate::{BugCause, BugKernel, ExpectedSymptom, Project, Rarity};
+use goat_runtime::{go_named, gosched, time, Chan, Cond, Mutex, RwLock, Select, WaitGroup};
+use std::time::Duration;
+
+const SRC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/src/kernels/cockroach.rs");
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+/// gossip: `manage` locks the gossip mutex and then invokes a status
+/// callback that locks it again — recursive lock on the same mutex.
+fn cockroach584() {
+    let gossip = Mutex::new();
+    gossip.lock();
+    // callback invoked while holding the lock
+    gossip.lock(); // self deadlock: main blocks, builtin-visible
+    gossip.unlock();
+    gossip.unlock();
+}
+
+/// stopper: a worker parks on the quiescer channel while holding the
+/// stopper mutex; `Quiesce` needs that mutex to signal the channel.
+fn cockroach1055() {
+    let mu = Mutex::new();
+    let quiesce: Chan<()> = Chan::new(0);
+    let wg = WaitGroup::new();
+    wg.add(1);
+    {
+        let (mu, quiesce, wg) = (mu.clone(), quiesce.clone(), wg.clone());
+        go_named("worker", move || {
+            mu.lock();
+            quiesce.recv(); // BUG: waits while holding the stopper mutex
+            mu.unlock();
+            wg.done();
+        });
+    }
+    {
+        let (mu, quiesce) = (mu.clone(), quiesce.clone());
+        go_named("quiesce", move || {
+            mu.lock(); // blocked by the worker forever
+            quiesce.send(());
+            mu.unlock();
+        });
+    }
+    wg.wait(); // main joins the circular wait: global deadlock
+}
+
+/// stopper: `Stop` performs one rendezvous per registered worker, but a
+/// worker that exits early on its own error path never receives.
+fn cockroach1462() {
+    let drain: Chan<()> = Chan::new(0);
+    {
+        let drain = drain.clone();
+        go_named("worker", move || {
+            let failed = true; // the task hit an error
+            if failed {
+                return; // BUG: exits without draining its token
+            }
+            drain.recv();
+        });
+    }
+    {
+        let drain = drain.clone();
+        go_named("stopper", move || {
+            drain.send(()); // leaks: the worker is gone
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// storage event feed: the stopper's done notification races the last
+/// payload; when the consumer's select sees both ready, the
+/// pseudo-random choice may take `done` first and return with the
+/// payload sender still blocked (the select nondeterminism of §II-B).
+fn cockroach2448() {
+    let events: Chan<u32> = Chan::new(0);
+    let done: Chan<()> = Chan::new(1);
+    {
+        let events = events.clone();
+        go_named("feed", move || {
+            events.send(7); // rendezvous payload, leaks if abandoned
+        });
+    }
+    {
+        let done = done.clone();
+        go_named("stopper", move || {
+            done.send(()); // buffered: completes immediately
+        });
+    }
+    {
+        let (events, done) = (events.clone(), done.clone());
+        go_named("consumer", move || {
+            // BUG: both cases ready; taking done first abandons the feed
+            let finished = Select::new()
+                .recv(&events, |_| false)
+                .recv(&done, |_| true)
+                .run();
+            if finished {
+                return;
+            }
+            let _ = done.recv(); // drain the stop notification
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// raft storage: a reader re-enters `RLock` while a writer is already
+/// queued — the write-preferring RWMutex deadlocks the reader against
+/// the writer.
+fn cockroach3710() {
+    let store = RwLock::new();
+    {
+        let store = store.clone();
+        go_named("processRaft", move || {
+            store.rlock();
+            gosched(); // raft tick work; lets the writer queue up
+            store.rlock(); // BUG: recursive read-lock behind a writer
+            store.runlock();
+            store.runlock();
+        });
+    }
+    {
+        let store = store.clone();
+        go_named("applySnapshot", move || {
+            store.lock(); // writer waits for the first read lock
+            store.unlock();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// test cluster: two nodes exchange gossip while locking each other's
+/// state in opposite orders (AB-BA with a narrow window).
+fn cockroach6181() {
+    let node1 = Mutex::new();
+    let node2 = Mutex::new();
+    {
+        let (node1, node2) = (node1.clone(), node2.clone());
+        go_named("gossip1to2", move || {
+            node1.lock();
+            node2.lock(); // BUG window: node2 may already be held
+            node2.unlock();
+            node1.unlock();
+        });
+    }
+    {
+        let (node1, node2) = (node1.clone(), node2.clone());
+        go_named("gossip2to1", move || {
+            node2.lock();
+            node1.lock();
+            node1.unlock();
+            node2.unlock();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// sql lease manager: `Acquire` locks the lease state then the name
+/// cache; `Release` locks them in the opposite order, with cache work in
+/// between widening the window.
+fn cockroach7504() {
+    let lease = Mutex::new();
+    let cache = Mutex::new();
+    let wg = WaitGroup::new();
+    wg.add(2);
+    {
+        let (lease, cache, wg) = (lease.clone(), cache.clone(), wg.clone());
+        go_named("acquire", move || {
+            lease.lock();
+            // refresh bookkeeping between the two acquisitions
+            let scratch: Chan<u8> = Chan::new(1);
+            scratch.send(0);
+            scratch.recv();
+            cache.lock();
+            cache.unlock();
+            lease.unlock();
+            wg.done();
+        });
+    }
+    {
+        let (lease, cache, wg) = (lease.clone(), cache.clone(), wg.clone());
+        go_named("release", move || {
+            cache.lock();
+            lease.lock();
+            lease.unlock();
+            cache.unlock();
+            wg.done();
+        });
+    }
+    wg.wait(); // main waits: the AB-BA becomes a global deadlock
+}
+
+/// gossip server: the error path returns without unlocking; the
+/// subsequent `tightenNetwork` self-deadlocks on main.
+fn cockroach9935() {
+    let mu = Mutex::new();
+    let failed: Chan<bool> = Chan::new(1);
+    failed.send(true);
+    mu.lock();
+    if matches!(failed.try_recv(), Some(Some(true))) {
+        // BUG: early error return skips unlock
+    } else {
+        mu.unlock();
+    }
+    mu.lock(); // main: lock never released — global deadlock
+    mu.unlock();
+}
+
+/// store: the raft scheduler holds `store.mu` while pushing onto an
+/// already-full ready queue; the worker draining the queue needs
+/// `store.mu` first.
+fn cockroach10214() {
+    let mu = Mutex::new();
+    let ready: Chan<u32> = Chan::new(1);
+    ready.send(0); // queue already full from a previous tick
+    {
+        let (mu, ready) = (mu.clone(), ready.clone());
+        go_named("enqueueRaft", move || {
+            mu.lock();
+            ready.send(1); // BUG: blocks on the full queue holding mu
+            mu.unlock();
+        });
+    }
+    {
+        let (mu, ready) = (mu.clone(), ready.clone());
+        go_named("raftWorker", move || {
+            mu.lock(); // needs the store lock before draining
+            let _ = ready.recv();
+            mu.unlock();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// gossip client: the client goroutine waits for a server frame that the
+/// disconnect path drops (lost wakeup between check and park).
+fn cockroach10790() {
+    let frames: Chan<u32> = Chan::new(1);
+    let notify: Chan<()> = Chan::new(0);
+    {
+        let (frames, notify) = (frames.clone(), notify.clone());
+        go_named("client", move || loop {
+            if let Some(Some(_)) = frames.try_recv() {
+                return;
+            }
+            // BUG window: the server's non-blocking notify lands here
+            Select::new().recv(&notify, |_| ()).run();
+        });
+    }
+    {
+        let (frames, notify) = (frames.clone(), notify.clone());
+        go_named("server", move || {
+            frames.send(1);
+            Select::new().send(&notify, (), || ()).default(|| ()).run();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// kv txn coordinator: the heartbeat goroutine waits on a done channel
+/// that the commit path forgets to close on the 1-phase-commit fast
+/// path.
+fn cockroach13197() {
+    let txn_done: Chan<()> = Chan::new(0);
+    {
+        go_named("heartbeat", move || {
+            txn_done.recv(); // BUG: never closed on the fast path
+        });
+    }
+    gosched(); // commit completes without signalling
+}
+
+/// sql rows: the row-fetch goroutine feeds an unbuffered channel; the
+/// iterator is closed after the first row, abandoning the fetcher.
+fn cockroach13755() {
+    let rows: Chan<u32> = Chan::new(0);
+    {
+        let rows = rows.clone();
+        go_named("rowFetcher", move || {
+            for r in 0..4 {
+                rows.send(r); // leaks at r==1
+            }
+            rows.close();
+        });
+    }
+    {
+        let rows = rows.clone();
+        go_named("iterator", move || {
+            let _ = rows.recv();
+            // Close() without draining
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// config cache: `GetSystemConfig` takes RLock and, on a miss, calls the
+/// loader which takes Lock on the same RWMutex in the same goroutine.
+fn cockroach16167() {
+    let cfg = RwLock::new();
+    cfg.rlock();
+    // cache miss: loader wants the write lock while we hold the read
+    cfg.lock(); // main: write-after-read upgrade, global deadlock
+    cfg.unlock();
+    cfg.runlock();
+}
+
+/// backup/restore: the coordinator returns on the first error without
+/// closing the work channel; idle import workers block on range forever.
+fn cockroach18101() {
+    let work: Chan<u32> = Chan::new(0);
+    for i in 0..2 {
+        let work = work.clone();
+        go_named(&format!("importWorker{i}"), move || {
+            for _span in work.range() {
+                // import the span
+            }
+        });
+    }
+    {
+        let work = work.clone();
+        go_named("coordinator", move || {
+            work.send(1);
+            let failed = true; // first import reports an error
+            if failed {
+                return; // BUG: work channel never closed
+            }
+            work.close();
+        });
+    }
+    time::sleep(ms(40));
+}
+
+/// compactor: main signals the compaction loop over a rendezvous channel
+/// but the loop polls with a default case and may be mid-iteration —
+/// main blocks forever once the loop exits on its deadline.
+fn cockroach24808() {
+    let suggestions: Chan<u32> = Chan::new(0);
+    {
+        let suggestions = suggestions.clone();
+        go_named("compactionLoop", move || {
+            for _ in 0..2 {
+                let got =
+                    Select::new().recv(&suggestions, |v| v).default(|| None).run();
+                if got.is_some() {
+                    return;
+                }
+                gosched(); // idle tick
+            }
+            // deadline reached: loop exits without ever receiving
+        });
+    }
+    suggestions.send(9); // main: global deadlock if the loop timed out
+}
+
+/// consistency checker: the collector expects one response per replica,
+/// but a replica that fails the diff exits without responding.
+fn cockroach25456() {
+    let responses: Chan<u32> = Chan::new(0);
+    for i in 0..2 {
+        let responses = responses.clone();
+        go_named(&format!("replica{i}"), move || {
+            let diff_failed = i == 1;
+            if diff_failed {
+                return; // BUG: no response sent
+            }
+            responses.send(i);
+        });
+    }
+    {
+        let responses = responses.clone();
+        go_named("collector", move || {
+            let _ = responses.recv();
+            let _ = responses.recv(); // leaks: only one replica answered
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// distsql outbox: the producer checks the stream state and then sends;
+/// the consumer tears the stream down in between — send on closed
+/// channel.
+fn cockroach35073() {
+    let stream: Chan<u32> = Chan::new(1);
+    {
+        let stream = stream.clone();
+        go_named("outbox", move || {
+            for row in 0..3 {
+                if stream.is_closed() {
+                    return;
+                }
+                // BUG window: the drainer may close between the check
+                // and this send
+                stream.send(row);
+            }
+        });
+    }
+    {
+        let stream = stream.clone();
+        go_named("drainer", move || {
+            gosched(); // let the outbox get ahead
+            stream.close(); // BUG: tears down while the outbox sends
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// changefeed poller: the sink goroutine waits on a cond var; the
+/// shutdown path sets the flag but signals before the sink starts
+/// waiting (missed signal).
+fn cockroach33458() {
+    let mu = Mutex::new();
+    let cv = Cond::new(&mu);
+    {
+        let (mu, cv) = (mu.clone(), cv.clone());
+        go_named("sink", move || {
+            // sink setup work widens the missed-signal window
+            let scratch: Chan<u8> = Chan::new(1);
+            scratch.send(0);
+            scratch.recv();
+            mu.lock();
+            cv.wait(); // BUG: signal may already have fired
+            mu.unlock();
+        });
+    }
+    {
+        let (mu, cv) = (mu.clone(), cv.clone());
+        go_named("shutdown", move || {
+            mu.lock();
+            cv.signal(); // lost if the sink is not waiting yet
+            mu.unlock();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// The 18 cockroach kernels.
+pub const KERNELS: &[BugKernel] = &[
+    BugKernel {
+        name: "cockroach584",
+        project: Project::Cockroach,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::GlobalDeadlock,
+        rarity: Rarity::Common,
+        description: "gossip manage() invokes a status callback that re-locks the \
+                      gossip mutex",
+        main: cockroach584,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "cockroach1055",
+        project: Project::Cockroach,
+        cause: BugCause::Mixed,
+        expected: ExpectedSymptom::GlobalDeadlock,
+        rarity: Rarity::Common,
+        description: "stopper worker parks on the quiesce channel holding the \
+                      stopper mutex that Quiesce needs",
+        main: cockroach1055,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "cockroach1462",
+        project: Project::Cockroach,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "stopper drains one token per worker but an erroring worker \
+                      exits without receiving",
+        main: cockroach1462,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "cockroach2448",
+        project: Project::Cockroach,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Uncommon,
+        description: "event feed consumer may take the done notification while the \
+                      payload sender is still blocked",
+        main: cockroach2448,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "cockroach3710",
+        project: Project::Cockroach,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "recursive RLock behind a queued writer on the raft store's \
+                      write-preferring RWMutex",
+        main: cockroach3710,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "cockroach6181",
+        project: Project::Cockroach,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Rare,
+        description: "test-cluster gossip locks two node mutexes in opposite orders \
+                      with a one-op inversion window",
+        main: cockroach6181,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "cockroach7504",
+        project: Project::Cockroach,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::GlobalDeadlock,
+        rarity: Rarity::Uncommon,
+        description: "lease manager and name cache locked in opposite orders by \
+                      Acquire and Release; main waits on both",
+        main: cockroach7504,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "cockroach9935",
+        project: Project::Cockroach,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::GlobalDeadlock,
+        rarity: Rarity::Common,
+        description: "gossip server error path returns without unlocking; the next \
+                      lock self-deadlocks",
+        main: cockroach9935,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "cockroach10214",
+        project: Project::Cockroach,
+        cause: BugCause::Mixed,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "raft enqueue holds store.mu while pushing onto a full ready \
+                      queue whose drainer needs store.mu",
+        main: cockroach10214,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "cockroach10790",
+        project: Project::Cockroach,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Rare,
+        description: "gossip client loses the server's non-blocking frame \
+                      notification between poll and park",
+        main: cockroach10790,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "cockroach13197",
+        project: Project::Cockroach,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "txn heartbeat goroutine waits on a done channel the 1PC fast \
+                      path never closes",
+        main: cockroach13197,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "cockroach13755",
+        project: Project::Cockroach,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "sql rows iterator closed after the first row; the fetcher \
+                      blocks sending the second",
+        main: cockroach13755,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "cockroach16167",
+        project: Project::Cockroach,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::GlobalDeadlock,
+        rarity: Rarity::Common,
+        description: "system-config cache read-lock upgraded to write-lock in the \
+                      same goroutine",
+        main: cockroach16167,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "cockroach18101",
+        project: Project::Cockroach,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "restore coordinator errors out without closing the work \
+                      channel; import workers block on range",
+        main: cockroach18101,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "cockroach24808",
+        project: Project::Cockroach,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::GlobalDeadlock,
+        rarity: Rarity::Rare,
+        description: "compactor loop polls with a default case and exits on its \
+                      deadline; main's rendezvous send hangs",
+        main: cockroach24808,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "cockroach25456",
+        project: Project::Cockroach,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "consistency collector expects a response per replica; a \
+                      failing replica exits silently",
+        main: cockroach25456,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "cockroach35073",
+        project: Project::Cockroach,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Crash,
+        rarity: Rarity::Common,
+        description: "outbox checks the stream then sends; the drainer closes in \
+                      between — send on closed channel",
+        main: cockroach35073,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "cockroach33458",
+        project: Project::Cockroach,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Uncommon,
+        description: "changefeed sink misses the shutdown cond-var signal fired \
+                      during its setup window",
+        main: cockroach33458,
+        source_file: SRC,
+    },
+];

@@ -1,0 +1,275 @@
+//! etcd blocking-bug kernels, including `etcd7443` — one of the two
+//! kernels the paper uses for its coverage study (figure 6a): extensive
+//! channels, mutexes and nested selects inside loops.
+
+use crate::{BugCause, BugKernel, ExpectedSymptom, Project, Rarity};
+use goat_runtime::{go_named, gosched, time, Chan, Mutex, RwLock, Select, WaitGroup};
+use std::time::Duration;
+
+const SRC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/src/kernels/etcd.rs");
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+/// client: the retry path re-locks the client mutex already held by the
+/// request path.
+fn etcd5509() {
+    let client = Mutex::new();
+    client.lock();
+    // request failed; retry() locks again on the same goroutine
+    client.lock(); // main: global deadlock
+    client.unlock();
+    client.unlock();
+}
+
+/// watcher: the event loop blocks forwarding an event to `resultc`
+/// after the controller stopped reading.
+fn etcd6708() {
+    let resultc: Chan<u32> = Chan::new(0);
+    {
+        let resultc = resultc.clone();
+        go_named("eventLoop", move || {
+            for ev in 0..3 {
+                resultc.send(ev); // leaks on ev==1
+            }
+        });
+    }
+    {
+        let resultc = resultc.clone();
+        go_named("controller", move || {
+            let _ = resultc.recv();
+            // watcher canceled: stop reading (BUG: loop not stopped)
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// raft node: `Status` sends its request while the node's run loop may
+/// take the stop case first and exit, stranding the requester.
+fn etcd6857() {
+    let statusc: Chan<u32> = Chan::new(0);
+    let stopc: Chan<()> = Chan::new(1);
+    stopc.send(()); // stop already requested
+    {
+        let statusc = statusc.clone();
+        go_named("statusRequest", move || {
+            statusc.send(1); // leaks when the run loop exits first
+        });
+    }
+    {
+        let (statusc, stopc) = (statusc.clone(), stopc.clone());
+        go_named("nodeRun", move || loop {
+            // BUG: the status request and the stop signal are both
+            // ready; the pseudo-random choice may pick stop and exit,
+            // stranding the blocked status sender.
+            let stop = Select::new()
+                .recv(&statusc, |_| false)
+                .recv(&stopc, |_| true)
+                .run();
+            if stop {
+                return;
+            }
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// mvcc watchable store: the sync loop takes the store mutex and then
+/// pushes to a full victim channel; the victim drainer needs the store
+/// mutex — a mixed cycle behind two nested selects in loops.
+fn etcd7443() {
+    let store = Mutex::new();
+    let victims: Chan<u32> = Chan::new(1);
+    let notify: Chan<()> = Chan::new(0);
+    victims.send(0); // a victim batch is already pending
+    {
+        let (store, victims, notify) = (store.clone(), victims.clone(), notify.clone());
+        go_named("victimLoop", move || loop {
+            // poll for a kick from the sync loop
+            let kicked = Select::new().recv(&notify, |_| true).default(|| false).run();
+            // BUG window: between this poll and the lock below, the
+            // sync loop can fill the victim queue while holding the
+            // store mutex we are about to take.
+            store.lock();
+            let batch = victims.try_recv(); // drain under the store lock
+            store.unlock();
+            match batch {
+                Some(Some(_retry)) => continue,
+                _ if kicked => continue,
+                _ => return,
+            }
+        });
+    }
+    {
+        let (store, victims, notify) = (store.clone(), victims.clone(), notify.clone());
+        go_named("syncLoop", move || {
+            store.lock();
+            // unsynced watchers found: queue them as victims
+            victims.send(1); // blocks on a full queue while holding mu
+            store.unlock();
+            // fire-and-forget kick
+            Select::new().send(&notify, (), || ()).default(|| ()).run();
+        });
+    }
+    time::sleep(ms(50));
+}
+
+/// lease keep-alive: the stream writer blocks on the response channel
+/// after the stream reader exited on an error.
+fn etcd7492() {
+    let respc: Chan<u32> = Chan::new(0);
+    let wg = WaitGroup::new();
+    wg.add(1);
+    {
+        let (respc, wg) = (respc.clone(), wg.clone());
+        go_named("keepAliveSender", move || {
+            wg.done();
+            respc.send(1); // response forwarded
+            respc.send(2); // BUG: reader exited after the first response
+        });
+    }
+    {
+        let respc = respc.clone();
+        go_named("keepAliveReader", move || {
+            let _ = respc.recv();
+            // stream error: return without draining
+        });
+    }
+    wg.wait();
+    time::sleep(ms(30));
+}
+
+/// store: `Compact` re-enters `RLock` on the index RWMutex while a
+/// writer queued in between (write-preferring lock).
+fn etcd7902() {
+    let index = RwLock::new();
+    {
+        let index = index.clone();
+        go_named("compact", move || {
+            index.rlock();
+            gosched(); // scan work: lets the writer queue up
+            index.rlock(); // BUG: second read-lock behind the writer
+            index.runlock();
+            index.runlock();
+        });
+    }
+    {
+        let index = index.clone();
+        go_named("put", move || {
+            index.lock();
+            index.unlock();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// raft: `node.Propose` needs the node mutex held by `Stop`, which in
+/// turn waits for the proposer to acknowledge — main joins via wait.
+fn etcd10492() {
+    let node = Mutex::new();
+    let ack: Chan<()> = Chan::new(0);
+    let wg = WaitGroup::new();
+    wg.add(2);
+    {
+        let (node, ack, wg) = (node.clone(), ack.clone(), wg.clone());
+        go_named("stop", move || {
+            node.lock();
+            ack.recv(); // BUG: waits for the proposer while holding node
+            node.unlock();
+            wg.done();
+        });
+    }
+    {
+        let (node, ack, wg) = (node.clone(), ack.clone(), wg.clone());
+        go_named("propose", move || {
+            node.lock(); // blocked by stop
+            ack.send(());
+            node.unlock();
+            wg.done();
+        });
+    }
+    wg.wait(); // global deadlock
+}
+
+/// The 7 etcd kernels.
+pub const KERNELS: &[BugKernel] = &[
+    BugKernel {
+        name: "etcd5509",
+        project: Project::Etcd,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::GlobalDeadlock,
+        rarity: Rarity::Common,
+        description: "client retry path re-locks the client mutex held by the \
+                      request path",
+        main: etcd5509,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "etcd6708",
+        project: Project::Etcd,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "watch event loop blocks forwarding to resultc after the \
+                      controller stopped reading",
+        main: etcd6708,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "etcd6857",
+        project: Project::Etcd,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Uncommon,
+        description: "node run loop may select the stop case over a concurrent \
+                      status request, stranding the requester",
+        main: etcd6857,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "etcd7443",
+        project: Project::Etcd,
+        cause: BugCause::Mixed,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Uncommon,
+        description: "watchable-store sync loop pushes victims onto a full queue \
+                      while holding the store mutex the victim loop needs \
+                      (coverage-study kernel, fig. 6a)",
+        main: etcd7443,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "etcd7492",
+        project: Project::Etcd,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "lease keep-alive writer blocks on the response channel after \
+                      the reader exited on error",
+        main: etcd7492,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "etcd7902",
+        project: Project::Etcd,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "compaction re-enters RLock behind a queued writer on the \
+                      index RWMutex",
+        main: etcd7902,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "etcd10492",
+        project: Project::Etcd,
+        cause: BugCause::Mixed,
+        expected: ExpectedSymptom::GlobalDeadlock,
+        rarity: Rarity::Common,
+        description: "Stop waits for the proposer's ack while holding the node \
+                      mutex the proposer needs",
+        main: etcd10492,
+        source_file: SRC,
+    },
+];

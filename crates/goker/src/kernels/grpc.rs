@@ -1,0 +1,249 @@
+//! gRPC-go blocking-bug kernels.
+
+use crate::{BugCause, BugKernel, ExpectedSymptom, Project, Rarity};
+use goat_runtime::{go_named, gosched, time, Chan, Mutex, Select};
+use std::time::Duration;
+
+const SRC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/src/kernels/grpc.rs");
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+/// benchmark client: two teardown paths both close the stop channel
+/// after checking it — a check-then-close race that panics.
+fn grpc660() {
+    let stopc: Chan<u32> = Chan::new(1);
+    for i in 0..2 {
+        let stopc = stopc.clone();
+        go_named(&format!("teardown{i}"), move || {
+            if !stopc.is_closed() {
+                // teardown bookkeeping widens the check-to-close window
+                let scratch: Chan<u8> = Chan::new(1);
+                scratch.send(0);
+                scratch.recv();
+                stopc.close(); // BUG: both paths may pass the check
+            }
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// server: `Serve`'s accept loop forwards connections on a rendezvous
+/// channel; `Stop` kills the handler without draining pending accepts.
+fn grpc795() {
+    let conns: Chan<u32> = Chan::new(0);
+    {
+        let conns = conns.clone();
+        go_named("acceptLoop", move || {
+            for c in 0..3 {
+                conns.send(c); // leaks once the handler stops
+            }
+        });
+    }
+    {
+        let conns = conns.clone();
+        go_named("handler", move || {
+            let _ = conns.recv();
+            // Stop(): handler exits, accept loop still sending
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// clientconn: `resetTransport` holds `cc.mu` while waiting for the
+/// transport to acknowledge on a rendezvous channel; `Close` needs
+/// `cc.mu` to signal that acknowledgement.
+fn grpc862() {
+    let cc_mu = Mutex::new();
+    let transport_ack: Chan<()> = Chan::new(0);
+    {
+        let (cc_mu, transport_ack) = (cc_mu.clone(), transport_ack.clone());
+        go_named("resetTransport", move || {
+            cc_mu.lock();
+            transport_ack.recv(); // BUG: waits while holding cc.mu
+            cc_mu.unlock();
+        });
+    }
+    {
+        let (cc_mu, transport_ack) = (cc_mu.clone(), transport_ack.clone());
+        go_named("close", move || {
+            cc_mu.lock(); // blocked by resetTransport forever
+            transport_ack.send(());
+            cc_mu.unlock();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// stream: the frame reader exits on a transport error without feeding
+/// the receive buffer; the application-side reader waits forever.
+fn grpc1275() {
+    let recv_buf: Chan<u32> = Chan::new(0);
+    {
+        let recv_buf = recv_buf.clone();
+        go_named("frameReader", move || {
+            let transport_error = true;
+            if transport_error {
+                return; // BUG: recv_buf never fed, never closed
+            }
+            recv_buf.send(1);
+        });
+    }
+    {
+        let recv_buf = recv_buf.clone();
+        go_named("appReader", move || {
+            let _ = recv_buf.recv(); // leaks
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// balancer: `watchAddrUpdates` blocks sending a resolved address while
+/// `Close` waits for the watcher to finish — each side holds what the
+/// other needs.
+fn grpc1424() {
+    let addr_ch: Chan<u32> = Chan::new(0);
+    let watcher_done: Chan<()> = Chan::new(0);
+    {
+        let (addr_ch, watcher_done) = (addr_ch.clone(), watcher_done.clone());
+        go_named("watchAddrUpdates", move || {
+            addr_ch.send(1); // BUG: blocks once the consumer is gone
+            watcher_done.send(());
+        });
+    }
+    {
+        let (addr_ch, watcher_done) = (addr_ch.clone(), watcher_done.clone());
+        go_named("close", move || {
+            // consume one update on the fast path, then wait for the
+            // watcher — without draining further updates
+            let _ = addr_ch.try_recv();
+            watcher_done.recv(); // deadlock when try_recv missed it
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// transport: the control-buffer writer parks between its readiness
+/// check and its wait; the teardown's non-blocking wakeup lands exactly
+/// in that gap and is lost.
+fn grpc1460() {
+    let items: Chan<u32> = Chan::new(1);
+    let wakeup: Chan<()> = Chan::new(0);
+    {
+        let (items, wakeup) = (items.clone(), wakeup.clone());
+        go_named("loopyWriter", move || loop {
+            if let Some(Some(_frame)) = items.try_recv() {
+                return; // frame flushed: writer done
+            }
+            // BUG window: the teardown's wakeup is dropped here
+            Select::new().recv(&wakeup, |_| ()).run();
+        });
+    }
+    {
+        let (items, wakeup) = (items.clone(), wakeup.clone());
+        go_named("controlBuf", move || {
+            items.send(9); // buffered: never blocks
+            Select::new().send(&wakeup, (), || ()).default(|| ()).run();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// resolver wrapper: the update callback is invoked while the wrapper
+/// mutex is held, and the callback re-locks the wrapper.
+fn grpc3017() {
+    let wrapper = Mutex::new();
+    {
+        let wrapper = wrapper.clone();
+        go_named("updateState", move || {
+            wrapper.lock();
+            // callback into the balancer, which re-enters the wrapper
+            wrapper.lock(); // BUG: recursive lock, goroutine leaks
+            wrapper.unlock();
+            wrapper.unlock();
+        });
+    }
+    gosched();
+}
+
+/// The 7 grpc kernels.
+pub const KERNELS: &[BugKernel] = &[
+    BugKernel {
+        name: "grpc660",
+        project: Project::Grpc,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Crash,
+        rarity: Rarity::Uncommon,
+        description: "two teardown paths race a check-then-close of the stop \
+                      channel: close of closed channel",
+        main: grpc660,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "grpc795",
+        project: Project::Grpc,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "Stop() kills the connection handler without draining the \
+                      accept loop's rendezvous channel",
+        main: grpc795,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "grpc862",
+        project: Project::Grpc,
+        cause: BugCause::Mixed,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "resetTransport waits for an ack while holding cc.mu; Close \
+                      needs cc.mu to send the ack",
+        main: grpc862,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "grpc1275",
+        project: Project::Grpc,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "frame reader exits on a transport error without feeding or \
+                      closing the stream's receive buffer",
+        main: grpc1275,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "grpc1424",
+        project: Project::Grpc,
+        cause: BugCause::Mixed,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Uncommon,
+        description: "Close's fast-path try-drain can miss the watcher's pending \
+                      address update; both sides then wait forever",
+        main: grpc1424,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "grpc1460",
+        project: Project::Grpc,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Rare,
+        description: "loopy writer loses the control buffer's non-blocking wakeup \
+                      between its poll and its park",
+        main: grpc1460,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "grpc3017",
+        project: Project::Grpc,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "resolver update callback re-enters the wrapper mutex held \
+                      by its caller",
+        main: grpc3017,
+        source_file: SRC,
+    },
+];

@@ -1,0 +1,75 @@
+//! Hugo blocking-bug kernels.
+
+use crate::{BugCause, BugKernel, ExpectedSymptom, Project, Rarity};
+use goat_runtime::{go_named, gosched, time, Chan, RwLock};
+use std::time::Duration;
+
+const SRC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/src/kernels/hugo.rs");
+
+/// site builder: a template renderer holding the site read-lock calls a
+/// helper that wants the write lock while another renderer queues a
+/// second read — the write-preferring RWMutex wedges all of them.
+fn hugo3251() {
+    let site = RwLock::new();
+    {
+        let site = site.clone();
+        go_named("render1", move || {
+            site.rlock();
+            gosched(); // template execution
+            site.lock(); // BUG: upgrade attempt while readers exist
+            site.unlock();
+            site.runlock();
+        });
+    }
+    {
+        let site = site.clone();
+        go_named("render2", move || {
+            site.rlock(); // queues behind the pending writer
+            site.runlock();
+        });
+    }
+    time::sleep(Duration::from_millis(30));
+}
+
+/// page content init: main waits for the lazy content initializer, but
+/// the initializer returns early on a shortcode error without sending.
+fn hugo5379() {
+    let content_ready: Chan<()> = Chan::new(0);
+    {
+        let content_ready = content_ready.clone();
+        go_named("contentInit", move || {
+            let shortcode_err = true;
+            if shortcode_err {
+                return; // BUG: never signals readiness
+            }
+            content_ready.send(());
+        });
+    }
+    content_ready.recv(); // main: global deadlock
+}
+
+/// The 2 hugo kernels.
+pub const KERNELS: &[BugKernel] = &[
+    BugKernel {
+        name: "hugo3251",
+        project: Project::Hugo,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "site RWMutex: render path upgrades a read lock to a write \
+                      lock while another reader is queued",
+        main: hugo3251,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "hugo5379",
+        project: Project::Hugo,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::GlobalDeadlock,
+        rarity: Rarity::Common,
+        description: "lazy content initializer errors out without signalling; \
+                      main waits on the ready channel forever",
+        main: hugo5379,
+        source_file: SRC,
+    },
+];

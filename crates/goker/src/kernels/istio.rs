@@ -1,0 +1,127 @@
+//! Istio blocking-bug kernels.
+
+use crate::{BugCause, BugKernel, ExpectedSymptom, Project, Rarity};
+use goat_runtime::{go_named, time, Chan, Mutex, Select};
+use std::time::Duration;
+
+const SRC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/src/kernels/istio.rs");
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+/// config store: `Push` holds the store mutex while enqueueing onto the
+/// full task queue; the worker draining the queue takes the store mutex
+/// per task.
+fn istio16224() {
+    let store = Mutex::new();
+    let tasks: Chan<u32> = Chan::new(1);
+    tasks.send(0); // queue already carries a pending task
+    {
+        let (store, tasks) = (store.clone(), tasks.clone());
+        go_named("push", move || {
+            store.lock();
+            tasks.send(1); // BUG: full queue while holding the store
+            store.unlock();
+        });
+    }
+    {
+        let (store, tasks) = (store.clone(), tasks.clone());
+        go_named("worker", move || {
+            store.lock(); // takes the store before popping a task
+            let _ = tasks.recv();
+            store.unlock();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// pilot agent: the reconcile loop waits for a terminate notification
+/// of an epoch that the abort path already discarded.
+fn istio17860() {
+    let terminated: Chan<u32> = Chan::new(0);
+    {
+        let terminated = terminated.clone();
+        go_named("proxyEpoch", move || {
+            let aborted = true;
+            if aborted {
+                return; // BUG: epoch exits without notifying
+            }
+            terminated.send(1);
+        });
+    }
+    {
+        let terminated = terminated.clone();
+        go_named("reconcile", move || {
+            let _ = terminated.recv(); // waits forever
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// status reporter: the ledger distributor's select races the snapshot
+/// acknowledgement against the shutdown signal; when both are ready the
+/// wrong pick strands the acknowledging worker.
+fn istio18454() {
+    let acks: Chan<u32> = Chan::new(0);
+    let shutdown: Chan<()> = Chan::new(1);
+    shutdown.send(()); // reporter shutting down
+    {
+        let acks = acks.clone();
+        go_named("worker", move || {
+            acks.send(1); // acknowledgement of the distributed snapshot
+        });
+    }
+    {
+        let (acks, shutdown) = (acks.clone(), shutdown.clone());
+        go_named("distributor", move || loop {
+            // BUG: ack and shutdown both ready; picking shutdown exits
+            // while the worker is still blocked on its ack.
+            let stop = Select::new()
+                .recv(&acks, |_| false)
+                .recv(&shutdown, |_| true)
+                .run();
+            if stop {
+                return;
+            }
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// The 3 istio kernels.
+pub const KERNELS: &[BugKernel] = &[
+    BugKernel {
+        name: "istio16224",
+        project: Project::Istio,
+        cause: BugCause::Mixed,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "config push enqueues onto a full task queue while holding \
+                      the store mutex the worker needs",
+        main: istio16224,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "istio17860",
+        project: Project::Istio,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "aborted proxy epoch exits without posting its terminate \
+                      notification; reconcile waits forever",
+        main: istio17860,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "istio18454",
+        project: Project::Istio,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Uncommon,
+        description: "distributor's select may take the shutdown case while a \
+                      worker is blocked acknowledging a snapshot",
+        main: istio18454,
+        source_file: SRC,
+    },
+];

@@ -1,0 +1,533 @@
+//! Kubernetes blocking-bug kernels, including the two the paper
+//! highlights: `kubernetes6632` (misuse of channels and locks — only
+//! GoAT detected it) and `kubernetes11298` (the second coverage-study
+//! kernel, figure 6b).
+
+use crate::{BugCause, BugKernel, ExpectedSymptom, Project, Rarity};
+use goat_runtime::{go_named, gosched, time, Chan, Cond, Mutex, RwLock, Select};
+use std::time::Duration;
+
+const SRC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/src/kernels/kubernetes.rs");
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+/// util.Until: the worker checks the stop channel and then parks on the
+/// work channel; the stopper signals stop and never sends work again.
+fn kubernetes1321() {
+    let work: Chan<u32> = Chan::new(0);
+    let stop: Chan<()> = Chan::new(1);
+    {
+        let (work, stop) = (work.clone(), stop.clone());
+        go_named("until", move || loop {
+            if stop.try_recv().is_some() {
+                return;
+            }
+            // BUG window: stop may be signalled after the check; the
+            // worker then parks on work with no producer left.
+            let Some(_task) = work.recv() else { return };
+        });
+    }
+    {
+        let (work, stop) = (work.clone(), stop.clone());
+        go_named("stopper", move || {
+            work.send(1); // final task
+            stop.send(()); // then request shutdown
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// registry watch: the decoder goroutine feeds the result channel; the
+/// API client abandons the watch without stopping the decoder.
+fn kubernetes5316() {
+    let results: Chan<u32> = Chan::new(0);
+    {
+        let results = results.clone();
+        go_named("decoder", move || {
+            for ev in 0..3 {
+                results.send(ev); // leaks once the client is gone
+            }
+        });
+    }
+    {
+        let results = results.clone();
+        go_named("client", move || {
+            let _ = results.recv();
+            // client cancels the watch (BUG: decoder keeps sending)
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// kubelet: misuse of channels and locks — two connection writers
+/// register on an activity counter and each defers teardown to the
+/// other under the state mutex. Both deferring (and thus the error
+/// reporter starving) needs two coinciding preemptions, which is why
+/// only GoAT's schedule perturbation exposed this bug (§IV-A).
+fn kubernetes6632() {
+    let errc: Chan<u32> = Chan::new(2);
+    let active: Chan<()> = Chan::new(2);
+    let mu = Mutex::new();
+    {
+        let errc = errc.clone();
+        go_named("errorReporter", move || {
+            let _ = errc.recv(); // leaks when both writers defer
+        });
+    }
+    for i in 0..2u32 {
+        let (errc, active, mu) = (errc.clone(), active.clone(), mu.clone());
+        go_named(&format!("connWriter{i}"), move || {
+            active.send(()); // register this writer
+            // BUG window 1: the sibling registers before our check
+            mu.lock();
+            let both_active = active.len() > 1;
+            mu.unlock();
+            if both_active {
+                // defer teardown to the sibling…
+                // BUG window 2: …which may have seen the same state
+                // right before this token is retired.
+                let _ = active.recv();
+                return;
+            }
+            errc.send(i); // report the connection error
+            let _ = active.recv();
+        });
+    }
+    time::sleep(ms(40));
+}
+
+/// status manager: pod-status lock and manager lock taken in opposite
+/// orders by the updater and the syncer.
+fn kubernetes10182() {
+    let pod_statuses = Mutex::new();
+    let manager = Mutex::new();
+    {
+        let (pod_statuses, manager) = (pod_statuses.clone(), manager.clone());
+        go_named("setPodStatus", move || {
+            pod_statuses.lock();
+            // deep-copy work widens the window
+            let scratch: Chan<u8> = Chan::new(1);
+            scratch.send(0);
+            scratch.recv();
+            manager.lock();
+            manager.unlock();
+            pod_statuses.unlock();
+        });
+    }
+    {
+        let (pod_statuses, manager) = (pod_statuses.clone(), manager.clone());
+        go_named("syncBatch", move || {
+            manager.lock();
+            pod_statuses.lock();
+            pod_statuses.unlock();
+            manager.unlock();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// kubelet prober: nested selects in nested loops aggregate worker
+/// results while a cond-var gates retries; the aggregator may take the
+/// stop case while a worker still blocks on the result channel
+/// (coverage-study kernel, fig. 6b).
+fn kubernetes11298() {
+    let results: Chan<u32> = Chan::new(0);
+    let stop: Chan<()> = Chan::new(1);
+    let mu = Mutex::new();
+    let cv = Cond::new(&mu);
+    for i in 0..2u32 {
+        let (results, mu, cv) = (results.clone(), mu.clone(), cv.clone());
+        go_named(&format!("probeWorker{i}"), move || {
+            // gate: workers report one at a time
+            mu.lock();
+            if i == 1 {
+                cv.wait(); // woken by the sibling
+            }
+            mu.unlock();
+            results.send(i); // BUG: leaks if the aggregator stopped
+            mu.lock();
+            cv.signal();
+            mu.unlock();
+        });
+    }
+    {
+        let (results, stop) = (results.clone(), stop.clone());
+        go_named("aggregator", move || {
+            let mut got = 0;
+            loop {
+                // BUG: once the manager's stop lands, it races the
+                // second worker's result; picking stop exits the loop
+                // while that worker still blocks sending.
+                let stopped = Select::new()
+                    .recv(&results, |_| false)
+                    .recv(&stop, |_| true)
+                    .run();
+                if stopped {
+                    return;
+                }
+                got += 1;
+                if got == 2 {
+                    return;
+                }
+            }
+        });
+    }
+    {
+        let stop = stop.clone();
+        go_named("manager", move || {
+            // unrelated manager work before requesting shutdown
+            gosched();
+            gosched();
+            gosched();
+            stop.send(()); // buffered: never blocks
+        });
+    }
+    time::sleep(ms(50));
+}
+
+/// cacher: the initial list pushes events into the watcher's full
+/// buffer while holding the cache write lock; the watcher needs the
+/// read lock to drain.
+fn kubernetes13135() {
+    let cache = RwLock::new();
+    let events: Chan<u32> = Chan::new(1);
+    events.send(0); // buffer already full from a previous event
+    {
+        let (cache, events) = (cache.clone(), events.clone());
+        go_named("terminateAllWatchers", move || {
+            cache.lock();
+            events.send(1); // BUG: full buffer while holding the lock
+            cache.unlock();
+        });
+    }
+    {
+        let (cache, events) = (cache.clone(), events.clone());
+        go_named("watcher", move || {
+            cache.rlock(); // queued behind the writer
+            let _ = events.recv();
+            cache.runlock();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// watch: `Stop` closes the stop channel but the event distributor is
+/// already blocked sending a result nobody will read.
+fn kubernetes25331() {
+    let result: Chan<u32> = Chan::new(0);
+    let stopped: Chan<()> = Chan::new(0);
+    {
+        let (result, stopped) = (result.clone(), stopped.clone());
+        go_named("distributor", move || loop {
+            let stop = Select::new()
+                .send(&result, 1, || false)
+                .recv(&stopped, |_| true)
+                .run();
+            if stop {
+                return;
+            }
+        });
+    }
+    {
+        let result = result.clone();
+        go_named("consumer", move || {
+            let _ = result.recv();
+            // BUG: consumer returns without signalling `stopped`
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// pod worker: `processNextWorkItem` holds the queue lock while waiting
+/// for the pod result; the result writer needs the queue lock first.
+fn kubernetes26980() {
+    let queue = Mutex::new();
+    let pod_result: Chan<u32> = Chan::new(0);
+    {
+        let (queue, pod_result) = (queue.clone(), pod_result.clone());
+        go_named("processNextWorkItem", move || {
+            queue.lock();
+            let _ = pod_result.recv(); // BUG: waits holding the queue
+            queue.unlock();
+        });
+    }
+    {
+        let (queue, pod_result) = (queue.clone(), pod_result.clone());
+        go_named("podWorker", move || {
+            queue.lock(); // must mark the item done first
+            pod_result.send(1);
+            queue.unlock();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// federation controller: the cluster-delivery path re-locks the
+/// delivery mutex held by its caller.
+fn kubernetes30872() {
+    let deliverer = Mutex::new();
+    {
+        let deliverer = deliverer.clone();
+        go_named("deliverCluster", move || {
+            deliverer.lock();
+            // helper invoked while holding the lock re-enters it
+            deliverer.lock(); // BUG: self deadlock
+            deliverer.unlock();
+            deliverer.unlock();
+        });
+    }
+    gosched();
+}
+
+/// scheduler cache: the event sender publishes on an unbuffered updates
+/// channel after the receiving loop exited on a stop signal.
+fn kubernetes38669() {
+    let updates: Chan<u32> = Chan::new(0);
+    let stop: Chan<()> = Chan::new(1);
+    stop.send(());
+    {
+        let updates = updates.clone();
+        go_named("eventSender", move || {
+            updates.send(1); // leaks if the loop took stop first
+        });
+    }
+    {
+        let (updates, stop) = (updates.clone(), stop.clone());
+        go_named("updateLoop", move || loop {
+            let stopped = Select::new()
+                .recv(&updates, |_| false)
+                .recv(&stop, |_| true)
+                .run();
+            if stopped {
+                return;
+            }
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// resource quota: the evaluator re-enters RLock on the informer's
+/// RWMutex while a writer queued in between.
+fn kubernetes58107() {
+    let informer = RwLock::new();
+    {
+        let informer = informer.clone();
+        go_named("evaluate", move || {
+            informer.rlock();
+            gosched(); // quota computation
+            informer.rlock(); // BUG: recursive read behind a writer
+            informer.runlock();
+            informer.runlock();
+        });
+    }
+    {
+        let informer = informer.clone();
+        go_named("resync", move || {
+            informer.lock();
+            informer.unlock();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// statefulset: the control loop waits on a cond var whose signaller
+/// already fired during the loop's bookkeeping window.
+fn kubernetes62464() {
+    let mu = Mutex::new();
+    let cv = Cond::new(&mu);
+    {
+        let (mu, cv) = (mu.clone(), cv.clone());
+        go_named("controlLoop", move || {
+            // bookkeeping before parking widens the missed-signal window
+            let scratch: Chan<u8> = Chan::new(1);
+            scratch.send(0);
+            scratch.recv();
+            mu.lock();
+            cv.wait(); // BUG: the signal may already be gone
+            mu.unlock();
+        });
+    }
+    {
+        let (mu, cv) = (mu.clone(), cv.clone());
+        go_named("podUpdate", move || {
+            mu.lock();
+            cv.signal(); // lost if the loop is not waiting yet
+            mu.unlock();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// wait.poll: the poller goroutine delivers ticks to a channel the
+/// caller stopped draining after its condition errored.
+fn kubernetes70277() {
+    let ticks: Chan<u32> = Chan::new(0);
+    {
+        let ticks = ticks.clone();
+        go_named("poller", move || {
+            for t in 0..3 {
+                ticks.send(t); // leaks once the caller gave up
+            }
+            ticks.close();
+        });
+    }
+    {
+        let ticks = ticks.clone();
+        go_named("waitFor", move || {
+            let _ = ticks.recv();
+            // condition returned an error: stop draining (BUG)
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// The 13 kubernetes kernels.
+pub const KERNELS: &[BugKernel] = &[
+    BugKernel {
+        name: "kubernetes1321",
+        project: Project::Kubernetes,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Uncommon,
+        description: "util.Until worker checks stop then parks on the work \
+                      channel; the stopper's final task can slip in between",
+        main: kubernetes1321,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "kubernetes5316",
+        project: Project::Kubernetes,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "watch decoder keeps feeding the result channel after the \
+                      client abandoned the watch",
+        main: kubernetes5316,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "kubernetes6632",
+        project: Project::Kubernetes,
+        cause: BugCause::Mixed,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::VeryRare,
+        description: "kubelet connection writers mutually defer teardown under \
+                      the state mutex; the error reporter starves — needs two \
+                      coinciding preemptions (only GoAT detected it)",
+        main: kubernetes6632,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "kubernetes10182",
+        project: Project::Kubernetes,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Uncommon,
+        description: "status manager and pod-status locks taken in opposite \
+                      orders by setPodStatus and syncBatch",
+        main: kubernetes10182,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "kubernetes11298",
+        project: Project::Kubernetes,
+        cause: BugCause::Mixed,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Uncommon,
+        description: "prober aggregator's select may take stop while cond-gated \
+                      workers still block sending results (coverage-study \
+                      kernel, fig. 6b)",
+        main: kubernetes11298,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "kubernetes13135",
+        project: Project::Kubernetes,
+        cause: BugCause::Mixed,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "cacher pushes into a full watcher buffer holding the write \
+                      lock the draining watcher needs",
+        main: kubernetes13135,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "kubernetes25331",
+        project: Project::Kubernetes,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "watch consumer returns without signalling stopped; the \
+                      distributor blocks on its next result",
+        main: kubernetes25331,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "kubernetes26980",
+        project: Project::Kubernetes,
+        cause: BugCause::Mixed,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "work-item processor waits for the pod result holding the \
+                      queue lock the result writer needs",
+        main: kubernetes26980,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "kubernetes30872",
+        project: Project::Kubernetes,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "federation cluster-delivery helper re-enters the delivery \
+                      mutex held by its caller",
+        main: kubernetes30872,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "kubernetes38669",
+        project: Project::Kubernetes,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Uncommon,
+        description: "scheduler-cache event sender races the update loop's stop \
+                      case; picking stop strands the sender",
+        main: kubernetes38669,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "kubernetes58107",
+        project: Project::Kubernetes,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "quota evaluator re-enters RLock behind the resync writer \
+                      on the informer RWMutex",
+        main: kubernetes58107,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "kubernetes62464",
+        project: Project::Kubernetes,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Uncommon,
+        description: "statefulset control loop misses the pod-update cond signal \
+                      fired during its bookkeeping window",
+        main: kubernetes62464,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "kubernetes70277",
+        project: Project::Kubernetes,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "wait.poll caller stops draining ticks after its condition \
+                      errors; the poller blocks forever",
+        main: kubernetes70277,
+        source_file: SRC,
+    },
+];

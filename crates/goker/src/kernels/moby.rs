@@ -1,0 +1,452 @@
+//! Moby (Docker) blocking-bug kernels.
+//!
+//! Includes `moby28462`, the paper's running example (listing 1): a
+//! monitor goroutine's select-default path races a status-change
+//! goroutine that blocks on a rendezvous send while holding the
+//! container mutex.
+
+use crate::{BugCause, BugKernel, ExpectedSymptom, Project, Rarity};
+use goat_runtime::{go_named, time, Chan, Mutex, RwLock, Select, WaitGroup};
+use std::time::Duration;
+
+const SRC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/src/kernels/moby.rs");
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+/// devmapper: `DeviceSet.Lock` and per-device lock taken in opposite
+/// orders by `deleteDevice` and `resumeDevice`.
+fn moby4951() {
+    let devices = Mutex::new(); // DeviceSet.mu
+    let device = Mutex::new(); // per-device lock
+    {
+        let (devices, device) = (devices.clone(), device.clone());
+        go_named("deleteDevice", move || {
+            devices.lock();
+            // hash lookup + refcount check sit between the two locks,
+            // widening the inversion window
+            let scratch: Chan<u8> = Chan::new(1);
+            scratch.send(1);
+            scratch.recv();
+            device.lock();
+            device.unlock();
+            devices.unlock();
+        });
+    }
+    {
+        let (devices, device) = (devices.clone(), device.clone());
+        go_named("resumeDevice", move || {
+            device.lock();
+            devices.lock();
+            devices.unlock();
+            device.unlock();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// portallocator: `ReleaseAll` re-acquires the allocator mutex already
+/// held by the caller — an immediate self-deadlock on the error path.
+fn moby7559() {
+    let mu = Mutex::new();
+    mu.lock();
+    // error path: ReleasePort calls ReleaseAll which locks again
+    mu.lock();
+    mu.unlock();
+    mu.unlock();
+}
+
+/// devmapper: early `return` on the error path skips `unlock`, so the
+/// next operation on the device set blocks forever.
+fn moby17176() {
+    let mu = Mutex::new();
+    let errs: Chan<bool> = Chan::new(1);
+    errs.send(true); // the error the buggy path observes
+    {
+        let (mu, errs) = (mu.clone(), errs.clone());
+        go_named("deactivateDevice", move || {
+            mu.lock();
+            let failed = matches!(errs.try_recv(), Some(Some(true)));
+            if failed {
+                return; // BUG: forgot mu.unlock()
+            }
+            mu.unlock();
+        });
+    }
+    {
+        let mu = mu.clone();
+        go_named("removeDevice", move || {
+            mu.lock(); // blocks forever on the leaked lock
+            mu.unlock();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// progressreader: the pull consumer stops at the first error while the
+/// progress producer still has updates to send on a rendezvous channel.
+fn moby21233() {
+    let progress: Chan<u32> = Chan::new(0);
+    {
+        let progress = progress.clone();
+        go_named("progressReader", move || {
+            for i in 0..5 {
+                progress.send(i); // leaks on i==1: consumer is gone
+            }
+        });
+    }
+    {
+        let progress = progress.clone();
+        go_named("pullConsumer", move || {
+            let first = progress.recv();
+            assert!(first.is_some());
+            // error after the first chunk: stop consuming
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// distribution: on the upload error branch `wg.Done` is skipped, so the
+/// coordinator waits forever.
+fn moby25348() {
+    let wg = WaitGroup::new();
+    let errors: Chan<bool> = Chan::new(2);
+    for i in 0..2 {
+        wg.add(1);
+        let wg = wg.clone();
+        let errors = errors.clone();
+        go_named(&format!("pushLayer{i}"), move || {
+            let failed = i == 1;
+            if failed {
+                errors.send(true);
+                return; // BUG: missing wg.done() on the error branch
+            }
+            wg.done();
+        });
+    }
+    {
+        let wg = wg.clone();
+        go_named("waiter", move || {
+            wg.wait(); // leaks: counter never reaches zero
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// logger: lost wakeup in the journald follower. The follower checks the
+/// decode queue, finds it empty, and goes to sleep on the notify
+/// channel; the rotator enqueues the entry and fires a *non-blocking*
+/// notify in between — the notification is dropped and the follower
+/// sleeps forever with work pending.
+fn moby27782() {
+    let queue: Chan<u32> = Chan::new(1); // decoded journal entries
+    let notify: Chan<()> = Chan::new(0);
+    {
+        let (queue, notify) = (queue.clone(), notify.clone());
+        go_named("followLogs", move || loop {
+            if let Some(Some(_entry)) = queue.try_recv() {
+                return; // entry processed: follower done
+            }
+            // BUG window: preempted here, the rotator's non-blocking
+            // notify finds nobody listening and drops the wakeup.
+            Select::new().recv(&notify, |_| ()).run();
+        });
+    }
+    {
+        let (queue, notify) = (queue.clone(), notify.clone());
+        go_named("rotateLogs", move || {
+            queue.send(1); // buffered: never blocks
+            // fire-and-forget notification (the actual fsnotify shape)
+            Select::new().send(&notify, (), || ()).default(|| ()).run();
+        });
+    }
+    time::sleep(ms(40));
+}
+
+/// moby28462 — the paper's listing 1.
+///
+/// `Monitor` loops on a select whose default branch takes the container
+/// lock to inspect status. `StatusChange` takes the lock and *then*
+/// performs a rendezvous send on the status channel. If the scheduler
+/// preempts Monitor after the default case was chosen but before
+/// `mu.lock()`, StatusChange grabs the lock and blocks on the send; the
+/// Monitor then blocks on the lock, and the circular wait leaks both
+/// goroutines while main exits successfully.
+fn moby28462() {
+    let mu = Mutex::new(); // Container.Lock
+    let status_ch: Chan<u32> = Chan::new(0); // Container.status channel
+    {
+        let (mu, status_ch) = (mu.clone(), status_ch.clone());
+        go_named("Monitor", move || loop {
+            let got = Select::new()
+                .recv(&status_ch, |v| v)
+                .default(|| None)
+                .run();
+            if got.is_some() {
+                return; // status received: monitoring done
+            }
+            mu.lock(); // BUG window: StatusChange may hold the lock
+            // inspect container state
+            mu.unlock();
+        });
+    }
+    {
+        let (mu, status_ch) = (mu.clone(), status_ch.clone());
+        go_named("StatusChange", move || {
+            mu.lock();
+            status_ch.send(1); // rendezvous while holding the lock
+            mu.unlock();
+        });
+    }
+    time::sleep(ms(40));
+}
+
+/// containerd integration: main waits for the restart-manager done
+/// signal, but the event loop exits on an unexpected event type without
+/// ever sending it.
+fn moby29733() {
+    let done: Chan<u32> = Chan::new(0);
+    {
+        let done = done.clone();
+        go_named("eventLoop", move || {
+            let unexpected = true; // exit-event arrives malformed
+            if unexpected {
+                return; // BUG: done is never signalled
+            }
+            done.send(1);
+        });
+    }
+    done.recv(); // main blocks forever: global deadlock
+}
+
+/// healthcheck: `openMonitorChannel` returns a channel that the probe
+/// loop reads, but `stop` raced ahead and dropped the only sender.
+fn moby30408() {
+    let monitor: Chan<u32> = Chan::new(0);
+    {
+        go_named("stopHealthcheck", move || {
+            // the stop path wins and simply returns; the sender that
+            // should feed `monitor` is never started
+        });
+    }
+    monitor.recv(); // main: global deadlock
+}
+
+/// stats collector: `unsubscribe` removes the subscriber without closing
+/// its channel, leaving the publisher blocked on the next sample.
+fn moby33293() {
+    let samples: Chan<u64> = Chan::new(0);
+    {
+        let samples = samples.clone();
+        go_named("statsPublisher", move || {
+            for s in 0.. {
+                samples.send(s); // leaks after unsubscribe
+            }
+        });
+    }
+    {
+        let samples = samples.clone();
+        go_named("subscriber", move || {
+            let _ = samples.recv();
+            let _ = samples.recv();
+            // unsubscribe: just stop reading (BUG: channel never closed)
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// attach: stdin copy and detach watcher select on different streams; a
+/// narrow double-window lets the detach path win on both, leaving the
+/// stdin copier blocked on a channel nobody drains.
+fn moby33781() {
+    let stdin: Chan<u8> = Chan::new(0);
+    let detach: Chan<()> = Chan::new(0);
+    {
+        let (stdin, detach) = (stdin.clone(), detach.clone());
+        go_named("stdinCopy", move || loop {
+            let keep_going = Select::new()
+                .recv(&stdin, |v| v.is_some())
+                .recv(&detach, |_| false)
+                .run();
+            if !keep_going {
+                return;
+            }
+        });
+    }
+    {
+        let (stdin, detach) = (stdin.clone(), detach.clone());
+        go_named("session", move || {
+            stdin.send(1); // one keystroke
+            goat_runtime::gosched(); // io wait before teardown
+            // BUG window: if the copier was preempted between consuming
+            // the keystroke and re-entering its select, it is not yet
+            // listening — the non-blocking detach notification is
+            // dropped and the copier sleeps forever.
+            let notified = Select::new()
+                .send(&detach, (), || true)
+                .default(|| false)
+                .run();
+            if !notified {
+                // detach dropped: copier leaks on its next select
+            }
+        });
+    }
+    time::sleep(ms(40));
+}
+
+/// container store: `Get` takes a read lock and the error path then
+/// calls a helper that takes the write lock on the same RWMutex —
+/// upgrade deadlock within one goroutine.
+fn moby36114() {
+    let store = RwLock::new();
+    {
+        let store = store.clone();
+        go_named("storeGet", move || {
+            store.rlock();
+            // error path: repair() wants the write lock while the read
+            // lock is still held by this very goroutine
+            store.lock();
+            store.unlock();
+            store.runlock();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// The 12 moby kernels.
+pub const KERNELS: &[BugKernel] = &[
+    BugKernel {
+        name: "moby4951",
+        project: Project::Moby,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Uncommon,
+        description: "devmapper AB-BA: DeviceSet lock vs per-device lock taken in \
+                      opposite orders by delete and resume",
+        main: moby4951,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "moby7559",
+        project: Project::Moby,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::GlobalDeadlock,
+        rarity: Rarity::Common,
+        description: "portallocator re-locks the allocator mutex on the release-all \
+                      error path (self deadlock)",
+        main: moby7559,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "moby17176",
+        project: Project::Moby,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "devmapper deactivateDevice returns early on error without \
+                      unlocking; the next device operation blocks forever",
+        main: moby17176,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "moby21233",
+        project: Project::Moby,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "pull progress consumer stops at the first error; the progress \
+                      reader blocks sending the next update",
+        main: moby21233,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "moby25348",
+        project: Project::Moby,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "distribution push skips wg.Done on the upload error branch; \
+                      the coordinator waits forever",
+        main: moby25348,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "moby27782",
+        project: Project::Moby,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Rare,
+        description: "journald follower loses the rotator's non-blocking wakeup \
+                      between its empty-queue check and its select",
+        main: moby27782,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "moby28462",
+        project: Project::Moby,
+        cause: BugCause::Mixed,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Uncommon,
+        description: "paper listing 1: Monitor's select-default path locks the \
+                      container mutex while StatusChange blocks on a rendezvous \
+                      send holding it",
+        main: moby28462,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "moby29733",
+        project: Project::Moby,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::GlobalDeadlock,
+        rarity: Rarity::Common,
+        description: "restart-manager event loop exits on a malformed event without \
+                      signalling done; main blocks forever",
+        main: moby29733,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "moby30408",
+        project: Project::Moby,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::GlobalDeadlock,
+        rarity: Rarity::Common,
+        description: "healthcheck stop path races monitor-channel creation; main \
+                      receives on a channel with no sender",
+        main: moby30408,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "moby33293",
+        project: Project::Moby,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "stats unsubscribe drops the subscriber without closing its \
+                      channel; the publisher blocks on the next sample",
+        main: moby33293,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "moby33781",
+        project: Project::Moby,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Rare,
+        description: "attach detach notification is dropped when the copier's \
+                      select consumes the pending keystroke first",
+        main: moby33781,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "moby36114",
+        project: Project::Moby,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "container store read-lock upgrade: Get holds RLock while the \
+                      repair path wants Lock on the same RWMutex",
+        main: moby36114,
+        source_file: SRC,
+    },
+];

@@ -1,0 +1,33 @@
+//! The 68 blocking-bug kernels, grouped by source project.
+
+mod cockroach;
+mod etcd;
+mod grpc;
+mod hugo;
+mod istio;
+mod kubernetes;
+mod moby;
+mod serving;
+mod syncthing;
+
+use crate::BugKernel;
+use std::sync::OnceLock;
+
+static ALL_CELL: OnceLock<Vec<&'static BugKernel>> = OnceLock::new();
+
+/// All kernels in benchmark order (cockroach … syncthing).
+pub(crate) fn all() -> &'static [&'static BugKernel] {
+    ALL_CELL.get_or_init(|| {
+        let mut v: Vec<&'static BugKernel> = Vec::new();
+        v.extend(cockroach::KERNELS.iter());
+        v.extend(etcd::KERNELS.iter());
+        v.extend(grpc::KERNELS.iter());
+        v.extend(hugo::KERNELS.iter());
+        v.extend(istio::KERNELS.iter());
+        v.extend(kubernetes::KERNELS.iter());
+        v.extend(moby::KERNELS.iter());
+        v.extend(serving::KERNELS.iter());
+        v.extend(syncthing::KERNELS.iter());
+        v
+    })
+}

@@ -1,0 +1,173 @@
+//! Knative Serving blocking-bug kernels, including `serving2137` —
+//! the kernel the paper highlights because only GOAT with delay bound
+//! `D = 2` exposed it.
+
+use crate::{BugCause, BugKernel, ExpectedSymptom, Project, Rarity};
+use goat_runtime::{go_named, time, Chan, Mutex};
+use std::time::Duration;
+
+const SRC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/src/kernels/serving.rs");
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+/// breaker: a waiter expects one of two in-flight requests to forward a
+/// completion. Each request defers to the other when it observes both
+/// activity tokens outstanding. Starving the waiter needs **two**
+/// coinciding preemptions — one request parked between registering and
+/// checking, the other parked between checking and retiring its token —
+/// which is why the paper found this bug only with two injected yields
+/// (GOAT-D2): after any single preemption the surviving request still
+/// observes one token and serves the waiter.
+fn serving2137() {
+    let active: Chan<()> = Chan::new(2); // outstanding-request tokens
+    let completions: Chan<u32> = Chan::new(2);
+    {
+        let completions = completions.clone();
+        go_named("waiter", move || {
+            let _ = completions.recv(); // leaks if both requests defer
+        });
+    }
+    for i in 0..2u32 {
+        let active = active.clone();
+        let completions = completions.clone();
+        go_named(&format!("request{i}"), move || {
+            active.send(()); // register as an outstanding request
+            // BUG window 1: preempted here, the other request also
+            // registers before this one runs the check below.
+            let scratch: Chan<u8> = Chan::new(1);
+            scratch.send(0);
+            let both_active = active.len() > 1;
+            if both_active {
+                // defer to the other request…
+                // BUG window 2: …but if *that* request observed the same
+                // two-token state before this recv retires our token,
+                // it defers as well and nobody serves the waiter.
+                let _ = active.recv();
+                return;
+            }
+            completions.send(i);
+            let _ = active.recv(); // return the token
+        });
+    }
+    time::sleep(ms(40));
+}
+
+/// activator throttler: the revision updater and the capacity updater
+/// take the two throttler locks in opposite orders.
+fn serving3068() {
+    let revisions = Mutex::new();
+    let capacity = Mutex::new();
+    {
+        let (revisions, capacity) = (revisions.clone(), capacity.clone());
+        go_named("updateRevision", move || {
+            revisions.lock();
+            // recompute work widens the inversion window
+            let scratch: Chan<u8> = Chan::new(1);
+            scratch.send(0);
+            scratch.recv();
+            capacity.lock();
+            capacity.unlock();
+            revisions.unlock();
+        });
+    }
+    {
+        let (revisions, capacity) = (revisions.clone(), capacity.clone());
+        go_named("updateCapacity", move || {
+            capacity.lock();
+            revisions.lock();
+            revisions.unlock();
+            capacity.unlock();
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// autoscaler: the stat collector keeps reporting to the metric channel
+/// after the scraper that consumed it was stopped.
+fn serving4908() {
+    let stats: Chan<u32> = Chan::new(0);
+    {
+        let stats = stats.clone();
+        go_named("collector", move || {
+            for s in 0..4 {
+                stats.send(s); // leaks at s==1 once the scraper stops
+            }
+        });
+    }
+    {
+        let stats = stats.clone();
+        go_named("scraper", move || {
+            let _ = stats.recv();
+            // scraper stopped (BUG: collector keeps sending)
+        });
+    }
+    time::sleep(ms(30));
+}
+
+/// revision watcher: main waits for the first update, but the watcher
+/// returns early when the informer feed reports EOF before any update.
+fn serving5865() {
+    let updates: Chan<u32> = Chan::new(0);
+    {
+        let updates = updates.clone();
+        go_named("revisionWatcher", move || {
+            let eof = true; // informer feed closed immediately
+            if eof {
+                return; // BUG: no update, channel never written/closed
+            }
+            updates.send(1);
+        });
+    }
+    updates.recv(); // main: global deadlock
+}
+
+/// The 4 serving kernels.
+pub const KERNELS: &[BugKernel] = &[
+    BugKernel {
+        name: "serving2137",
+        project: Project::Serving,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::VeryRare,
+        description: "breaker requests mutually defer when both activity tokens \
+                      are visible; starving the waiter needs two coinciding \
+                      preemptions (the paper's GOAT-D2-only bug)",
+        main: serving2137,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "serving3068",
+        project: Project::Serving,
+        cause: BugCause::Resource,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Uncommon,
+        description: "throttler revision and capacity locks taken in opposite \
+                      orders by the two updaters",
+        main: serving3068,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "serving4908",
+        project: Project::Serving,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Common,
+        description: "stat collector keeps sending after the scraper stopped \
+                      consuming the metric channel",
+        main: serving4908,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "serving5865",
+        project: Project::Serving,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::GlobalDeadlock,
+        rarity: Rarity::Common,
+        description: "revision watcher returns on EOF without ever sending the \
+                      update main is waiting for",
+        main: serving5865,
+        source_file: SRC,
+    },
+];

@@ -1,0 +1,90 @@
+//! Syncthing blocking-bug kernels.
+
+use crate::{BugCause, BugKernel, ExpectedSymptom, Project, Rarity};
+use goat_runtime::{go_named, time, Chan, Mutex, Select, WaitGroup};
+use std::time::Duration;
+
+const SRC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/src/kernels/syncthing.rs");
+
+/// suture supervisor: `Stop` waits for the service to acknowledge while
+/// the service blocks publishing an event under the supervisor mutex
+/// `Stop` already holds — main joins through the wait group.
+fn syncthing4829() {
+    let mu = Mutex::new();
+    let events: Chan<u32> = Chan::new(0);
+    let wg = WaitGroup::new();
+    wg.add(1);
+    {
+        let (mu, events, wg) = (mu.clone(), events.clone(), wg.clone());
+        go_named("serve", move || {
+            mu.lock();
+            events.send(1); // BUG: publishes while holding the lock
+            mu.unlock();
+            wg.done();
+        });
+    }
+    {
+        let (mu, events) = (mu.clone(), events.clone());
+        go_named("stop", move || {
+            mu.lock(); // blocked by serve
+            let _ = events.recv();
+            mu.unlock();
+        });
+    }
+    wg.wait(); // main: global deadlock
+}
+
+/// protocol: the dispatcher takes the close case while the cluster
+/// config sender still blocks on its rendezvous.
+fn syncthing5795() {
+    let cluster_config: Chan<u32> = Chan::new(0);
+    let closed: Chan<()> = Chan::new(1);
+    closed.send(()); // connection torn down concurrently
+    {
+        let cluster_config = cluster_config.clone();
+        go_named("ccSender", move || {
+            cluster_config.send(1); // leaks if dispatcher closes first
+        });
+    }
+    {
+        let (cluster_config, closed) = (cluster_config.clone(), closed.clone());
+        go_named("dispatcher", move || loop {
+            // BUG: both cases ready — close may win over the pending
+            // cluster config, stranding the sender.
+            let done = Select::new()
+                .recv(&cluster_config, |_| false)
+                .recv(&closed, |_| true)
+                .run();
+            if done {
+                return;
+            }
+        });
+    }
+    time::sleep(Duration::from_millis(30));
+}
+
+/// The 2 syncthing kernels.
+pub const KERNELS: &[BugKernel] = &[
+    BugKernel {
+        name: "syncthing4829",
+        project: Project::Syncthing,
+        cause: BugCause::Mixed,
+        expected: ExpectedSymptom::GlobalDeadlock,
+        rarity: Rarity::Common,
+        description: "service publishes an event while holding the supervisor \
+                      mutex Stop needs to drain it; main waits on both",
+        main: syncthing4829,
+        source_file: SRC,
+    },
+    BugKernel {
+        name: "syncthing5795",
+        project: Project::Syncthing,
+        cause: BugCause::Communication,
+        expected: ExpectedSymptom::Leak,
+        rarity: Rarity::Uncommon,
+        description: "dispatcher's select may take the close case while the \
+                      cluster-config sender still blocks",
+        main: syncthing5795,
+        source_file: SRC,
+    },
+];

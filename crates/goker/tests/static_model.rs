@@ -1,0 +1,91 @@
+//! Real-data validation of the static scanner: the CU model built from
+//! the benchmark's own source files must (a) find every primitive class
+//! the taxonomy defines, and (b) contain every CU the kernels touch
+//! dynamically — the paper's requirement that the static model `M` be a
+//! faithful skeleton for yield injection and coverage accounting.
+
+use goat_core::Program;
+use goat_model::{scan_sources, CuKind, CuTable};
+use goat_runtime::{Config, Runtime};
+use std::collections::BTreeSet;
+
+fn scan_benchmark_sources() -> CuTable {
+    let files: BTreeSet<&'static str> =
+        goat_goker::all_kernels().iter().map(|k| k.source_file).collect();
+    scan_sources(files).expect("benchmark sources scan")
+}
+
+#[test]
+fn benchmark_model_covers_the_whole_taxonomy() {
+    let m = scan_benchmark_sources();
+    assert!(m.len() > 300, "the 68 kernels should contain hundreds of CUs: {}", m.len());
+    for kind in [
+        CuKind::Send,
+        CuKind::Recv,
+        CuKind::Close,
+        CuKind::Lock,
+        CuKind::Unlock,
+        CuKind::Wait,
+        CuKind::Add,
+        CuKind::Done,
+        CuKind::Signal,
+        CuKind::Go,
+        CuKind::Select,
+        CuKind::Range,
+    ] {
+        assert!(
+            m.count_kind(kind) > 0,
+            "no {kind} CU anywhere in the benchmark — taxonomy gap"
+        );
+    }
+}
+
+#[test]
+fn dynamic_cus_are_a_subset_of_the_static_model() {
+    let m = scan_benchmark_sources();
+    let mut missing = Vec::new();
+    for kernel in goat_goker::all_kernels() {
+        let r = Runtime::run(Config::new(1).with_delay_bound(1), move || {
+            Program::main(kernel)
+        });
+        let Some(ect) = r.ect else { continue };
+        for ev in ect.iter() {
+            let Some(cu) = &ev.cu else { continue };
+            // Only ops that literally appear in kernel sources count;
+            // internal re-acquisitions (Cond::wait's relock) carry the
+            // wait-site CU and op events of mismatched kind are skipped
+            // by the same rule coverage extraction uses.
+            let relevant = ev.kind.is_op_completion()
+                || matches!(
+                    ev.kind,
+                    goat_trace::EventKind::GoCreate { internal: false, .. }
+                        | goat_trace::EventKind::SelectBegin { .. }
+                );
+            if relevant && m.lookup(&cu.file, cu.line, cu.kind).is_none() {
+                missing.push(format!("{}: {cu} ({})", kernel.name, ev.kind));
+            }
+        }
+    }
+    missing.sort();
+    missing.dedup();
+    assert!(
+        missing.is_empty(),
+        "dynamic CUs absent from the static model:\n{}",
+        missing.join("\n")
+    );
+}
+
+#[test]
+fn every_kernel_contributes_cus_to_the_model() {
+    // Scan each project file individually: each must contain CUs for all
+    // of its kernels (each kernel has at least a `go` or a primitive op).
+    for kernel in goat_goker::all_kernels() {
+        let m = goat_model::scan_file(kernel.source_file).expect("scan");
+        assert!(
+            m.len() >= 4,
+            "{}: suspiciously few CUs in {}",
+            kernel.name,
+            kernel.source_file
+        );
+    }
+}

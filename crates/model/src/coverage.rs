@@ -1,0 +1,472 @@
+//! Coverage requirements for concurrent Go-style programs (paper §III-C).
+//!
+//! GoAT proposes a concurrency coverage metric whose requirements
+//! characterise the dynamic behaviour of every concurrency usage (CU):
+//!
+//! * **Req1 (Send/Recv)** — `{blocked, unblocking, NOP}`
+//! * **Req2 (Select-Case)** — `{blocked, unblocking, NOP} × {case_i}`,
+//!   with cases materialised at runtime; selects with a `default` case are
+//!   non-blocking, so their channel cases degrade to Req4 and the default
+//!   case itself is a single NOP requirement.
+//! * **Req3 (Lock)** — `{blocked, blocking}`
+//! * **Req4 (Unblocking)** — `{unblocking, NOP}` for close / unlock /
+//!   signal / broadcast / done / non-blocking select cases
+//! * **Req5 (Go)** — `{NOP}`: covered when the goroutine creation runs.
+//!
+//! A [`RequirementUniverse`] holds the full set of requirement instances
+//! for a program (derived from its static [`CuTable`] and expanded at
+//! runtime for select cases); a [`CoverageSet`] records which instances a
+//! set of test executions covered. The ratio of the two is the coverage
+//! percentage plotted in the paper's Figure 6.
+
+use crate::cu::{Cu, CuId, CuKind, CuTable};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The dynamic behaviour a requirement asks to observe at a CU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ReqValue {
+    /// The goroutine blocked at this CU (e.g. send with no receiver ready).
+    Blocked,
+    /// The operation woke up at least one blocked goroutine.
+    Unblocking,
+    /// The goroutine held a resource while another goroutine blocked on it
+    /// (the *blocking* side of Req3).
+    Blocking,
+    /// The operation completed without blocking or unblocking anyone.
+    Nop,
+}
+
+impl ReqValue {
+    /// Short name as printed in coverage tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReqValue::Blocked => "blocked",
+            ReqValue::Unblocking => "unblocking",
+            ReqValue::Blocking => "blocking",
+            ReqValue::Nop => "nop",
+        }
+    }
+}
+
+impl fmt::Display for ReqValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The flavour of a select case, discovered at runtime (Req2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CaseFlavor {
+    /// A `send` case.
+    Send,
+    /// A `recv` case.
+    Recv,
+    /// The `default` case of a non-blocking select.
+    Default,
+}
+
+impl fmt::Display for CaseFlavor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CaseFlavor::Send => "send",
+            CaseFlavor::Recv => "recv",
+            CaseFlavor::Default => "default",
+        })
+    }
+}
+
+/// Which part of a CU a requirement refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ReqTarget {
+    /// The CU itself (everything except select cases).
+    Op,
+    /// Case `idx` of a select CU, with its flavour.
+    Case {
+        /// 0-based case index within the select statement.
+        idx: usize,
+        /// Send/recv/default flavour of the case.
+        flavor: CaseFlavor,
+    },
+}
+
+/// One coverage requirement instance: *observe behaviour `value` at
+/// target `target` of CU `cu`*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReqKey {
+    /// The CU this requirement instance belongs to.
+    pub cu: CuId,
+    /// Op-level or select-case-level target.
+    pub target: ReqTarget,
+    /// The behaviour to observe.
+    pub value: ReqValue,
+}
+
+impl ReqKey {
+    /// Requirement on the CU operation itself.
+    pub fn op(cu: CuId, value: ReqValue) -> Self {
+        ReqKey { cu, target: ReqTarget::Op, value }
+    }
+
+    /// Requirement on a select case.
+    pub fn case(cu: CuId, idx: usize, flavor: CaseFlavor, value: ReqValue) -> Self {
+        ReqKey { cu, target: ReqTarget::Case { idx, flavor }, value }
+    }
+}
+
+/// A requirement key together with its resolved CU, for reporting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Requirement {
+    /// The key identifying the requirement instance.
+    pub key: ReqKey,
+    /// The CU the key's id resolves to.
+    pub cu: Cu,
+}
+
+impl fmt::Display for Requirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.key.target {
+            ReqTarget::Op => write!(f, "{} :: {}", self.cu, self.key.value),
+            ReqTarget::Case { idx, flavor } => {
+                write!(f, "{} :: case{}({}) {}", self.cu, idx, flavor, self.key.value)
+            }
+        }
+    }
+}
+
+/// The requirement values Table I assigns to an op-level CU kind.
+///
+/// Select CUs return an empty slice here: their requirements are per-case
+/// and materialised at runtime via
+/// [`RequirementUniverse::discover_select_case`].
+pub fn op_requirements(kind: CuKind) -> &'static [ReqValue] {
+    use ReqValue::*;
+    match kind {
+        // Req1
+        CuKind::Send | CuKind::Recv => &[Blocked, Unblocking, Nop],
+        // Range is a repeated receive; same requirement set as recv.
+        CuKind::Range => &[Blocked, Unblocking, Nop],
+        // Req3
+        CuKind::Lock => &[Blocked, Blocking],
+        // Req4
+        CuKind::Close | CuKind::Unlock | CuKind::Signal | CuKind::Broadcast | CuKind::Done => {
+            &[Unblocking, Nop]
+        }
+        // wait (WaitGroup.wait / Cond.wait) either blocks or passes through
+        CuKind::Wait => &[Blocked, Nop],
+        // Req5 plus bookkeeping kinds that are covered by executing them.
+        CuKind::Go | CuKind::Add => &[Nop],
+        // Req2: per-case, dynamic.
+        CuKind::Select => &[],
+    }
+}
+
+/// The full (growing) set of requirement instances for one program.
+///
+/// Constructed from the static model `M` and expanded at runtime when
+/// select cases — and CUs missed by the static pass — are discovered.
+///
+/// ```
+/// use goat_model::{Cu, CuKind, CuTable, RequirementUniverse};
+/// let m = CuTable::from_cus([
+///     Cu::new("p.rs", 1, CuKind::Send),
+///     Cu::new("p.rs", 2, CuKind::Go),
+/// ]);
+/// let u = RequirementUniverse::from_table(m);
+/// assert_eq!(u.len(), 3 + 1); // send: 3 values, go: 1
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RequirementUniverse {
+    table: CuTable,
+    reqs: BTreeSet<ReqKey>,
+    /// (cu, case idx) pairs already materialised, to make discovery idempotent.
+    seen_cases: BTreeSet<(CuId, usize)>,
+    /// True for selects known to carry a default case (affects Req2 vs Req4).
+    nonblocking_selects: BTreeSet<CuId>,
+}
+
+impl RequirementUniverse {
+    /// An empty universe (requirements appear as CUs are discovered).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the universe implied by a static CU table.
+    pub fn from_table(table: CuTable) -> Self {
+        let mut u = RequirementUniverse { table: CuTable::new(), ..Self::default() };
+        u.table = table;
+        let ids: Vec<CuId> = u.table.iter().map(|(id, _)| id).collect();
+        for id in ids {
+            u.add_op_requirements(id);
+        }
+        u
+    }
+
+    fn add_op_requirements(&mut self, id: CuId) {
+        let kind = self.table.get(id).kind;
+        for &v in op_requirements(kind) {
+            self.reqs.insert(ReqKey::op(id, v));
+        }
+    }
+
+    /// The CU table backing this universe.
+    pub fn table(&self) -> &CuTable {
+        &self.table
+    }
+
+    /// Register a CU discovered dynamically (returns its id). New sites
+    /// contribute their op-level requirements immediately.
+    pub fn discover_cu(&mut self, cu: Cu) -> CuId {
+        if let Some(id) = self.table.lookup(&cu.file, cu.line, cu.kind) {
+            return id;
+        }
+        let id = self.table.insert(cu);
+        self.add_op_requirements(id);
+        id
+    }
+
+    /// Materialise the Req2/Req4 requirements for case `idx` of select
+    /// `cu`, observed at runtime.
+    ///
+    /// `has_default` is whether the *select statement* carries a default
+    /// case: per Table I a non-blocking select's channel cases only have
+    /// the Req4 set `{unblocking, NOP}` while a blocking select's cases
+    /// carry the full Req1 set.
+    pub fn discover_select_case(
+        &mut self,
+        cu: CuId,
+        idx: usize,
+        flavor: CaseFlavor,
+        has_default: bool,
+    ) {
+        if has_default {
+            self.nonblocking_selects.insert(cu);
+        }
+        if !self.seen_cases.insert((cu, idx)) {
+            return;
+        }
+        use ReqValue::*;
+        let values: &[ReqValue] = match flavor {
+            CaseFlavor::Default => &[Nop],
+            CaseFlavor::Send | CaseFlavor::Recv => {
+                if has_default {
+                    &[Unblocking, Nop]
+                } else {
+                    &[Blocked, Unblocking, Nop]
+                }
+            }
+        };
+        for &v in values {
+            self.reqs.insert(ReqKey::case(cu, idx, flavor, v));
+        }
+    }
+
+    /// Number of requirement instances currently in the universe.
+    pub fn len(&self) -> usize {
+        self.reqs.len()
+    }
+
+    /// Is the universe empty?
+    pub fn is_empty(&self) -> bool {
+        self.reqs.is_empty()
+    }
+
+    /// Does the universe contain this requirement instance?
+    pub fn contains(&self, key: &ReqKey) -> bool {
+        self.reqs.contains(key)
+    }
+
+    /// Iterate over all requirement instances.
+    pub fn iter(&self) -> impl Iterator<Item = &ReqKey> {
+        self.reqs.iter()
+    }
+
+    /// Resolve a key into a displayable [`Requirement`].
+    pub fn resolve(&self, key: ReqKey) -> Requirement {
+        Requirement { key, cu: self.table.get(key.cu).clone() }
+    }
+
+    /// Requirements not covered by `covered`, for the paper's "actions for
+    /// uncovered requirements" report.
+    pub fn uncovered<'a>(&'a self, covered: &'a CoverageSet) -> impl Iterator<Item = &'a ReqKey> {
+        self.reqs.iter().filter(move |k| !covered.contains(k))
+    }
+}
+
+/// The set of requirement instances covered by one or more executions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageSet {
+    covered: BTreeSet<ReqKey>,
+}
+
+impl CoverageSet {
+    /// An empty coverage set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark a requirement as covered; returns true if it was new.
+    pub fn cover(&mut self, key: ReqKey) -> bool {
+        self.covered.insert(key)
+    }
+
+    /// Was this requirement covered?
+    pub fn contains(&self, key: &ReqKey) -> bool {
+        self.covered.contains(key)
+    }
+
+    /// Number of covered requirements.
+    pub fn len(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Is nothing covered yet?
+    pub fn is_empty(&self) -> bool {
+        self.covered.is_empty()
+    }
+
+    /// Union with another coverage set (accumulation across test runs).
+    pub fn merge(&mut self, other: &CoverageSet) {
+        self.covered.extend(other.covered.iter().copied());
+    }
+
+    /// Iterate over covered requirement keys.
+    pub fn iter(&self) -> impl Iterator<Item = &ReqKey> {
+        self.covered.iter()
+    }
+
+    /// Coverage percentage against a universe, in `[0, 100]`.
+    ///
+    /// Only requirements that are in the universe count (stale keys from a
+    /// previous universe are ignored). An empty universe is 100 % covered.
+    pub fn percent(&self, universe: &RequirementUniverse) -> f64 {
+        if universe.is_empty() {
+            return 100.0;
+        }
+        let hit = self.covered.iter().filter(|k| universe.contains(k)).count();
+        100.0 * hit as f64 / universe.len() as f64
+    }
+}
+
+impl FromIterator<ReqKey> for CoverageSet {
+    fn from_iter<I: IntoIterator<Item = ReqKey>>(iter: I) -> Self {
+        CoverageSet { covered: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<ReqKey> for CoverageSet {
+    fn extend<I: IntoIterator<Item = ReqKey>>(&mut self, iter: I) {
+        self.covered.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> CuTable {
+        CuTable::from_cus([
+            Cu::new("p.rs", 1, CuKind::Send),
+            Cu::new("p.rs", 2, CuKind::Recv),
+            Cu::new("p.rs", 3, CuKind::Lock),
+            Cu::new("p.rs", 4, CuKind::Unlock),
+            Cu::new("p.rs", 5, CuKind::Go),
+            Cu::new("p.rs", 6, CuKind::Select),
+        ])
+    }
+
+    #[test]
+    fn universe_sizes_follow_table_i() {
+        let u = RequirementUniverse::from_table(table());
+        // send 3 + recv 3 + lock 2 + unlock 2 + go 1 + select 0 = 11
+        assert_eq!(u.len(), 11);
+    }
+
+    #[test]
+    fn select_cases_expand_universe() {
+        let mut u = RequirementUniverse::from_table(table());
+        let sel = u.table().lookup("p.rs", 6, CuKind::Select).unwrap();
+        let before = u.len();
+        u.discover_select_case(sel, 0, CaseFlavor::Recv, false);
+        assert_eq!(u.len(), before + 3);
+        // idempotent
+        u.discover_select_case(sel, 0, CaseFlavor::Recv, false);
+        assert_eq!(u.len(), before + 3);
+        u.discover_select_case(sel, 1, CaseFlavor::Send, false);
+        assert_eq!(u.len(), before + 6);
+    }
+
+    #[test]
+    fn nonblocking_select_cases_use_req4() {
+        let mut u = RequirementUniverse::from_table(table());
+        let sel = u.table().lookup("p.rs", 6, CuKind::Select).unwrap();
+        let before = u.len();
+        u.discover_select_case(sel, 0, CaseFlavor::Recv, true);
+        assert_eq!(u.len(), before + 2); // {unblocking, nop}
+        u.discover_select_case(sel, 1, CaseFlavor::Default, true);
+        assert_eq!(u.len(), before + 3); // default adds one NOP
+    }
+
+    #[test]
+    fn coverage_percent_monotone_under_merge() {
+        let u = RequirementUniverse::from_table(table());
+        let keys: Vec<ReqKey> = u.iter().copied().collect();
+        let mut a = CoverageSet::new();
+        a.cover(keys[0]);
+        let p1 = a.percent(&u);
+        let mut b = CoverageSet::new();
+        b.cover(keys[1]);
+        b.cover(keys[2]);
+        a.merge(&b);
+        assert!(a.percent(&u) >= p1);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn percent_bounds() {
+        let u = RequirementUniverse::from_table(table());
+        let empty = CoverageSet::new();
+        assert_eq!(empty.percent(&u), 0.0);
+        let full: CoverageSet = u.iter().copied().collect();
+        assert_eq!(full.percent(&u), 100.0);
+        let empty_universe = RequirementUniverse::new();
+        assert_eq!(empty.percent(&empty_universe), 100.0);
+    }
+
+    #[test]
+    fn discover_cu_is_idempotent_and_grows() {
+        let mut u = RequirementUniverse::new();
+        let id1 = u.discover_cu(Cu::new("q.rs", 9, CuKind::Send));
+        let n = u.len();
+        assert_eq!(n, 3);
+        let id2 = u.discover_cu(Cu::new("/abs/q.rs", 9, CuKind::Send));
+        assert_eq!(id1, id2);
+        assert_eq!(u.len(), n);
+    }
+
+    #[test]
+    fn uncovered_reporting() {
+        let u = RequirementUniverse::from_table(CuTable::from_cus([Cu::new(
+            "p.rs",
+            1,
+            CuKind::Lock,
+        )]));
+        let mut c = CoverageSet::new();
+        let first = *u.iter().next().unwrap();
+        c.cover(first);
+        let un: Vec<_> = u.uncovered(&c).collect();
+        assert_eq!(un.len(), 1);
+    }
+
+    #[test]
+    fn requirement_display_is_informative() {
+        let mut u = RequirementUniverse::new();
+        let id = u.discover_cu(Cu::new("p.rs", 6, CuKind::Select));
+        u.discover_select_case(id, 0, CaseFlavor::Recv, false);
+        let key = *u.iter().next().unwrap();
+        let s = u.resolve(key).to_string();
+        assert!(s.contains("p.rs:6"), "{s}");
+        assert!(s.contains("case0"), "{s}");
+    }
+}

@@ -1,0 +1,41 @@
+//! # goat-model — the static side of GoAT
+//!
+//! This crate implements the *static analysis* half of GoAT (section III-B
+//! of the paper) together with the *coverage requirement* definitions
+//! (section III-C, Table I).
+//!
+//! The paper builds a model `M`: a table of source locations associated
+//! with **concurrency usages** (CUs). A CU is a tuple `(f, l, k)` where
+//! `f` is a file name, `l` a line number and `k` the kind of concurrency
+//! primitive used at that location:
+//!
+//! * `Channel = {send, receive, close}`
+//! * `Sync    = {lock, unlock, wait, add, done, signal, broadcast}`
+//! * `Go      = {go, select, range}`
+//!
+//! In the original tool `M` is produced by walking the Go AST. Here the
+//! benchmark programs are Rust sources written against [`goat-runtime`]'s
+//! Go-style API, so the equivalent static pass is a lexical scanner over
+//! Rust sources ([`scanner`]) that recognises the runtime API calls and
+//! produces the same `(file, line, kind)` table ([`cu::CuTable`]).
+//!
+//! From a `CuTable`, [`coverage::RequirementUniverse`] materialises the
+//! coverage requirements of Table I (Req1–Req5), which the dynamic side
+//! (goat-core) marks as covered by analysing execution concurrency traces.
+//!
+//! [`goat-runtime`]: ../goat_runtime/index.html
+
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod cu;
+pub mod scanner;
+pub mod syncpair;
+
+pub use coverage::{
+    op_requirements, CaseFlavor, CoverageSet, ReqKey, ReqTarget, ReqValue, Requirement,
+    RequirementUniverse,
+};
+pub use cu::{Cu, CuId, CuKind, CuTable};
+pub use scanner::{scan_file, scan_source, scan_sources, ScanError};
+pub use syncpair::{SyncPair, SyncPairCoverage};

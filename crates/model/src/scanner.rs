@@ -1,0 +1,361 @@
+//! Static source scanner: builds the CU table `M` from program sources.
+//!
+//! The original GoAT walks the Go AST (via `go/ast`) of every file of the
+//! target program and records the source location of each concurrency
+//! primitive usage. The programs analysed by this reproduction are Rust
+//! sources written against the `goat-runtime` Go-style API, whose
+//! primitive operations have fixed, recognisable spellings — so the
+//! equivalent static pass is a line-oriented lexical scanner.
+//!
+//! The scanner understands just enough Rust to be reliable on the
+//! benchmark corpus: it strips `//` line comments, `/* .. */` block
+//! comments and string literals before matching, and it requires method
+//! patterns to follow a receiver expression (so `fn send(` in a trait
+//! definition does not count).
+//!
+//! | Spelling                                  | CU kind |
+//! |-------------------------------------------|---------|
+//! | `go(`, `go_named(`                        | go      |
+//! | `.send(`                                  | send    |
+//! | `.recv(`, `.try_recv(`                    | recv    |
+//! | `.close()`                                | close   |
+//! | `.lock()`, `.try_lock()`, `.rlock()`      | lock    |
+//! | `.unlock()`, `.runlock()`                 | unlock  |
+//! | `.wait(`                                  | wait    |
+//! | `.add(`                                   | add     |
+//! | `.done()`                                 | done    |
+//! | `.signal()`                               | signal  |
+//! | `.broadcast()`                            | broadcast |
+//! | `Select::new(`                            | select  |
+//! | `.range()`                                | range   |
+
+use crate::cu::{Cu, CuKind, CuTable};
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Error returned by [`scan_file`] / [`scan_sources`].
+#[derive(Debug)]
+pub struct ScanError {
+    /// Path that failed to read.
+    pub path: String,
+    /// Underlying I/O error.
+    pub source: io::Error,
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to scan {}: {}", self.path, self.source)
+    }
+}
+
+impl std::error::Error for ScanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Method-call patterns: matched only when preceded by a receiver
+/// expression (identifier, `)`, `]`, or `>`), never after `fn `.
+const METHOD_PATTERNS: &[(&str, CuKind)] = &[
+    (".send(", CuKind::Send),
+    (".recv(", CuKind::Recv),
+    (".try_recv(", CuKind::Recv),
+    (".close()", CuKind::Close),
+    (".lock()", CuKind::Lock),
+    (".try_lock()", CuKind::Lock),
+    (".rlock()", CuKind::Lock),
+    (".unlock()", CuKind::Unlock),
+    (".runlock()", CuKind::Unlock),
+    (".wait(", CuKind::Wait),
+    (".add(", CuKind::Add),
+    (".done()", CuKind::Done),
+    (".signal()", CuKind::Signal),
+    (".broadcast()", CuKind::Broadcast),
+    (".range()", CuKind::Range),
+];
+
+/// Free-function / constructor patterns: matched on an identifier
+/// boundary (not preceded by an identifier character, `.` or `:`).
+const FREE_PATTERNS: &[(&str, CuKind)] = &[
+    ("go(", CuKind::Go),
+    ("go_named(", CuKind::Go),
+];
+
+/// Exact-path patterns matched anywhere outside comments/strings.
+const PATH_PATTERNS: &[(&str, CuKind)] = &[("Select::new(", CuKind::Select)];
+
+/// Scan a single source string, attributing CUs to `file`.
+///
+/// ```
+/// use goat_model::{scan_source, CuKind};
+/// let src = r#"
+///     go(move || {
+///         ch.send(1); // comment with ch.send( inside is ignored
+///     });
+///     let v = ch.recv();
+/// "#;
+/// let m = scan_source("prog.rs", src);
+/// assert_eq!(m.count_kind(CuKind::Go), 1);
+/// assert_eq!(m.count_kind(CuKind::Send), 1);
+/// assert_eq!(m.count_kind(CuKind::Recv), 1);
+/// ```
+pub fn scan_source(file: &str, source: &str) -> CuTable {
+    let mut table = CuTable::new();
+    let mut in_block_comment = false;
+    for (i, raw_line) in source.lines().enumerate() {
+        let line_no = (i + 1) as u32;
+        let clean = sanitize_line(raw_line, &mut in_block_comment);
+        for kind in find_cus(&clean) {
+            table.insert(Cu::new(file, line_no, kind));
+        }
+    }
+    table
+}
+
+/// Scan one file from disk. The CU `file` field is the path as given.
+pub fn scan_file(path: impl AsRef<Path>) -> Result<CuTable, ScanError> {
+    let path = path.as_ref();
+    let src = std::fs::read_to_string(path).map_err(|source| ScanError {
+        path: path.display().to_string(),
+        source,
+    })?;
+    Ok(scan_source(&path.display().to_string(), &src))
+}
+
+/// Scan many files, merging their CU tables into one model `M`.
+pub fn scan_sources<P, I>(paths: I) -> Result<CuTable, ScanError>
+where
+    P: AsRef<Path>,
+    I: IntoIterator<Item = P>,
+{
+    let mut table = CuTable::new();
+    for p in paths {
+        table.merge(&scan_file(p)?);
+    }
+    Ok(table)
+}
+
+/// Remove comments and blank out string/char literal bodies so patterns
+/// inside them do not match. Tracks `/* */` across lines via
+/// `in_block_comment`.
+fn sanitize_line(line: &str, in_block_comment: &mut bool) -> String {
+    let bytes = line.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block_comment {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            b'"' => {
+                // Blank out the string body (no multi-line strings in the corpus).
+                out.push(b' ');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'\'' if i + 2 < bytes.len()
+                && (bytes[i + 2] == b'\'' || (bytes[i + 1] == b'\\')) =>
+            {
+                // char literal like 'x' or '\n' — blank it; lifetimes ('a)
+                // do not match this shape.
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    i += 1;
+                }
+                i += 1; // opening quote
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'\'' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.push(b' ');
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Find all CU kinds mentioned on a sanitized line, left to right.
+fn find_cus(line: &str) -> Vec<CuKind> {
+    let bytes = line.as_bytes();
+    let mut found: Vec<(usize, CuKind)> = Vec::new();
+
+    for &(pat, kind) in METHOD_PATTERNS {
+        for pos in match_positions(line, pat) {
+            // Require a receiver expression before the dot.
+            let before = bytes[..pos].iter().rev().find(|b| !b.is_ascii_whitespace());
+            let ok = matches!(before, Some(&b) if is_ident(b) || b == b')' || b == b']' || b == b'>');
+            if ok {
+                found.push((pos, kind));
+            }
+        }
+    }
+    for &(pat, kind) in FREE_PATTERNS {
+        for pos in match_positions(line, pat) {
+            let prev = if pos == 0 { None } else { Some(bytes[pos - 1]) };
+            let ok = match prev {
+                None => true,
+                Some(b) => !is_ident(b) && b != b'.' && b != b':',
+            };
+            if ok {
+                found.push((pos, kind));
+            }
+        }
+    }
+    for &(pat, kind) in PATH_PATTERNS {
+        for pos in match_positions(line, pat) {
+            found.push((pos, kind));
+        }
+    }
+    found.sort_by_key(|&(pos, _)| pos);
+    found.into_iter().map(|(_, k)| k).collect()
+}
+
+fn match_positions<'a>(haystack: &'a str, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let mut start = 0;
+    std::iter::from_fn(move || {
+        let rel = haystack[start..].find(needle)?;
+        let pos = start + rel;
+        start = pos + 1;
+        Some(pos)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognises_all_primitive_spellings() {
+        let src = r#"
+            go(|| {});
+            go_named("w", || {});
+            ch.send(5);
+            let x = ch.recv();
+            let y = ch.try_recv();
+            ch.close();
+            mu.lock();
+            mu.try_lock();
+            rw.rlock();
+            mu.unlock();
+            rw.runlock();
+            wg.wait();
+            cv.wait(&mu);
+            wg.add(1);
+            wg.done();
+            cv.signal();
+            cv.broadcast();
+            let r = Select::new().recv(&ch, |_| 0).run();
+            for v in ch.range() {}
+        "#;
+        let m = scan_source("t.rs", src);
+        assert_eq!(m.count_kind(CuKind::Go), 2);
+        assert_eq!(m.count_kind(CuKind::Send), 1);
+        assert_eq!(m.count_kind(CuKind::Recv), 3); // recv, try_recv, select .recv(
+        assert_eq!(m.count_kind(CuKind::Close), 1);
+        assert_eq!(m.count_kind(CuKind::Lock), 3);
+        assert_eq!(m.count_kind(CuKind::Unlock), 2);
+        assert_eq!(m.count_kind(CuKind::Wait), 2);
+        assert_eq!(m.count_kind(CuKind::Add), 1);
+        assert_eq!(m.count_kind(CuKind::Done), 1);
+        assert_eq!(m.count_kind(CuKind::Signal), 1);
+        assert_eq!(m.count_kind(CuKind::Broadcast), 1);
+        assert_eq!(m.count_kind(CuKind::Select), 1);
+        assert_eq!(m.count_kind(CuKind::Range), 1);
+    }
+
+    #[test]
+    fn ignores_comments_and_strings() {
+        let src = r#"
+            // ch.send(1);
+            /* mu.lock(); */
+            let s = "ch.recv() go( .close()";
+            /*
+               wg.wait();
+            */
+            ch.send(2);
+        "#;
+        let m = scan_source("t.rs", src);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.count_kind(CuKind::Send), 1);
+    }
+
+    #[test]
+    fn ignores_definitions_and_prefixed_identifiers() {
+        let src = r#"
+            fn send(x: u32) {}
+            fn go_home() {}
+            let cargo = 1; // 'go(' inside identifier must not match: cargo(
+            forgo(3);
+            self::go(|| {});
+        "#;
+        let m = scan_source("t.rs", src);
+        // `self::go(` is rejected (preceded by ':'), fn send( has no receiver.
+        assert_eq!(m.len(), 0, "{m:?}");
+    }
+
+    #[test]
+    fn method_after_call_chain_counts() {
+        let m = scan_source("t.rs", "make_chan().send(1); arr[0].recv();");
+        assert_eq!(m.count_kind(CuKind::Send), 1);
+        assert_eq!(m.count_kind(CuKind::Recv), 1);
+    }
+
+    #[test]
+    fn multiple_cus_on_one_line() {
+        let m = scan_source("t.rs", "a.lock(); x.send(y.recv()); a.unlock();");
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let m = scan_source("t.rs", "\n\nch.send(1);\n");
+        let (_, cu) = m.iter().next().unwrap();
+        assert_eq!(cu.line, 3);
+    }
+
+    #[test]
+    fn char_literals_do_not_break_scanning() {
+        let m = scan_source("t.rs", "let c = 'x'; ch.send('y'); let l: &'static str = s;");
+        assert_eq!(m.count_kind(CuKind::Send), 1);
+    }
+
+    #[test]
+    fn scan_missing_file_errors() {
+        let err = scan_file("/nonexistent/goat/file.rs").unwrap_err();
+        assert!(err.to_string().contains("file.rs"));
+    }
+}

@@ -1,0 +1,147 @@
+//! A baseline concurrency-coverage metric for comparison:
+//! **synchronization-pair coverage**.
+//!
+//! §II-D surveys earlier synchronization coverage models —
+//! blocking-blocked [32], blocked-pair-follows [36] and
+//! synchronization-pair [33] — designed for Java/pthreads, and argues
+//! they do not transfer directly to Go's primitive mix. This module
+//! implements the synchronization-pair family over the ECT so the claim
+//! can be *measured* (see the `metric_compare` harness): a requirement
+//! is an **ordered pair of CU sites** `(unblocker_site, blocked_site)`,
+//! covered when an operation executed at `unblocker_site` wakes a
+//! goroutine blocked at `blocked_site`.
+//!
+//! Contrast with GoAT's Req1–Req5 (the [`crate::coverage`] module):
+//!
+//! * sync-pair coverage has **no universe before execution** — pairs can
+//!   only be enumerated after both sites were seen interacting, so it
+//!   cannot drive a "which requirement is still uncovered" report;
+//! * it says nothing about select-case choice or NOP behaviour, the two
+//!   behaviours §II-B blames for Go's interleaving blow-up.
+
+use crate::cu::{Cu, CuId, CuTable};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One synchronization pair: the waker's site and the sleeper's site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SyncPair {
+    /// CU of the operation that performed the wakeup.
+    pub unblocker: CuId,
+    /// CU where the woken goroutine had blocked.
+    pub blocked: CuId,
+}
+
+/// Accumulated synchronization-pair coverage.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SyncPairCoverage {
+    table: CuTable,
+    pairs: BTreeSet<SyncPair>,
+}
+
+impl SyncPairCoverage {
+    /// Empty coverage state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observed wakeup edge between two sites.
+    pub fn observe(&mut self, unblocker: &Cu, blocked: &Cu) -> bool {
+        let u = self.lookup_or_insert(unblocker);
+        let b = self.lookup_or_insert(blocked);
+        self.pairs.insert(SyncPair { unblocker: u, blocked: b })
+    }
+
+    fn lookup_or_insert(&mut self, cu: &Cu) -> CuId {
+        self.table.insert(cu.clone())
+    }
+
+    /// Number of distinct pairs observed so far.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Has nothing been observed?
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterate over observed pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &SyncPair> {
+        self.pairs.iter()
+    }
+
+    /// The CU table backing pair ids.
+    pub fn table(&self) -> &CuTable {
+        &self.table
+    }
+
+    /// Merge another coverage state (site ids are re-mapped).
+    pub fn merge(&mut self, other: &SyncPairCoverage) {
+        for pair in &other.pairs {
+            let u = other.table.get(pair.unblocker).clone();
+            let b = other.table.get(pair.blocked).clone();
+            self.observe(&u, &b);
+        }
+    }
+
+    /// Render the observed pairs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for p in &self.pairs {
+            out.push_str(&format!(
+                "{}  →  {}\n",
+                self.table.get(p.unblocker),
+                self.table.get(p.blocked)
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SyncPairCoverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} synchronization pair(s) over {} site(s)", self.pairs.len(), self.table.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cu::CuKind;
+
+    fn cu(line: u32, kind: CuKind) -> Cu {
+        Cu::new("p.rs", line, kind)
+    }
+
+    #[test]
+    fn observe_dedups_pairs() {
+        let mut c = SyncPairCoverage::new();
+        assert!(c.observe(&cu(1, CuKind::Send), &cu(2, CuKind::Recv)));
+        assert!(!c.observe(&cu(1, CuKind::Send), &cu(2, CuKind::Recv)));
+        assert!(c.observe(&cu(2, CuKind::Recv), &cu(1, CuKind::Send)), "pairs are ordered");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.table().len(), 2, "sites are shared across pairs");
+    }
+
+    #[test]
+    fn merge_remaps_site_ids() {
+        let mut a = SyncPairCoverage::new();
+        a.observe(&cu(1, CuKind::Send), &cu(2, CuKind::Recv));
+        let mut b = SyncPairCoverage::new();
+        b.observe(&cu(9, CuKind::Unlock), &cu(8, CuKind::Lock));
+        b.observe(&cu(1, CuKind::Send), &cu(2, CuKind::Recv)); // shared pair
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!(a.render().contains("p.rs:9"), "{}", a.render());
+    }
+
+    #[test]
+    fn display_counts() {
+        let mut c = SyncPairCoverage::new();
+        assert!(c.is_empty());
+        c.observe(&cu(1, CuKind::Close), &cu(3, CuKind::Recv));
+        assert_eq!(c.to_string(), "1 synchronization pair(s) over 2 site(s)");
+    }
+}

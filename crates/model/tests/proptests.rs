@@ -1,0 +1,201 @@
+//! Property-based tests for the CU model, the coverage-requirement
+//! algebra and the static scanner.
+
+use goat_model::{
+    scan_source, CaseFlavor, CoverageSet, Cu, CuKind, CuTable, ReqKey, RequirementUniverse,
+};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = CuKind> {
+    prop::sample::select(CuKind::ALL.to_vec())
+}
+
+fn cu_strategy() -> impl Strategy<Value = Cu> {
+    ("[a-z]{1,8}\\.rs", 1..500u32, kind_strategy())
+        .prop_map(|(file, line, kind)| Cu::new(format!("src/{file}"), line, kind))
+}
+
+proptest! {
+    #[test]
+    fn table_insert_is_idempotent_and_lookupable(cus in prop::collection::vec(cu_strategy(), 0..40)) {
+        let mut table = CuTable::new();
+        for cu in &cus {
+            table.insert(cu.clone());
+        }
+        prop_assert!(table.len() <= cus.len());
+        for cu in &cus {
+            let id = table.lookup(&cu.file, cu.line, cu.kind);
+            prop_assert!(id.is_some(), "lost {cu}");
+            prop_assert!(table.get(id.unwrap()).same_site(cu));
+        }
+        // Re-inserting everything changes nothing.
+        let before = table.len();
+        for cu in &cus {
+            table.insert(cu.clone());
+        }
+        prop_assert_eq!(table.len(), before);
+    }
+
+    #[test]
+    fn merge_is_union(
+        a in prop::collection::vec(cu_strategy(), 0..20),
+        b in prop::collection::vec(cu_strategy(), 0..20),
+    ) {
+        let ta = CuTable::from_cus(a.clone());
+        let tb = CuTable::from_cus(b.clone());
+        let mut merged = ta.clone();
+        merged.merge(&tb);
+        let mut all = CuTable::new();
+        for cu in a.iter().chain(b.iter()) {
+            all.insert(cu.clone());
+        }
+        prop_assert_eq!(merged.len(), all.len());
+    }
+
+    #[test]
+    fn universe_size_matches_table_i(cus in prop::collection::vec(cu_strategy(), 0..30)) {
+        let table = CuTable::from_cus(cus);
+        let expected: usize = table
+            .iter()
+            .map(|(_, cu)| goat_model::op_requirements(cu.kind).len())
+            .sum();
+        let u = RequirementUniverse::from_table(table);
+        prop_assert_eq!(u.len(), expected);
+    }
+
+    #[test]
+    fn coverage_percent_is_monotone_in_covered_keys(
+        cus in prop::collection::vec(cu_strategy(), 1..20),
+        take in 0..30usize,
+    ) {
+        let u = RequirementUniverse::from_table(CuTable::from_cus(cus));
+        let keys: Vec<ReqKey> = u.iter().copied().collect();
+        let mut set = CoverageSet::new();
+        let mut last = set.percent(&u);
+        for key in keys.iter().take(take.min(keys.len())) {
+            set.cover(*key);
+            let now = set.percent(&u);
+            prop_assert!(now >= last);
+            prop_assert!((0.0..=100.0).contains(&now));
+            last = now;
+        }
+        // Covering everything always reaches exactly 100 %.
+        for key in &keys {
+            set.cover(*key);
+        }
+        if !keys.is_empty() {
+            prop_assert!((set.percent(&u) - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coverage_merge_is_commutative(
+        cus in prop::collection::vec(cu_strategy(), 1..15),
+        split in 0..100u8,
+    ) {
+        let u = RequirementUniverse::from_table(CuTable::from_cus(cus));
+        let keys: Vec<ReqKey> = u.iter().copied().collect();
+        let pivot = (keys.len() * usize::from(split) / 100).min(keys.len());
+        let a: CoverageSet = keys[..pivot].iter().copied().collect();
+        let b: CoverageSet = keys[pivot..].iter().copied().collect();
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.len(), ba.len());
+        prop_assert_eq!(ab.percent(&u), ba.percent(&u));
+    }
+
+    #[test]
+    fn select_case_discovery_is_idempotent(
+        idx in 0..8usize,
+        repeat in 1..5usize,
+        has_default in any::<bool>(),
+    ) {
+        let mut u = RequirementUniverse::new();
+        let id = u.discover_cu(Cu::new("p.rs", 1, CuKind::Select));
+        u.discover_select_case(id, idx, CaseFlavor::Recv, has_default);
+        let n = u.len();
+        for _ in 0..repeat {
+            u.discover_select_case(id, idx, CaseFlavor::Recv, has_default);
+        }
+        prop_assert_eq!(u.len(), n);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scanner properties
+// ---------------------------------------------------------------------
+
+/// Build a source file out of op lines with known CU kinds and junk.
+fn program_line() -> impl Strategy<Value = (String, Option<CuKind>)> {
+    prop_oneof![
+        Just(("    ch.send(1);".to_string(), Some(CuKind::Send))),
+        Just(("    let v = ch.recv();".to_string(), Some(CuKind::Recv))),
+        Just(("    mu.lock();".to_string(), Some(CuKind::Lock))),
+        Just(("    mu.unlock();".to_string(), Some(CuKind::Unlock))),
+        Just(("    wg.done();".to_string(), Some(CuKind::Done))),
+        Just(("    go(|| {});".to_string(), Some(CuKind::Go))),
+        Just(("    let x = 42;".to_string(), None)),
+        Just(("    // ch.send(1); mu.lock();".to_string(), None)),
+        Just(("    let s = \"go( ch.recv() mu.lock()\";".to_string(), None)),
+        Just(("    fn send(x: u32) {}".to_string(), None)),
+        Just((String::new(), None)),
+    ]
+}
+
+/// Robustness smoke test: the scanner must process every Rust source in
+/// this repository (including itself) without panicking, and file/line
+/// attribution must stay within bounds.
+#[test]
+fn scanner_survives_the_whole_repository() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+    let mut scanned = 0usize;
+    let mut stack = vec![root];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if name != "target" && name != ".git" {
+                    stack.push(path);
+                }
+            } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+                let table = goat_model::scan_file(&path).expect("readable source");
+                let src_lines =
+                    std::fs::read_to_string(&path).unwrap().lines().count() as u32;
+                for (_, cu) in table.iter() {
+                    assert!(cu.line >= 1 && cu.line <= src_lines.max(1), "{cu}");
+                }
+                scanned += 1;
+            }
+        }
+    }
+    assert!(scanned > 30, "expected to scan the whole workspace, got {scanned}");
+}
+
+proptest! {
+    #[test]
+    fn scanner_counts_exactly_the_real_ops(
+        lines in prop::collection::vec(program_line(), 0..60),
+    ) {
+        let src: String =
+            lines.iter().map(|(l, _)| format!("{l}\n")).collect();
+        let table = scan_source("gen.rs", &src);
+        // Expected: one CU per op line, at the right line number; equal
+        // op lines at different line numbers are distinct CUs.
+        let expected: Vec<(u32, CuKind)> = lines
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (_, k))| k.map(|k| (i as u32 + 1, k)))
+            .collect();
+        prop_assert_eq!(table.len(), expected.len());
+        for (line, kind) in expected {
+            prop_assert!(
+                table.lookup("gen.rs", line, kind).is_some(),
+                "missing {kind} at line {line}\n{src}"
+            );
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! A minimal Go-style `context`: cancellation signals propagated through
+//! a done channel. Many GoKer kernels (grpc, kubernetes, moby) leak
+//! goroutines precisely because a context's done channel is the only way
+//! out of a blocked select — so the benchmark needs a faithful one.
+
+use crate::chan::Chan;
+use crate::rt::{current, Sched, TimerTarget};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct CtxInner {
+    done: Chan<()>,
+    cancelled: AtomicBool,
+}
+
+/// A cancellation context. Cloning shares the context.
+///
+/// ```
+/// use goat_runtime::{Runtime, Config, go, gosched, Select, Chan, context::Context};
+/// let r = Runtime::run(Config::new(0), || {
+///     let (ctx, cancel) = Context::with_cancel();
+///     let work: Chan<u32> = Chan::new(0);
+///     let ctx2 = ctx.clone();
+///     go(move || {
+///         let stopped = Select::new()
+///             .recv(&work, |_| false)
+///             .recv(ctx2.done(), |_| true)
+///             .run();
+///         assert!(stopped);
+///     });
+///     cancel.cancel();
+///     gosched(); // let the worker observe the cancellation
+/// });
+/// assert!(r.clean());
+/// ```
+#[derive(Clone)]
+pub struct Context {
+    inner: Arc<CtxInner>,
+}
+
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context").field("cancelled", &self.is_cancelled()).finish()
+    }
+}
+
+/// Cancels the context it was created with (idempotent).
+#[derive(Clone)]
+pub struct Canceler {
+    inner: Arc<CtxInner>,
+}
+
+impl std::fmt::Debug for Canceler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Canceler").finish_non_exhaustive()
+    }
+}
+
+impl Canceler {
+    /// Cancel the context, closing its done channel. Safe to call more
+    /// than once (unlike closing a channel directly).
+    #[track_caller]
+    pub fn cancel(&self) {
+        if !self.inner.cancelled.swap(true, Ordering::SeqCst) {
+            self.inner.done.close();
+        }
+    }
+}
+
+struct DeadlineTarget {
+    inner: Arc<CtxInner>,
+}
+
+impl TimerTarget for DeadlineTarget {
+    fn fire(&self, s: &mut Sched) {
+        if !self.inner.cancelled.swap(true, Ordering::SeqCst) {
+            self.inner.done.core().close_internal(s);
+        }
+    }
+}
+
+impl Context {
+    /// A never-cancelled root context.
+    ///
+    /// # Panics
+    /// Panics when called outside a goroutine.
+    pub fn background() -> Context {
+        Context { inner: Arc::new(CtxInner { done: Chan::new(0), cancelled: AtomicBool::new(false) }) }
+    }
+
+    /// A cancellable context plus its [`Canceler`].
+    pub fn with_cancel() -> (Context, Canceler) {
+        let ctx = Context::background();
+        let canceler = Canceler { inner: Arc::clone(&ctx.inner) };
+        (ctx, canceler)
+    }
+
+    /// A context that cancels itself after `d` of virtual time.
+    pub fn with_timeout(d: Duration) -> (Context, Canceler) {
+        let (ctx, canceler) = Context::with_cancel();
+        let rt_ctx = current();
+        let mut s = rt_ctx.rt.state.lock();
+        s.add_timer_fire(
+            d.as_nanos() as u64,
+            Arc::new(DeadlineTarget { inner: Arc::clone(&ctx.inner) }),
+        );
+        drop(s);
+        (ctx, canceler)
+    }
+
+    /// The done channel: closed when the context is cancelled. Use as a
+    /// select case or receive from it directly to wait for cancellation.
+    pub fn done(&self) -> &Chan<()> {
+        &self.inner.done
+    }
+
+    /// Has the context been cancelled?
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, RunOutcome};
+    use crate::rt::{go, Runtime};
+    use crate::select::Select;
+
+    fn cfg(seed: u64) -> Config {
+        Config::new(seed).with_native_preempt_prob(0.0)
+    }
+
+    #[test]
+    fn cancel_unblocks_waiter() {
+        let r = Runtime::run(cfg(0), || {
+            let (ctx, cancel) = Context::with_cancel();
+            let ctx2 = ctx.clone();
+            go(move || {
+                assert_eq!(ctx2.done().recv(), None); // closed
+            });
+            cancel.cancel();
+            crate::rt::gosched(); // let the waiter observe the close
+            assert!(ctx.is_cancelled());
+        });
+        assert!(r.clean(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn cancel_is_idempotent() {
+        let r = Runtime::run(cfg(0), || {
+            let (_ctx, cancel) = Context::with_cancel();
+            cancel.cancel();
+            cancel.cancel(); // no double-close panic
+        });
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn timeout_cancels_blocked_select() {
+        let r = Runtime::run(cfg(0), || {
+            let (ctx, _cancel) = Context::with_timeout(Duration::from_millis(10));
+            let never: Chan<u32> = Chan::new(0);
+            let timed_out =
+                Select::new().recv(&never, |_| false).recv(ctx.done(), |_| true).run();
+            assert!(timed_out);
+            assert!(ctx.is_cancelled());
+        });
+        assert!(r.clean(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn forgotten_cancel_leaks_waiter() {
+        // The archetypal context leak: a goroutine waits on ctx.done()
+        // but nobody ever cancels.
+        let r = Runtime::run(cfg(0), || {
+            let (ctx, _cancel) = Context::with_cancel();
+            go(move || {
+                ctx.done().recv();
+            });
+            crate::rt::gosched();
+        });
+        assert!(matches!(r.outcome, RunOutcome::Completed));
+        assert_eq!(r.alive_at_end.len(), 1, "waiter leaked");
+    }
+}

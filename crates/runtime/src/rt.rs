@@ -1,0 +1,1225 @@
+//! The single-token cooperative scheduler.
+//!
+//! Goroutines are OS threads, but **exactly one** holds the *run token*
+//! at any moment; everything else is parked. Every primitive operation
+//! funnels through this module to block, wake, yield and emit ECT events,
+//! which gives the runtime three properties the paper's methodology
+//! needs:
+//!
+//! 1. **Determinism** — given a [`Config::seed`], the whole interleaving
+//!    (run-queue choices, select choices, injected yields) replays
+//!    exactly;
+//! 2. **Complete traces** — every scheduling-relevant action passes a
+//!    single emission point;
+//! 3. **Virtual time** — the clock advances per scheduler step and
+//!    fast-forwards over idle periods, making timeouts deterministic.
+//!
+//! The *native* scheduling policy models Go's production scheduler: the
+//! FIFO global run queue is followed, except with probability ε
+//! ([`Config::native_preempt_prob`]) a random runnable goroutine is
+//! chosen instead — the preemption/multi-processor noise that makes rare
+//! interleavings rare.
+
+use crate::config::{AliveGoroutine, Config, Decision, ReplayLog, RunOutcome, RunResult, SchedPolicy};
+use crate::monitor::Monitor;
+use goat_model::{Cu, CuKind};
+use goat_trace::{BlockReason, Ect, Event, EventKind, Gid, RId, VTime};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+// ---------------------------------------------------------------------
+// Parking
+// ---------------------------------------------------------------------
+
+/// One goroutine's parking spot for token hand-off.
+pub(crate) struct Parker {
+    m: Mutex<ParkState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct ParkState {
+    granted: bool,
+    shutdown: bool,
+}
+
+impl Parker {
+    fn new() -> Arc<Parker> {
+        Arc::new(Parker { m: Mutex::new(ParkState::default()), cv: Condvar::new() })
+    }
+
+    fn grant(&self) {
+        let mut st = self.m.lock();
+        st.granted = true;
+        self.cv.notify_one();
+    }
+
+    fn shutdown(&self) {
+        let mut st = self.m.lock();
+        st.shutdown = true;
+        self.cv.notify_one();
+    }
+
+    /// Park until granted the token (`Ok`) or shut down (`Err`).
+    fn park(&self) -> Result<(), ()> {
+        let mut st = self.m.lock();
+        loop {
+            if st.shutdown {
+                return Err(());
+            }
+            if st.granted {
+                st.granted = false;
+                return Ok(());
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+}
+
+/// Panic payload used to unwind goroutine threads at shutdown.
+pub(crate) struct ShutdownSignal;
+
+/// Panic payload for Go-level runtime panics ("send on closed channel").
+pub(crate) struct GoPanic {
+    pub msg: String,
+}
+
+/// Raise a Go-level panic (crashes the whole program, like Go).
+pub(crate) fn gopanic(msg: impl Into<String>) -> ! {
+    panic::panic_any(GoPanic { msg: msg.into() })
+}
+
+pub(crate) fn shutdown_unwind() -> ! {
+    panic::panic_any(ShutdownSignal)
+}
+
+/// Install a process-wide panic hook that silences the runtime's
+/// controlled unwinds (shutdown signals and Go-level panics) while
+/// delegating genuine panics to the previous hook.
+fn install_panic_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            if p.is::<ShutdownSignal>() || p.is::<GoPanic>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------
+// Scheduler state
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum GState {
+    Runnable,
+    Running,
+    Blocked(BlockReason),
+    Done,
+}
+
+struct GSlot {
+    gid: Gid,
+    name: String,
+    internal: bool,
+    state: GState,
+    parker: Arc<Parker>,
+}
+
+/// Commit point shared by the registrations of one blocked select.
+///
+/// The first operation (peer send/recv, close, timer) that consumes one
+/// of the select's registered cases *commits* the select to that case;
+/// every other registration becomes stale and is skipped or removed.
+pub(crate) struct SelToken {
+    winner: Mutex<Option<usize>>,
+}
+
+impl SelToken {
+    pub(crate) fn new() -> Arc<SelToken> {
+        Arc::new(SelToken { winner: Mutex::new(None) })
+    }
+
+    /// Try to commit the select to case `idx`; false if already won.
+    pub(crate) fn try_commit(&self, idx: usize) -> bool {
+        let mut w = self.winner.lock();
+        if w.is_none() {
+            *w = Some(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The committed case, if any.
+    pub(crate) fn winner(&self) -> Option<usize> {
+        *self.winner.lock()
+    }
+}
+
+/// A timer action fired when virtual time reaches the deadline.
+pub(crate) trait TimerTarget: Send + Sync {
+    /// Deliver the timer's effect (wake a goroutine, complete a channel).
+    fn fire(&self, s: &mut Sched);
+}
+
+enum TimerAction {
+    Wake(Gid),
+    Fire(Arc<dyn TimerTarget>),
+}
+
+struct TimerEntry {
+    deadline: u64,
+    seq: u64,
+    id: RId,
+    action: TimerAction,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deadline, self.seq) == (other.deadline, other.seq)
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+/// The scheduler: all mutable run state behind one lock.
+pub(crate) struct Sched {
+    cfg: Config,
+    slots: Vec<GSlot>,
+    runq: VecDeque<Gid>,
+    rng: SmallRng,
+    clock: u64,
+    steps: u64,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    timer_seq: u64,
+    next_rid: u64,
+    trace: Vec<Event>,
+    trace_full: bool,
+    outcome: Option<RunOutcome>,
+    shutdown: bool,
+    yields_injected: u32,
+    monitor: Option<Arc<dyn Monitor>>,
+    /// Alive-goroutine snapshot taken at the moment the outcome was
+    /// decided (before shutdown unwinding marks everything done).
+    alive_snapshot: Option<Vec<AliveGoroutine>>,
+    /// Main returned; the scheduler is draining runnable goroutines
+    /// before declaring the run complete.
+    main_exited: bool,
+    /// Every nondeterministic choice taken, for schedule-forcing replay.
+    decision_log: Vec<Decision>,
+    /// Cursor into the replay log when the policy is `Replay`.
+    replay_cursor: usize,
+    /// The replayed program diverged from its log.
+    replay_diverged: bool,
+}
+
+impl Sched {
+    fn new(cfg: Config, monitor: Option<Arc<dyn Monitor>>) -> Self {
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        Sched {
+            cfg,
+            slots: Vec::new(),
+            runq: VecDeque::new(),
+            rng,
+            clock: 0,
+            steps: 0,
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            next_rid: 0,
+            trace: Vec::new(),
+            trace_full: false,
+            outcome: None,
+            shutdown: false,
+            yields_injected: 0,
+            monitor,
+            alive_snapshot: None,
+            main_exited: false,
+            decision_log: Vec::new(),
+            replay_cursor: 0,
+            replay_diverged: false,
+        }
+    }
+
+    fn slot(&self, g: Gid) -> &GSlot {
+        &self.slots[(g.0 - 1) as usize]
+    }
+
+    fn slot_mut(&mut self, g: Gid) -> &mut GSlot {
+        &mut self.slots[(g.0 - 1) as usize]
+    }
+
+    /// Append an ECT event.
+    pub(crate) fn emit(&mut self, g: Gid, kind: EventKind, cu: Option<Cu>) {
+        if !self.cfg.trace || self.trace_full {
+            return;
+        }
+        if self.trace.len() >= self.cfg.max_trace_events {
+            self.trace_full = true;
+            return;
+        }
+        let seq = self.trace.len() as u64;
+        self.trace.push(Event { seq, ts: VTime(self.clock), g, kind, cu });
+    }
+
+    /// Allocate a fresh traced-resource id.
+    pub(crate) fn alloc_rid(&mut self) -> RId {
+        self.next_rid += 1;
+        RId(self.next_rid)
+    }
+
+    /// Select-case choice: replayed from the log when the policy is
+    /// `Replay`, pseudo-random otherwise; always recorded.
+    pub(crate) fn choose(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        let replayed = if let SchedPolicy::Replay(log) = &self.cfg.policy {
+            if !self.replay_diverged {
+                match log.decisions.get(self.replay_cursor) {
+                    Some(Decision::SelectChoice(i)) if *i < n => {
+                        self.replay_cursor += 1;
+                        Some(*i)
+                    }
+                    _ => {
+                        self.replay_diverged = true;
+                        None
+                    }
+                }
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let i = replayed.unwrap_or_else(|| self.rng.gen_range(0..n));
+        self.decision_log.push(Decision::SelectChoice(i));
+        i
+    }
+
+    /// Yield-handler decision in front of a CU: replayed or computed
+    /// from the delay budget / native preemption noise; always recorded.
+    pub(crate) fn decide_yield(&mut self) -> bool {
+        let replayed = if let SchedPolicy::Replay(log) = &self.cfg.policy {
+            if !self.replay_diverged {
+                match log.decisions.get(self.replay_cursor) {
+                    Some(Decision::YieldAt(b)) => {
+                        self.replay_cursor += 1;
+                        Some(*b)
+                    }
+                    _ => {
+                        self.replay_diverged = true;
+                        None
+                    }
+                }
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let yield_now = match replayed {
+            Some(b) => b,
+            None => {
+                let inject = self.cfg.delay_bound > self.yields_injected
+                    && self.cfg.delay_bound > 0
+                    && {
+                        let p = self.cfg.yield_prob;
+                        p > 0.0 && self.rng.gen_bool(p)
+                    };
+                if inject {
+                    self.yields_injected += 1;
+                    true
+                } else {
+                    // Go's asynchronous preemption: any call site can
+                    // lose the processor with small probability ε.
+                    let eps = self.cfg.native_preempt_prob;
+                    eps > 0.0 && !self.runq.is_empty() && self.rng.gen_bool(eps)
+                }
+            }
+        };
+        self.decision_log.push(Decision::YieldAt(yield_now));
+        yield_now
+    }
+
+    pub(crate) fn monitor(&self) -> Option<Arc<dyn Monitor>> {
+        self.monitor.clone()
+    }
+
+    /// Create a goroutine slot in `Runnable` state and enqueue it.
+    fn new_goroutine(&mut self, name: String, internal: bool) -> Gid {
+        let gid = Gid(self.slots.len() as u64 + 1);
+        self.slots.push(GSlot {
+            gid,
+            name,
+            internal,
+            state: GState::Runnable,
+            parker: Parker::new(),
+        });
+        self.runq.push_back(gid);
+        gid
+    }
+
+    /// Make a blocked goroutine runnable; `by` is the waker (whose op CU
+    /// is attached to the `GoUnblock` event for coverage attribution).
+    pub(crate) fn wake(&mut self, g: Gid, by: Gid, cu: Option<Cu>) {
+        let slot = self.slot_mut(g);
+        debug_assert!(
+            matches!(slot.state, GState::Blocked(_)),
+            "waking non-blocked goroutine {g}"
+        );
+        slot.state = GState::Runnable;
+        self.runq.push_back(g);
+        self.emit(by, EventKind::GoUnblock { g }, cu);
+    }
+
+    /// Register a timer; fires when the virtual clock reaches `deadline`.
+    pub(crate) fn add_timer_wake(&mut self, after_ns: u64, g: Gid) -> RId {
+        let id = self.alloc_rid();
+        self.timer_seq += 1;
+        self.timers.push(Reverse(TimerEntry {
+            deadline: self.clock + after_ns,
+            seq: self.timer_seq,
+            id,
+            action: TimerAction::Wake(g),
+        }));
+        id
+    }
+
+    /// Register a timer that fires an arbitrary target (e.g. an `after`
+    /// channel delivery).
+    pub(crate) fn add_timer_fire(&mut self, after_ns: u64, target: Arc<dyn TimerTarget>) -> RId {
+        let id = self.alloc_rid();
+        self.timer_seq += 1;
+        self.timers.push(Reverse(TimerEntry {
+            deadline: self.clock + after_ns,
+            seq: self.timer_seq,
+            id,
+            action: TimerAction::Fire(target),
+        }));
+        id
+    }
+
+    fn fire_due_timers(&mut self) {
+        loop {
+            match self.timers.peek() {
+                Some(Reverse(t)) if t.deadline <= self.clock => {}
+                _ => return,
+            }
+            let Reverse(t) = self.timers.pop().expect("peeked");
+            self.emit(Gid::RUNTIME, EventKind::TimerFire { timer: t.id }, None);
+            match t.action {
+                TimerAction::Wake(g) => {
+                    // The goroutine may have been torn down already.
+                    if matches!(self.slot(g).state, GState::Blocked(_)) {
+                        self.wake(g, Gid::RUNTIME, None);
+                    }
+                }
+                TimerAction::Fire(target) => target.fire(self),
+            }
+        }
+    }
+
+    /// One scheduler step: advance time, fire timers, enforce the
+    /// watchdog. Returns false when the step limit aborts the run.
+    pub(crate) fn tick(&mut self) -> bool {
+        self.steps += 1;
+        self.clock += self.cfg.time_step_ns;
+        if let Some(m) = self.monitor.clone() {
+            m.on_step(self.steps, self.clock);
+        }
+        // Synthetic GC cadence: the Go tracer interleaves GC events with
+        // application events; emit a cycle every few thousand steps so
+        // traces carry the GC/Mem category with realistic placement.
+        if self.steps.is_multiple_of(4096) {
+            self.emit(Gid::RUNTIME, EventKind::GcStart, None);
+            self.emit(
+                Gid::RUNTIME,
+                EventKind::HeapAlloc { bytes: self.steps * 64 },
+                None,
+            );
+            self.emit(Gid::RUNTIME, EventKind::GcDone, None);
+        }
+        self.fire_due_timers();
+        if self.steps > self.cfg.max_steps && self.outcome.is_none() {
+            self.set_outcome(RunOutcome::StepLimit);
+            return false;
+        }
+        true
+    }
+
+    /// Run-queue pop according to the scheduling policy; every pick is
+    /// recorded for schedule-forcing replay.
+    fn pick_next(&mut self) -> Option<Gid> {
+        if self.runq.is_empty() {
+            return None;
+        }
+        let replayed: Option<usize> = if let SchedPolicy::Replay(log) = &self.cfg.policy {
+            if !self.replay_diverged {
+                match log.decisions.get(self.replay_cursor) {
+                    Some(Decision::Pick(g)) => {
+                        match self.runq.iter().position(|x| x == g) {
+                            Some(idx) => {
+                                self.replay_cursor += 1;
+                                Some(idx)
+                            }
+                            None => {
+                                self.replay_diverged = true;
+                                None
+                            }
+                        }
+                    }
+                    _ => {
+                        self.replay_diverged = true;
+                        None
+                    }
+                }
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let idx = replayed.unwrap_or_else(|| match self.cfg.policy {
+            SchedPolicy::UniformRandom if self.runq.len() > 1 => {
+                self.rng.gen_range(0..self.runq.len())
+            }
+            _ => {
+                if self.runq.len() > 1
+                    && self.cfg.native_preempt_prob > 0.0
+                    && self.rng.gen_bool(self.cfg.native_preempt_prob)
+                {
+                    self.rng.gen_range(0..self.runq.len())
+                } else {
+                    0
+                }
+            }
+        });
+        let g = self.runq.remove(idx);
+        if let Some(g) = g {
+            self.decision_log.push(Decision::Pick(g));
+        }
+        g
+    }
+
+    /// Hand the token to the next runnable goroutine, fast-forwarding
+    /// virtual time over idle periods; declares global deadlock when
+    /// nothing can ever run again.
+    pub(crate) fn schedule_next(&mut self) {
+        // Safety bound: with self-re-arming timers (tickers) and nothing
+        // runnable, the fast-forward loop could spin forever; treat that
+        // as a hang, like Go's runtime (which never declares deadlock
+        // while timers are pending).
+        let mut idle_iterations: u64 = 0;
+        loop {
+            if self.shutdown || self.outcome.is_some() {
+                return;
+            }
+            idle_iterations += 1;
+            if idle_iterations > 100_000 {
+                self.set_outcome(RunOutcome::StepLimit);
+                return;
+            }
+            self.fire_due_timers();
+            if let Some(g) = self.pick_next() {
+                let slot = self.slot_mut(g);
+                slot.state = GState::Running;
+                slot.parker.grant();
+                return;
+            }
+            if self.main_exited {
+                // Main returned and every still-runnable goroutine got a
+                // grace drain: the program is over. Whatever is blocked
+                // now is what goleak's end-of-main check would see.
+                let alive: Vec<AliveGoroutine> =
+                    self.alive_app().into_iter().filter(|a| !a.internal).collect();
+                if let Some(m) = self.monitor.clone() {
+                    m.on_main_end(&alive);
+                }
+                self.set_outcome(RunOutcome::Completed);
+                return;
+            }
+            if let Some(Reverse(t)) = self.timers.peek() {
+                self.clock = t.deadline;
+                continue;
+            }
+            // Nothing runnable, no timers: the built-in detector's
+            // "all goroutines are asleep" condition.
+            let blocked: Vec<Gid> = self
+                .slots
+                .iter()
+                .filter(|s| matches!(s.state, GState::Blocked(_)))
+                .map(|s| s.gid)
+                .collect();
+            self.set_outcome(RunOutcome::GlobalDeadlock { blocked });
+            return;
+        }
+    }
+
+    /// Record the outcome (first writer wins) and snapshot which
+    /// goroutines were still alive at that moment.
+    pub(crate) fn set_outcome(&mut self, outcome: RunOutcome) {
+        if self.outcome.is_none() {
+            self.outcome = Some(outcome);
+            self.alive_snapshot = Some(self.alive_app());
+        }
+    }
+
+    /// Application goroutines that have not finished.
+    fn alive_app(&self) -> Vec<AliveGoroutine> {
+        self.slots
+            .iter()
+            .filter(|s| s.state != GState::Done && s.gid != Gid::MAIN)
+            .map(|s| AliveGoroutine {
+                g: s.gid,
+                name: s.name.clone(),
+                state: match &s.state {
+                    GState::Runnable => "runnable".to_string(),
+                    GState::Running => "running".to_string(),
+                    GState::Blocked(r) => format!("blocked: {r}"),
+                    GState::Done => unreachable!(),
+                },
+                internal: s.internal,
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared runtime handle + thread-local context
+// ---------------------------------------------------------------------
+
+/// Shared state of one runtime instance.
+pub(crate) struct RtShared {
+    pub(crate) state: Mutex<Sched>,
+    done_cv: Condvar,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl RtShared {
+    /// Record the outcome (first writer wins), snapshot which goroutines
+    /// were still alive, and wake the driver.
+    pub(crate) fn finish(&self, s: &mut Sched, outcome: RunOutcome) {
+        s.set_outcome(outcome);
+        self.done_cv.notify_all();
+    }
+}
+
+/// The per-thread goroutine context.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub rt: Arc<RtShared>,
+    pub gid: Gid,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The current goroutine context.
+///
+/// # Panics
+/// Panics when called outside a goroutine (primitives may only be used
+/// inside [`Runtime::run`]).
+pub(crate) fn current() -> Ctx {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("GoAT runtime primitive used outside a goroutine; wrap the code in Runtime::run")
+    })
+}
+
+/// The id of the current goroutine.
+pub fn gid() -> Gid {
+    current().gid
+}
+
+// ---------------------------------------------------------------------
+// Blocking / yielding entry points used by the primitives
+// ---------------------------------------------------------------------
+
+/// Block the current goroutine for `reason`; returns when rescheduled.
+/// `holder` attributes lock contention (Req3 *blocking*) to the holder's
+/// acquisition site.
+pub(crate) fn block_current(
+    ctx: &Ctx,
+    reason: BlockReason,
+    holder: Option<(Gid, Option<Cu>)>,
+    cu: Option<Cu>,
+) {
+    let parker = {
+        let mut s = ctx.rt.state.lock();
+        s.slot_mut(ctx.gid).state = GState::Blocked(reason);
+        let (holder_g, holder_cu) = match holder {
+            Some((g, c)) => (Some(g), c),
+            None => (None, None),
+        };
+        s.emit(ctx.gid, EventKind::GoBlock { reason, holder_cu, holder: holder_g }, cu);
+        if !s.tick() {
+            ctx.rt.finish(&mut s, RunOutcome::StepLimit);
+        }
+        s.schedule_next();
+        if s.outcome.is_some() {
+            ctx.rt.done_cv.notify_all();
+        }
+        s.slot(ctx.gid).parker.clone()
+    };
+    if parker.park().is_err() {
+        shutdown_unwind();
+    }
+}
+
+/// Yield the processor: requeue at the back of the run queue.
+/// `preempt` distinguishes injected perturbation yields (`GoPreempt`)
+/// from program-requested `gosched()` yields.
+pub(crate) fn yield_current(ctx: &Ctx, preempt: bool, cu: Option<Cu>) {
+    let parker = {
+        let mut s = ctx.rt.state.lock();
+        s.slot_mut(ctx.gid).state = GState::Runnable;
+        s.runq.push_back(ctx.gid);
+        let kind = if preempt {
+            EventKind::GoPreempt
+        } else {
+            EventKind::GoSched { trace_stop: false }
+        };
+        s.emit(ctx.gid, kind, cu);
+        if !s.tick() {
+            ctx.rt.finish(&mut s, RunOutcome::StepLimit);
+        }
+        s.schedule_next();
+        if s.outcome.is_some() {
+            ctx.rt.done_cv.notify_all();
+        }
+        s.slot(ctx.gid).parker.clone()
+    };
+    if parker.park().is_err() {
+        shutdown_unwind();
+    }
+}
+
+/// Common entry of every traced primitive: accounts a step, enforces the
+/// watchdog and runs the injected yield handler (`goat.handler()` of
+/// §III-B.2) in front of the CU.
+pub(crate) fn op_enter(ctx: &Ctx, _kind: CuKind, cu: &Cu) {
+    let do_yield = {
+        let mut s = ctx.rt.state.lock();
+        if !s.tick() {
+            ctx.rt.finish(&mut s, RunOutcome::StepLimit);
+            drop(s);
+            shutdown_unwind();
+        }
+        s.decide_yield()
+    };
+    if do_yield {
+        yield_current(ctx, true, Some(cu.clone()));
+    }
+}
+
+/// Build a CU for a caller location.
+pub(crate) fn cu_here(kind: CuKind, loc: &std::panic::Location<'_>) -> Cu {
+    Cu::new(loc.file(), loc.line(), kind)
+}
+
+// ---------------------------------------------------------------------
+// Spawning
+// ---------------------------------------------------------------------
+
+fn spawn_goroutine(
+    rt: &Arc<RtShared>,
+    gid: Gid,
+    body: Box<dyn FnOnce() + Send + 'static>,
+) {
+    let rt2 = Arc::clone(rt);
+    let handle = std::thread::Builder::new()
+        .name(format!("goat-{}", gid.0))
+        .spawn(move || goroutine_main(rt2, gid, body))
+        .expect("failed to spawn goroutine thread");
+    rt.handles.lock().push(handle);
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(gp) = payload.downcast_ref::<GoPanic>() {
+        gp.msg.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic".to_string()
+    }
+}
+
+fn goroutine_main(rt: Arc<RtShared>, gid: Gid, body: Box<dyn FnOnce() + Send + 'static>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(Ctx { rt: Arc::clone(&rt), gid }));
+    let parker = { rt.state.lock().slot(gid).parker.clone() };
+    if parker.park().is_ok() {
+        {
+            let mut s = rt.state.lock();
+            s.emit(gid, EventKind::GoStart, None);
+        }
+        let result = panic::catch_unwind(AssertUnwindSafe(body));
+        match result {
+            Ok(()) => {
+                let mut s = rt.state.lock();
+                s.slot_mut(gid).state = GState::Done;
+                if gid == Gid::MAIN {
+                    // Successful main exit: the trace-stopping yield of
+                    // §III-E.1, then a grace drain of runnable goroutines
+                    // (schedule_next declares completion and runs the
+                    // goleak observation point once the queue is empty).
+                    s.emit(gid, EventKind::GoSched { trace_stop: true }, None);
+                    s.main_exited = true;
+                    s.schedule_next();
+                    if let Some(outcome) = s.outcome.clone() {
+                        rt.finish(&mut s, outcome);
+                    }
+                } else {
+                    s.emit(gid, EventKind::GoEnd, None);
+                    if !s.tick() {
+                        rt.finish(&mut s, RunOutcome::StepLimit);
+                    }
+                    s.schedule_next();
+                    if let Some(outcome) = s.outcome.clone() {
+                        rt.finish(&mut s, outcome);
+                    }
+                }
+            }
+            Err(payload) => {
+                if payload.is::<ShutdownSignal>() {
+                    let mut s = rt.state.lock();
+                    s.slot_mut(gid).state = GState::Done;
+                } else {
+                    let msg = panic_message(payload);
+                    let mut s = rt.state.lock();
+                    s.slot_mut(gid).state = GState::Done;
+                    s.emit(gid, EventKind::GoStop, None);
+                    rt.finish(&mut s, RunOutcome::Panicked { g: gid, msg });
+                }
+            }
+        }
+    }
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Spawn a goroutine executing `f` (Go's `go` statement).
+///
+/// Must be called from inside a goroutine. The creation site becomes the
+/// child's creation CU in the trace and the goroutine tree.
+#[track_caller]
+pub fn go<F: FnOnce() + Send + 'static>(f: F) -> Gid {
+    go_impl("anonymous", false, Box::new(f), std::panic::Location::caller())
+}
+
+/// Spawn a named goroutine (names appear in reports and trees).
+#[track_caller]
+pub fn go_named<F: FnOnce() + Send + 'static>(name: &str, f: F) -> Gid {
+    go_impl(name, false, Box::new(f), std::panic::Location::caller())
+}
+
+/// Spawn a runtime-internal goroutine, excluded from application-level
+/// analysis (the paper's watchdog/tracer goroutines).
+#[track_caller]
+pub fn go_internal<F: FnOnce() + Send + 'static>(name: &str, f: F) -> Gid {
+    go_impl(name, true, Box::new(f), std::panic::Location::caller())
+}
+
+fn go_impl(
+    name: &str,
+    internal: bool,
+    body: Box<dyn FnOnce() + Send + 'static>,
+    loc: &std::panic::Location<'_>,
+) -> Gid {
+    let cu = cu_here(CuKind::Go, loc);
+    let ctx = current();
+    if !internal {
+        // GoAT's own helper goroutines are not perturbation targets.
+        op_enter(&ctx, CuKind::Go, &cu);
+    }
+    let gid = {
+        let mut s = ctx.rt.state.lock();
+        let gid = s.new_goroutine(name.to_string(), internal);
+        s.emit(
+            ctx.gid,
+            EventKind::GoCreate { new_g: gid, name: name.to_string(), internal },
+            Some(cu),
+        );
+        gid
+    };
+    spawn_goroutine(&ctx.rt, gid, body);
+    gid
+}
+
+/// Yield the processor (Go's `runtime.Gosched()`).
+#[track_caller]
+pub fn gosched() {
+    let ctx = current();
+    yield_current(&ctx, false, None);
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+/// The GoAT runtime: executes a program under a configuration and
+/// returns its outcome, trace and statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct Runtime;
+
+impl Runtime {
+    /// Run `f` as the main goroutine.
+    ///
+    /// ```
+    /// use goat_runtime::{Runtime, Config, go, Chan};
+    /// let result = Runtime::run(Config::new(1), || {
+    ///     let ch = Chan::new(0);
+    ///     go(move || ch.send(41));
+    ///     // `ch` was moved into the goroutine; in real programs clone
+    ///     // the handle first (see Chan docs).
+    /// });
+    /// assert!(result.outcome.is_completed());
+    /// ```
+    pub fn run<F: FnOnce() + Send + 'static>(cfg: Config, f: F) -> RunResult {
+        Self::run_monitored(cfg, None, f)
+    }
+
+    /// Run `f` with a [`Monitor`] observing primitive operations (how the
+    /// baseline detectors of §IV-A attach).
+    pub fn run_monitored<F: FnOnce() + Send + 'static>(
+        cfg: Config,
+        monitor: Option<Arc<dyn Monitor>>,
+        f: F,
+    ) -> RunResult {
+        install_panic_hook();
+        let rt = Arc::new(RtShared {
+            state: Mutex::new(Sched::new(cfg, monitor)),
+            done_cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        });
+
+        // Bootstrap: create the main goroutine and grant it the token.
+        {
+            let mut s = rt.state.lock();
+            s.emit(Gid::RUNTIME, EventKind::Gomaxprocs { n: 1 }, None);
+            s.emit(Gid::RUNTIME, EventKind::ProcStart, None);
+            let gid = s.new_goroutine("main".to_string(), false);
+            debug_assert_eq!(gid, Gid::MAIN);
+        }
+        spawn_goroutine(&rt, Gid::MAIN, Box::new(f));
+        {
+            let mut s = rt.state.lock();
+            s.schedule_next();
+            if s.outcome.is_some() {
+                rt.done_cv.notify_all();
+            }
+        }
+
+        // Wait for an outcome, then tear everything down.
+        {
+            let mut s = rt.state.lock();
+            while s.outcome.is_none() {
+                rt.done_cv.wait(&mut s);
+            }
+            s.shutdown = true;
+            for slot in &s.slots {
+                slot.parker.shutdown();
+            }
+            s.emit(Gid::RUNTIME, EventKind::ProcStop, None);
+        }
+        loop {
+            let drained: Vec<JoinHandle<()>> = std::mem::take(&mut *rt.handles.lock());
+            if drained.is_empty() {
+                break;
+            }
+            for h in drained {
+                let _ = h.join();
+            }
+        }
+
+        // Collect results.
+        let mut s = rt.state.lock();
+        let outcome = s.outcome.clone().expect("outcome set before teardown");
+        let trace = std::mem::take(&mut s.trace);
+        let ect = if s.cfg.trace { Some(trace.into_iter().collect::<Ect>()) } else { None };
+        let alive_at_end: Vec<AliveGoroutine> = s
+            .alive_snapshot
+            .take()
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|a| !a.internal)
+            .collect();
+        let schedule = ReplayLog { decisions: std::mem::take(&mut s.decision_log) };
+        RunResult {
+            outcome,
+            ect,
+            steps: s.steps,
+            vclock: VTime(s.clock),
+            goroutines: s.slots.iter().filter(|g| !g.internal).count() as u64,
+            yields_injected: s.yields_injected,
+            alive_at_end,
+            schedule,
+            replay_diverged: s.replay_diverged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_main_completes() {
+        let r = Runtime::run(Config::new(0), || {});
+        assert!(r.outcome.is_completed());
+        assert!(r.clean());
+        assert_eq!(r.goroutines, 1);
+        let ect = r.ect.expect("traced");
+        assert!(ect.well_formed().is_ok(), "{:?}", ect.well_formed());
+        // main's final event is the trace-stopping GoSched
+        let last = ect.last_event_of(Gid::MAIN).expect("main events");
+        assert_eq!(last.kind, EventKind::GoSched { trace_stop: true });
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            Runtime::run(Config::new(seed), || {
+                for _ in 0..3 {
+                    gosched();
+                }
+            })
+        };
+        let (a, b) = (run(5), run(5));
+        assert_eq!(a.ect.unwrap().render(), b.ect.unwrap().render());
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn spawned_goroutine_runs_and_ends() {
+        let r = Runtime::run(Config::new(1).with_native_preempt_prob(0.0), || {
+            go_named("child", || {});
+            // give the child a chance to run (cooperative scheduling)
+            gosched();
+        });
+        assert!(r.outcome.is_completed());
+        assert!(r.clean());
+        let ect = r.ect.unwrap();
+        assert!(ect.well_formed().is_ok());
+        let child = ect
+            .goroutines()
+            .into_iter()
+            .find(|g| *g != Gid::MAIN && *g != Gid::RUNTIME)
+            .expect("child in trace");
+        assert_eq!(ect.last_event_of(child).unwrap().kind, EventKind::GoEnd);
+    }
+
+    #[test]
+    fn runnable_children_drain_after_main_exits() {
+        let r = Runtime::run(Config::new(1).with_native_preempt_prob(0.0), || {
+            go_named("late-finisher", || {});
+            // main returns immediately; the grace drain still lets the
+            // runnable child run to completion (as Go's real scheduler
+            // would have, racing main's exit).
+        });
+        assert!(r.outcome.is_completed());
+        assert!(r.clean(), "{:?}", r.alive_at_end);
+    }
+
+    #[test]
+    fn blocked_child_is_reported_alive() {
+        let r = Runtime::run(Config::new(1).with_native_preempt_prob(0.0), || {
+            let (never_tx, never_rx) = {
+                let ch = crate::chan::Chan::<u8>::new(0);
+                (ch.clone(), ch)
+            };
+            go_named("leaker", move || {
+                never_rx.recv(); // blocks forever
+            });
+            gosched();
+            drop(never_tx);
+        });
+        assert!(r.outcome.is_completed());
+        assert_eq!(r.alive_at_end.len(), 1);
+        assert_eq!(r.alive_at_end[0].name, "leaker");
+        assert!(r.alive_at_end[0].state.contains("recv"), "{:?}", r.alive_at_end);
+        assert!(!r.clean());
+    }
+
+    #[test]
+    fn user_panic_becomes_panicked_outcome() {
+        let r = Runtime::run(Config::new(0), || {
+            gopanic("boom");
+        });
+        match r.outcome {
+            RunOutcome::Panicked { g, ref msg } => {
+                assert_eq!(g, Gid::MAIN);
+                assert_eq!(msg, "boom");
+            }
+            other => panic!("expected panic outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_in_child_crashes_program() {
+        let r = Runtime::run(Config::new(1).with_native_preempt_prob(0.0), || {
+            go(|| gopanic("child-crash"));
+            gosched();
+            gosched();
+        });
+        assert!(matches!(r.outcome, RunOutcome::Panicked { .. }));
+    }
+
+    #[test]
+    fn step_limit_catches_infinite_yield_loop() {
+        let r = Runtime::run(Config::new(0).with_max_steps(500), || loop {
+            gosched();
+        });
+        assert_eq!(r.outcome, RunOutcome::StepLimit);
+    }
+
+    #[test]
+    fn yields_injected_respect_bound() {
+        for d in [0u32, 1, 2, 4] {
+            let cfg = Config::new(3).with_delay_bound(d).with_yield_prob(1.0);
+            let r = Runtime::run(cfg, || {
+                for _ in 0..10 {
+                    go(|| {});
+                }
+                gosched();
+            });
+            assert!(r.yields_injected <= d, "injected {} > bound {d}", r.yields_injected);
+            if d > 0 {
+                assert!(r.yields_injected > 0, "bound {d} should inject at least one yield");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_disabled_produces_no_ect() {
+        let r = Runtime::run(Config::new(0).with_trace(false), || {});
+        assert!(r.ect.is_none());
+        assert!(r.outcome.is_completed());
+    }
+
+    #[test]
+    fn replay_reproduces_the_exact_interleaving() {
+        use crate::chan::Chan;
+        let program = || {
+            let ch: Chan<u32> = Chan::new(0);
+            let tx = ch.clone();
+            go_named("tx", move || tx.send(1));
+            let ch2: Chan<u32> = Chan::new(0);
+            let tx2 = ch2.clone();
+            go_named("tx2", move || tx2.send(2));
+            ch.recv();
+            ch2.recv();
+        };
+        let original = Runtime::run(Config::new(11).with_delay_bound(2), program);
+        assert!(original.clean());
+        let log = original.schedule.clone();
+        assert!(!log.is_empty());
+        // Replay with a DIFFERENT seed: the log, not the RNG, must drive.
+        let replayed = Runtime::run(
+            Config::new(999_999).with_delay_bound(2).with_replay(log),
+            program,
+        );
+        assert!(!replayed.replay_diverged, "same program must follow its log");
+        assert_eq!(
+            original.ect.unwrap().render(),
+            replayed.ect.unwrap().render(),
+            "replay must reproduce the exact trace"
+        );
+    }
+
+    #[test]
+    fn replay_divergence_is_detected_and_survivable() {
+        let log = Runtime::run(Config::new(1), || {
+            go_named("a", || {});
+            gosched();
+        })
+        .schedule;
+        // Replay the log against a different program.
+        let r = Runtime::run(Config::new(1).with_replay(log), || {
+            go_named("a", || {});
+            go_named("b", || {});
+            gosched();
+            gosched();
+            gosched();
+        });
+        assert!(r.replay_diverged);
+        assert!(r.outcome.is_completed(), "divergence falls back to native scheduling");
+    }
+
+    #[test]
+    fn uniform_random_policy_explores_more() {
+        use crate::config::SchedPolicy;
+        let fingerprints: std::collections::BTreeSet<String> = (0..10u64)
+            .map(|seed| {
+                let r = Runtime::run(
+                    Config::new(seed).with_policy(SchedPolicy::UniformRandom),
+                    || {
+                        for _ in 0..4 {
+                            go_named("w", || gosched());
+                        }
+                        gosched();
+                        gosched();
+                    },
+                );
+                assert!(r.outcome.is_completed());
+                r.ect.unwrap().render()
+            })
+            .collect();
+        assert!(fingerprints.len() > 1, "random policy must vary schedules");
+    }
+
+    #[test]
+    fn decision_log_is_recorded_on_every_run() {
+        let r = Runtime::run(Config::new(0), || {
+            go_named("w", || {});
+            gosched();
+        });
+        // At least: pick(main), yield decisions for go/gosched, pick(w)…
+        assert!(r.schedule.len() >= 3, "{:?}", r.schedule);
+        assert!(!r.replay_diverged);
+    }
+
+    #[test]
+    fn goroutine_tree_from_runtime_trace() {
+        let r = Runtime::run(Config::new(2).with_native_preempt_prob(0.0), || {
+            go_named("worker", || {
+                go_named("nested", || {});
+                gosched();
+            });
+            gosched();
+            gosched();
+            gosched();
+        });
+        let ect = r.ect.unwrap();
+        let tree = goat_trace::GTree::from_ect(&ect);
+        let worker = tree
+            .nodes()
+            .find(|n| n.name == "worker")
+            .expect("worker node");
+        assert_eq!(worker.parent, Some(Gid::MAIN));
+        let nested = tree.nodes().find(|n| n.name == "nested").expect("nested");
+        assert_eq!(nested.parent, Some(worker.g));
+    }
+}

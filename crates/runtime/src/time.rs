@@ -1,0 +1,273 @@
+//! Virtual time: `sleep` and `after`.
+//!
+//! The runtime's clock is logical: it advances a fixed increment per
+//! scheduler step and fast-forwards to the next timer deadline whenever
+//! every goroutine is blocked. Timeout-driven code (watchdogs, context
+//! deadlines, `select` with `after`) therefore behaves deterministically
+//! and runs in microseconds of wall time regardless of the durations
+//! involved.
+
+use crate::chan::Chan;
+use crate::rt::{block_current, current};
+use goat_trace::{BlockReason, EventKind};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Block the current goroutine for `d` of virtual time.
+///
+/// ```
+/// use goat_runtime::{Runtime, Config, time};
+/// use std::time::Duration;
+/// let r = Runtime::run(Config::new(0), || {
+///     time::sleep(Duration::from_secs(3600)); // virtual: finishes instantly
+/// });
+/// assert!(r.clean());
+/// assert!(r.vclock.as_nanos() >= 3_600_000_000_000);
+/// ```
+pub fn sleep(d: Duration) {
+    let ctx = current();
+    {
+        let mut s = ctx.rt.state.lock();
+        s.emit(ctx.gid, EventKind::GoSleep, None);
+        s.add_timer_wake(d.as_nanos() as u64, ctx.gid);
+    }
+    block_current(&ctx, BlockReason::Sleep, None, None);
+}
+
+/// A channel that receives one `()` after `d` of virtual time (Go's
+/// `time.After`). Useful as a select timeout case.
+///
+/// ```
+/// use goat_runtime::{Runtime, Config, Select, Chan, time};
+/// use std::time::Duration;
+/// let r = Runtime::run(Config::new(0), || {
+///     let never: Chan<u32> = Chan::new(0);
+///     let timeout = time::after(Duration::from_millis(50));
+///     let hit_timeout = Select::new()
+///         .recv(&never, |_| false)
+///         .recv(&timeout, |_| true)
+///         .run();
+///     assert!(hit_timeout);
+/// });
+/// assert!(r.clean());
+/// ```
+pub fn after(d: Duration) -> Chan<()> {
+    let ch: Chan<()> = Chan::new(1);
+    let ctx = current();
+    let mut s = ctx.rt.state.lock();
+    let core = Arc::clone(ch.core());
+    s.add_timer_fire(d.as_nanos() as u64, core);
+    drop(s);
+    ch
+}
+
+/// A repeating ticker (Go's `time.Ticker`): delivers `()` on its channel
+/// every `period` of virtual time until stopped. Ticks are dropped when
+/// the previous one has not been consumed (Go semantics: capacity-1
+/// buffer).
+///
+/// Like in Go, a live ticker counts as pending work: a program that
+/// blocks forever while a ticker runs is reported as a hang rather than
+/// a global deadlock.
+pub struct Ticker {
+    ch: Chan<()>,
+    stopped: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl std::fmt::Debug for Ticker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticker")
+            .field("stopped", &self.stopped.load(std::sync::atomic::Ordering::SeqCst))
+            .finish()
+    }
+}
+
+struct TickTarget {
+    ch: std::sync::Weak<crate::chan::ChanCore<()>>,
+    period_ns: u64,
+    stopped: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl crate::rt::TimerTarget for TickTarget {
+    fn fire(&self, s: &mut crate::rt::Sched) {
+        if self.stopped.load(std::sync::atomic::Ordering::SeqCst) {
+            return; // stopped: do not re-arm
+        }
+        let Some(core) = self.ch.upgrade() else { return };
+        core.fire(s); // deliver one tick (dropped if unconsumed)
+        s.add_timer_fire(
+            self.period_ns,
+            Arc::new(TickTarget {
+                ch: self.ch.clone(),
+                period_ns: self.period_ns,
+                stopped: Arc::clone(&self.stopped),
+            }),
+        );
+    }
+}
+
+impl Ticker {
+    /// Start a ticker with the given period.
+    ///
+    /// # Panics
+    /// Panics on a zero period (like Go), or outside a goroutine.
+    pub fn new(period: Duration) -> Ticker {
+        assert!(!period.is_zero(), "non-positive interval for Ticker");
+        let ch: Chan<()> = Chan::new(1);
+        let stopped = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let ctx = current();
+        let mut s = ctx.rt.state.lock();
+        s.add_timer_fire(
+            period.as_nanos() as u64,
+            Arc::new(TickTarget {
+                ch: Arc::downgrade(ch.core()),
+                period_ns: period.as_nanos() as u64,
+                stopped: Arc::clone(&stopped),
+            }),
+        );
+        drop(s);
+        Ticker { ch, stopped }
+    }
+
+    /// The tick channel (receive from it, or use it as a select case).
+    pub fn chan(&self) -> &Chan<()> {
+        &self.ch
+    }
+
+    /// Stop the ticker; no further ticks are delivered or armed.
+    /// Idempotent, and (like Go) does not close the channel.
+    pub fn stop(&self) {
+        self.stopped.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::rt::{go, Runtime};
+    use crate::select::Select;
+
+    fn cfg(seed: u64) -> Config {
+        Config::new(seed).with_native_preempt_prob(0.0)
+    }
+
+    #[test]
+    fn sleep_orders_goroutines_by_deadline() {
+        let r = Runtime::run(cfg(0), || {
+            let log: Chan<u32> = Chan::new(4);
+            let l1 = log.clone();
+            go(move || {
+                sleep(Duration::from_millis(20));
+                l1.send(2);
+            });
+            let l2 = log.clone();
+            go(move || {
+                sleep(Duration::from_millis(10));
+                l2.send(1);
+            });
+            sleep(Duration::from_millis(30));
+            assert_eq!(log.recv(), Some(1));
+            assert_eq!(log.recv(), Some(2));
+        });
+        assert!(r.clean(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn after_fires_once() {
+        let r = Runtime::run(cfg(0), || {
+            let t = after(Duration::from_millis(5));
+            assert_eq!(t.recv(), Some(()));
+            // no second delivery; try_recv sees nothing
+            assert_eq!(t.try_recv(), None);
+        });
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn timeout_select_prefers_ready_data() {
+        let r = Runtime::run(cfg(0), || {
+            let data: Chan<u32> = Chan::new(1);
+            data.send(5);
+            let timeout = after(Duration::from_secs(10));
+            let got = Select::new().recv(&data, |v| v).recv(&timeout, |_| None).run();
+            assert_eq!(got, Some(5));
+        });
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn blocked_select_unblocked_by_timer() {
+        let r = Runtime::run(cfg(0), || {
+            let never: Chan<u32> = Chan::new(0);
+            let timeout = after(Duration::from_millis(1));
+            let hit = Select::new().recv(&never, |_| false).recv(&timeout, |_| true).run();
+            assert!(hit);
+        });
+        assert!(r.clean(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn ticker_delivers_repeatedly_until_stopped() {
+        let r = Runtime::run(cfg(0), || {
+            let t = Ticker::new(Duration::from_millis(2));
+            for _ in 0..5 {
+                assert_eq!(t.chan().recv(), Some(()));
+            }
+            t.stop();
+        });
+        assert!(r.clean(), "{:?}", r.outcome);
+        assert!(r.vclock.as_nanos() >= 10_000_000, "five 2ms periods elapsed");
+    }
+
+    #[test]
+    fn ticker_drops_unconsumed_ticks() {
+        let r = Runtime::run(cfg(0), || {
+            let t = Ticker::new(Duration::from_millis(1));
+            sleep(Duration::from_millis(20)); // many periods pass unconsumed
+            assert_eq!(t.chan().recv(), Some(())); // only one buffered
+            assert_eq!(t.chan().try_recv(), None, "backlog was dropped");
+            t.stop();
+        });
+        assert!(r.clean(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn blocked_program_with_live_ticker_is_a_hang_not_gdl() {
+        let r = Runtime::run(cfg(0), || {
+            let _t = Ticker::new(Duration::from_millis(1));
+            let never: Chan<u8> = Chan::new(0);
+            never.recv(); // main blocks forever; ticker keeps the clock alive
+        });
+        assert_eq!(r.outcome, crate::config::RunOutcome::StepLimit, "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn ticker_as_select_timeout_source() {
+        let r = Runtime::run(cfg(0), || {
+            let t = Ticker::new(Duration::from_millis(1));
+            let data: Chan<u32> = Chan::new(0);
+            let mut ticks = 0;
+            while ticks < 3 {
+                let tick = Select::new()
+                    .recv(&data, |_| false)
+                    .recv(t.chan(), |_| true)
+                    .run();
+                if tick {
+                    ticks += 1;
+                }
+            }
+            t.stop();
+        });
+        assert!(r.clean(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn virtual_clock_advances_past_deadlines() {
+        let r = Runtime::run(cfg(0), || {
+            sleep(Duration::from_millis(500));
+        });
+        assert!(r.vclock.as_nanos() >= 500_000_000);
+        // and wall-clock-wise this test finished instantly
+    }
+}

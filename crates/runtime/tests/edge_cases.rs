@@ -1,0 +1,292 @@
+//! Edge-case integration tests for the runtime: semantics corners that
+//! the unit tests don't reach — many-way contention, non-`Copy` values,
+//! wide selects, nested selects in case closures, timer/select races,
+//! stress-scale goroutine counts, and drop correctness of leaked values.
+
+use goat_runtime::context::Context;
+use goat_runtime::{
+    go, go_named, gosched, time, Chan, Config, Once, Runtime, RwLock, Select,
+    WaitGroup,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn cfg(seed: u64) -> Config {
+    Config::new(seed)
+}
+
+#[test]
+fn hundred_goroutines_fan_in() {
+    let r = Runtime::run(cfg(1), || {
+        let results: Chan<u64> = Chan::new(16);
+        let wg = WaitGroup::new();
+        for i in 0..100u64 {
+            wg.add(1);
+            let (results, wg) = (results.clone(), wg.clone());
+            go(move || {
+                results.send(i);
+                wg.done();
+            });
+        }
+        let mut sum = 0;
+        for _ in 0..100 {
+            sum += results.recv().unwrap();
+        }
+        assert_eq!(sum, 4950);
+        wg.wait();
+    });
+    assert!(r.clean(), "{:?}", r.outcome);
+    assert_eq!(r.goroutines, 101);
+}
+
+#[test]
+fn non_copy_values_move_through_channels() {
+    let r = Runtime::run(cfg(2), || {
+        let ch: Chan<Vec<String>> = Chan::new(0);
+        let tx = ch.clone();
+        go(move || {
+            tx.send(vec!["hello".to_string(), "world".to_string()]);
+        });
+        let got = ch.recv().unwrap();
+        assert_eq!(got.join(" "), "hello world");
+    });
+    assert!(r.clean());
+}
+
+#[test]
+fn leaked_blocked_senders_drop_their_values() {
+    // A value stuck in a blocked sender must still be dropped at
+    // teardown — no leak of the payload itself.
+    struct DropProbe(Arc<AtomicUsize>);
+    impl Drop for DropProbe {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    let drops = Arc::new(AtomicUsize::new(0));
+    let probe_drops = Arc::clone(&drops);
+    let r = Runtime::run(cfg(3), move || {
+        let ch: Chan<DropProbe> = Chan::new(0);
+        let probe = DropProbe(Arc::clone(&probe_drops));
+        go_named("stuck-sender", move || {
+            ch.send(probe); // blocks forever; the value sits in the queue
+        });
+        gosched();
+    });
+    assert_eq!(r.alive_at_end.len(), 1);
+    assert_eq!(drops.load(Ordering::SeqCst), 1, "stuck payload must be dropped");
+}
+
+#[test]
+fn five_way_select_takes_only_ready_cases() {
+    let r = Runtime::run(cfg(4), || {
+        let chans: Vec<Chan<u32>> = (0..5).map(|_| Chan::new(1)).collect();
+        chans[2].send(42); // only case 2 is ready
+        let (c0, c1, c2, c3, c4) =
+            (&chans[0], &chans[1], &chans[2], &chans[3], &chans[4]);
+        for _ in 0..3 {
+            let got = Select::new()
+                .recv(c0, |_| 0u32)
+                .recv(c1, |_| 1)
+                .recv(c2, |v| v.unwrap())
+                .recv(c3, |_| 3)
+                .recv(c4, |_| 4)
+                .default(|| 99)
+                .run();
+            // first pass takes 42 from case 2; later passes hit default
+            assert!(got == 42 || got == 99);
+        }
+    });
+    assert!(r.clean());
+}
+
+#[test]
+fn nested_select_inside_case_closure() {
+    let r = Runtime::run(cfg(5), || {
+        let outer: Chan<u32> = Chan::new(1);
+        let inner: Chan<u32> = Chan::new(1);
+        outer.send(1);
+        inner.send(2);
+        let got = Select::new()
+            .recv(&outer, |v| {
+                let o = v.unwrap();
+                // a select nested within the winning case's closure
+                let i = Select::new().recv(&inner, |v| v.unwrap()).run();
+                o + i
+            })
+            .run();
+        assert_eq!(got, 3);
+    });
+    assert!(r.clean(), "{:?}", r.outcome);
+}
+
+#[test]
+fn select_send_and_recv_cases_on_same_channel() {
+    let r = Runtime::run(cfg(6), || {
+        let ch: Chan<u32> = Chan::new(1);
+        // empty buffered channel: send ready, recv not → send must win
+        let which = Select::new()
+            .recv(&ch, |_| "recv")
+            .send(&ch, 7, || "send")
+            .run();
+        assert_eq!(which, "send");
+        // now full: recv ready, send not → recv must win
+        let which = Select::new()
+            .recv(&ch, |_| "recv")
+            .send(&ch, 8, || "send")
+            .run();
+        assert_eq!(which, "recv");
+    });
+    assert!(r.clean());
+}
+
+#[test]
+fn timer_vs_data_race_is_deterministic_per_seed() {
+    let outcome = |seed| {
+        let hit_timeout = Arc::new(AtomicUsize::new(0));
+        let probe = Arc::clone(&hit_timeout);
+        let r = Runtime::run(cfg(seed), move || {
+            let data: Chan<u32> = Chan::new(0);
+            let tx = data.clone();
+            go(move || {
+                time::sleep(Duration::from_micros(50));
+                let _ = tx.try_send(1);
+            });
+            let timeout = time::after(Duration::from_micros(60));
+            let timed_out =
+                Select::new().recv(&data, |_| false).recv(&timeout, |_| true).run();
+            if timed_out {
+                probe.store(1, Ordering::SeqCst);
+            }
+        });
+        assert!(r.outcome.is_completed());
+        hit_timeout.load(Ordering::SeqCst)
+    };
+    for seed in 0..6 {
+        assert_eq!(outcome(seed), outcome(seed), "seed {seed} not reproducible");
+    }
+}
+
+#[test]
+fn rwlock_many_readers_one_writer_stress() {
+    let r = Runtime::run(cfg(7), || {
+        let rw = RwLock::new();
+        let wg = WaitGroup::new();
+        for _ in 0..8 {
+            wg.add(1);
+            let (rw, wg) = (rw.clone(), wg.clone());
+            go(move || {
+                for _ in 0..10 {
+                    rw.rlock();
+                    rw.runlock();
+                }
+                wg.done();
+            });
+        }
+        for _ in 0..4 {
+            wg.add(1);
+            let (rw, wg) = (rw.clone(), wg.clone());
+            go(move || {
+                for _ in 0..5 {
+                    rw.lock();
+                    rw.unlock();
+                }
+                wg.done();
+            });
+        }
+        wg.wait();
+    });
+    assert!(r.clean(), "{:?}", r.outcome);
+}
+
+#[test]
+fn context_timeout_and_manual_cancel_compose() {
+    let r = Runtime::run(cfg(8), || {
+        // Manual cancel before the deadline: done closes once, timer
+        // firing later is a no-op (no double close panic).
+        let (ctx, cancel) = Context::with_timeout(Duration::from_millis(5));
+        cancel.cancel();
+        assert_eq!(ctx.done().recv(), None);
+        time::sleep(Duration::from_millis(10)); // deadline passes silently
+        assert!(ctx.is_cancelled());
+    });
+    assert!(r.clean(), "{:?}", r.outcome);
+}
+
+#[test]
+fn once_under_contention_with_yields() {
+    for d in [0u32, 3] {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let probe = Arc::clone(&calls);
+        let r = Runtime::run(Config::new(9).with_delay_bound(d), move || {
+            let once = Once::new();
+            let wg = WaitGroup::new();
+            for _ in 0..6 {
+                wg.add(1);
+                let (once, wg, calls) = (once.clone(), wg.clone(), Arc::clone(&probe));
+                go(move || {
+                    once.do_once(|| {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                    });
+                    wg.done();
+                });
+            }
+            wg.wait();
+        });
+        assert!(r.clean(), "D{d}: {:?}", r.outcome);
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "D{d}");
+    }
+}
+
+#[test]
+fn deep_goroutine_nesting() {
+    // Each goroutine spawns the next; depth 30.
+    let r = Runtime::run(cfg(10), || {
+        fn nest(depth: u32, done: Chan<u32>) {
+            if depth == 0 {
+                done.send(0);
+                return;
+            }
+            let d2 = done.clone();
+            go(move || nest(depth - 1, d2));
+        }
+        let done: Chan<u32> = Chan::new(0);
+        let d = done.clone();
+        go(move || nest(30, d));
+        assert_eq!(done.recv(), Some(0));
+    });
+    assert!(r.clean(), "{:?}", r.outcome);
+    assert!(r.goroutines >= 32);
+}
+
+#[test]
+fn range_over_channel_closed_mid_iteration() {
+    let r = Runtime::run(cfg(11), || {
+        let ch: Chan<u32> = Chan::new(4);
+        let closer = ch.clone();
+        go(move || {
+            closer.send(1);
+            closer.send(2);
+            closer.close();
+        });
+        let got: Vec<u32> = ch.range().collect();
+        assert_eq!(got, vec![1, 2]);
+    });
+    assert!(r.clean());
+}
+
+#[test]
+fn trace_cap_degrades_gracefully() {
+    let mut config = cfg(12);
+    config.max_trace_events = 50;
+    let r = Runtime::run(config, || {
+        for _ in 0..100 {
+            gosched();
+        }
+    });
+    assert!(r.outcome.is_completed());
+    let ect = r.ect.unwrap();
+    assert!(ect.len() <= 50, "cap respected: {}", ect.len());
+    assert!(ect.well_formed().is_ok(), "truncated trace still well-formed");
+}

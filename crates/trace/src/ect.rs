@@ -1,0 +1,379 @@
+//! The ECT container: a totally ordered event sequence with queries.
+
+use crate::event::{Event, EventKind, Gid};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An execution concurrency trace: the totally ordered event sequence
+/// produced by one program run (paper §III-D).
+///
+/// ```
+/// use goat_trace::{Ect, Event, EventKind, Gid, VTime};
+/// let mut ect = Ect::new();
+/// ect.push(Event {
+///     seq: 0, ts: VTime::ZERO, g: Gid::MAIN,
+///     kind: EventKind::GoStart, cu: None,
+/// });
+/// assert_eq!(ect.len(), 1);
+/// assert!(ect.well_formed().is_ok());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Ect {
+    events: Vec<Event>,
+}
+
+impl Ect {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event.
+    ///
+    /// # Panics
+    /// Panics if `ev.seq` does not equal the current length: the ECT is a
+    /// total order and sequence numbers are dense.
+    pub fn push(&mut self, ev: Event) {
+        assert_eq!(
+            ev.seq as usize,
+            self.events.len(),
+            "ECT sequence numbers must be dense"
+        );
+        self.events.push(ev);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events in total order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Iterate over events.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// The distinct goroutines appearing in the trace, in first-appearance
+    /// order.
+    pub fn goroutines(&self) -> Vec<Gid> {
+        let mut seen = BTreeMap::new();
+        let mut order = Vec::new();
+        for ev in &self.events {
+            if seen.insert(ev.g, ()).is_none() {
+                order.push(ev.g);
+            }
+            if let EventKind::GoCreate { new_g, .. } = &ev.kind {
+                if seen.insert(*new_g, ()).is_none() {
+                    order.push(*new_g);
+                }
+            }
+        }
+        order
+    }
+
+    /// Indices of events emitted by each goroutine, preserving order.
+    pub fn per_goroutine(&self) -> BTreeMap<Gid, Vec<usize>> {
+        let mut map: BTreeMap<Gid, Vec<usize>> = BTreeMap::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            map.entry(ev.g).or_default().push(i);
+        }
+        map
+    }
+
+    /// The last event emitted by goroutine `g`, if any.
+    pub fn last_event_of(&self, g: Gid) -> Option<&Event> {
+        self.events.iter().rev().find(|e| e.g == g)
+    }
+
+    /// The `GoCreate` event that spawned `g`, if traced.
+    pub fn creation_of(&self, g: Gid) -> Option<&Event> {
+        self.events.iter().find(
+            |e| matches!(&e.kind, EventKind::GoCreate { new_g, .. } if *new_g == g),
+        )
+    }
+
+    /// Serialize the trace to a JSON string.
+    ///
+    /// # Errors
+    /// Returns the underlying `serde_json` error on failure (should not
+    /// happen for well-formed traces).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Parse a trace from JSON produced by [`Ect::to_json`].
+    ///
+    /// # Errors
+    /// Returns the underlying `serde_json` error for malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Check structural invariants of the trace:
+    ///
+    /// 1. sequence numbers are dense and increasing;
+    /// 2. timestamps are non-decreasing;
+    /// 3. each goroutine is created at most once;
+    /// 4. no goroutine (except main) emits events before its `GoCreate`;
+    /// 5. `GoEnd`/`GoStop` is the final event of its goroutine.
+    ///
+    /// # Errors
+    /// Returns the first violated invariant.
+    pub fn well_formed(&self) -> Result<(), WellFormedError> {
+        let mut created: BTreeMap<Gid, u64> = BTreeMap::new();
+        let mut ended: BTreeMap<Gid, u64> = BTreeMap::new();
+        let mut last_ts = None;
+        for (i, ev) in self.events.iter().enumerate() {
+            if ev.seq != i as u64 {
+                return Err(WellFormedError::NonDenseSeq { at: i, seq: ev.seq });
+            }
+            if let Some(prev) = last_ts {
+                if ev.ts < prev {
+                    return Err(WellFormedError::TimeRegression { seq: ev.seq });
+                }
+            }
+            last_ts = Some(ev.ts);
+            if let Some(&end_seq) = ended.get(&ev.g) {
+                return Err(WellFormedError::EventAfterEnd { g: ev.g, end_seq, seq: ev.seq });
+            }
+            if ev.g != Gid::MAIN && ev.g != Gid::RUNTIME && !created.contains_key(&ev.g) {
+                return Err(WellFormedError::UncreatedGoroutine { g: ev.g, seq: ev.seq });
+            }
+            match &ev.kind {
+                EventKind::GoCreate { new_g, .. }
+                    if created.insert(*new_g, ev.seq).is_some() => {
+                        return Err(WellFormedError::DoubleCreate { g: *new_g, seq: ev.seq });
+                    }
+                EventKind::GoEnd | EventKind::GoStop => {
+                    ended.insert(ev.g, ev.seq);
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the trace as a human-readable interleaving listing, one
+    /// event per line (used by goat-core's reports).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl FromIterator<Event> for Ect {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        let mut ect = Ect::new();
+        for ev in iter {
+            ect.push(ev);
+        }
+        ect
+    }
+}
+
+impl<'a> IntoIterator for &'a Ect {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+/// Violation reported by [`Ect::well_formed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WellFormedError {
+    /// Sequence numbers are not `0..n`.
+    NonDenseSeq {
+        /// Index in the vector.
+        at: usize,
+        /// Offending sequence number.
+        seq: u64,
+    },
+    /// A timestamp decreased.
+    TimeRegression {
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
+    /// A goroutine was created twice.
+    DoubleCreate {
+        /// The goroutine.
+        g: Gid,
+        /// Sequence number of the second creation.
+        seq: u64,
+    },
+    /// A goroutine other than main emitted an event before its creation.
+    UncreatedGoroutine {
+        /// The goroutine.
+        g: Gid,
+        /// Sequence number of the premature event.
+        seq: u64,
+    },
+    /// A goroutine emitted an event after its `GoEnd`/`GoStop`.
+    EventAfterEnd {
+        /// The goroutine.
+        g: Gid,
+        /// Sequence number of its end event.
+        end_seq: u64,
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
+}
+
+impl fmt::Display for WellFormedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WellFormedError::NonDenseSeq { at, seq } => {
+                write!(f, "non-dense sequence number {seq} at index {at}")
+            }
+            WellFormedError::TimeRegression { seq } => {
+                write!(f, "timestamp regressed at event {seq}")
+            }
+            WellFormedError::DoubleCreate { g, seq } => {
+                write!(f, "goroutine {g} created twice (second at event {seq})")
+            }
+            WellFormedError::UncreatedGoroutine { g, seq } => {
+                write!(f, "goroutine {g} emitted event {seq} before its GoCreate")
+            }
+            WellFormedError::EventAfterEnd { g, end_seq, seq } => {
+                write!(f, "goroutine {g} emitted event {seq} after its end at {end_seq}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WellFormedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, VTime};
+
+    fn ev(seq: u64, g: u64, kind: EventKind) -> Event {
+        Event { seq, ts: VTime(seq * 10), g: Gid(g), kind, cu: None }
+    }
+
+    fn create(seq: u64, g: u64, new_g: u64) -> Event {
+        ev(seq, g, EventKind::GoCreate { new_g: Gid(new_g), name: format!("g{new_g}"), internal: false })
+    }
+
+    #[test]
+    fn simple_trace_is_well_formed() {
+        let ect: Ect = vec![
+            ev(0, 1, EventKind::GoStart),
+            create(1, 1, 2),
+            ev(2, 2, EventKind::GoStart),
+            ev(3, 2, EventKind::GoEnd),
+            ev(4, 1, EventKind::GoSched { trace_stop: true }),
+        ]
+        .into_iter()
+        .collect();
+        assert!(ect.well_formed().is_ok());
+        assert_eq!(ect.goroutines(), vec![Gid(1), Gid(2)]);
+        assert_eq!(
+            ect.last_event_of(Gid(2)).unwrap().kind,
+            EventKind::GoEnd
+        );
+        assert!(ect.creation_of(Gid(2)).is_some());
+        assert!(ect.creation_of(Gid(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn push_rejects_sparse_seq() {
+        let mut ect = Ect::new();
+        ect.push(ev(5, 1, EventKind::GoStart));
+    }
+
+    #[test]
+    fn detects_event_after_end() {
+        let mut ect = Ect::new();
+        ect.push(ev(0, 1, EventKind::GoStart));
+        ect.push(create(1, 1, 2));
+        ect.push(ev(2, 2, EventKind::GoEnd));
+        ect.push(ev(3, 2, EventKind::GoStart));
+        assert!(matches!(
+            ect.well_formed(),
+            Err(WellFormedError::EventAfterEnd { g: Gid(2), .. })
+        ));
+    }
+
+    #[test]
+    fn detects_uncreated_goroutine() {
+        let mut ect = Ect::new();
+        ect.push(ev(0, 7, EventKind::GoStart));
+        assert!(matches!(
+            ect.well_formed(),
+            Err(WellFormedError::UncreatedGoroutine { g: Gid(7), .. })
+        ));
+    }
+
+    #[test]
+    fn detects_double_create() {
+        let mut ect = Ect::new();
+        ect.push(create(0, 1, 2));
+        ect.push(create(1, 1, 2));
+        assert!(matches!(
+            ect.well_formed(),
+            Err(WellFormedError::DoubleCreate { g: Gid(2), .. })
+        ));
+    }
+
+    #[test]
+    fn detects_time_regression() {
+        let mut ect = Ect::new();
+        ect.push(Event { seq: 0, ts: VTime(100), g: Gid(1), kind: EventKind::GoStart, cu: None });
+        ect.push(Event { seq: 1, ts: VTime(50), g: Gid(1), kind: EventKind::GoEnd, cu: None });
+        assert!(matches!(
+            ect.well_formed(),
+            Err(WellFormedError::TimeRegression { seq: 1 })
+        ));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ect: Ect =
+            vec![ev(0, 1, EventKind::GoStart), ev(1, 1, EventKind::GoEnd)].into_iter().collect();
+        let json = ect.to_json().unwrap();
+        assert_eq!(Ect::from_json(&json).unwrap(), ect);
+    }
+
+    #[test]
+    fn render_lists_every_event() {
+        let ect: Ect =
+            vec![ev(0, 1, EventKind::GoStart), ev(1, 1, EventKind::GoEnd)].into_iter().collect();
+        let r = ect.render();
+        assert_eq!(r.lines().count(), 2);
+        assert!(r.contains("GoStart"));
+    }
+
+    #[test]
+    fn per_goroutine_partitions_indices() {
+        let ect: Ect = vec![
+            ev(0, 1, EventKind::GoStart),
+            create(1, 1, 2),
+            ev(2, 2, EventKind::GoStart),
+            ev(3, 1, EventKind::GoSched { trace_stop: false }),
+        ]
+        .into_iter()
+        .collect();
+        let per = ect.per_goroutine();
+        assert_eq!(per[&Gid(1)], vec![0, 1, 3]);
+        assert_eq!(per[&Gid(2)], vec![2]);
+        let total: usize = per.values().map(Vec::len).sum();
+        assert_eq!(total, ect.len());
+    }
+}

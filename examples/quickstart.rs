@@ -1,0 +1,54 @@
+//! Quickstart: write a Go-style concurrent program, let GoAT hunt the
+//! blocking bug, and read the report.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use goat::core::{bug_report, FnProgram, Goat, GoatConfig};
+use goat::runtime::{go_named, gosched, Chan, Mutex};
+use std::sync::Arc;
+
+fn main() {
+    // A small service with a classic mixed deadlock: the worker holds
+    // the state mutex while performing a rendezvous send; the shutdown
+    // path needs the same mutex before it drains the channel.
+    let program = Arc::new(FnProgram::new("quickstart-service", || {
+        let state = Mutex::new();
+        let updates: Chan<u64> = Chan::new(0);
+        {
+            let (state, updates) = (state.clone(), updates.clone());
+            go_named("worker", move || {
+                state.lock();
+                updates.send(42); // blocks while holding the lock
+                state.unlock();
+            });
+        }
+        {
+            let (state, updates) = (state.clone(), updates.clone());
+            go_named("shutdown", move || {
+                state.lock(); // blocked by the worker forever
+                let _ = updates.recv();
+                state.unlock();
+            });
+        }
+        gosched(); // main gives the goroutines a chance, then exits
+    }));
+
+    // GoAT: iterate instrumented executions until the bug is exposed.
+    let goat = Goat::new(GoatConfig::default().with_iterations(50).with_delay_bound(1));
+    let result = goat.test(program);
+
+    match (&result.bug, &result.bug_ect) {
+        (Some(verdict), Some(ect)) => {
+            println!(
+                "bug exposed on iteration {} of {} (coverage reached {:.1}%)\n",
+                result.first_detection.expect("detected"),
+                result.records.len(),
+                result.coverage_percent()
+            );
+            println!("{}", bug_report("quickstart-service", verdict, ect));
+        }
+        _ => println!("no bug detected — try more iterations or a different delay bound"),
+    }
+}

@@ -1,0 +1,61 @@
+//! Replay debugging: find a schedule-dependent bug once, then
+//! re-trigger it deterministically as many times as you like from the
+//! recorded schedule — even though the bug only manifests on a rare
+//! interleaving (the paper's "replaying the program's ECT" mode and the
+//! §VI future-work "full control over the scheduler", combined).
+//!
+//! ```text
+//! cargo run --release --example replay_debugging
+//! ```
+
+use goat::core::{interleaving_lanes, Goat, GoatConfig, GoatVerdict, Program};
+use std::sync::Arc;
+
+struct KernelProgram(&'static goat::goker::BugKernel);
+
+impl Program for KernelProgram {
+    fn name(&self) -> &str {
+        Program::name(self.0)
+    }
+    fn main(&self) {
+        Program::main(self.0)
+    }
+}
+
+fn main() {
+    let kernel = goat::goker::by_name("moby28462").expect("kernel");
+    let program: Arc<dyn Program> = Arc::new(KernelProgram(kernel));
+
+    // Phase 1: hunt. The bug needs an unlucky preemption; iterate until
+    // it manifests.
+    let goat = Goat::new(GoatConfig::default().with_iterations(200));
+    let result = goat.test(Arc::clone(&program));
+    let Some(iter) = result.first_detection else {
+        println!("bug did not manifest; raise the iteration budget");
+        return;
+    };
+    let bug = result.bug.clone().expect("verdict");
+    let schedule = result.bug_schedule.clone().expect("schedule recorded");
+    println!(
+        "hunt: exposed {bug} on iteration {iter}; recorded {} scheduling decisions\n",
+        schedule.len()
+    );
+
+    // Phase 2: replay. The recorded decision log forces the exact same
+    // interleaving — no luck required, run after run.
+    for attempt in 1..=3 {
+        let (verdict, run) = Goat::replay(Arc::clone(&program), schedule.clone());
+        assert!(!run.replay_diverged, "the same program must follow its log");
+        assert_eq!(verdict, bug, "replay must reproduce the same bug");
+        println!("replay #{attempt}: reproduced {verdict} deterministically");
+    }
+
+    // Phase 3: inspect. Swim-lane view of the fatal interleaving.
+    let (_, run) = Goat::replay(program, schedule);
+    let ect = run.ect.expect("traced");
+    println!("\n--- fatal interleaving (swim lanes, last 25 events) ---");
+    println!("{}", interleaving_lanes(&ect, 25));
+    if let GoatVerdict::PartialDeadlock { leaked } = bug {
+        println!("leaked goroutines: {leaked:?}");
+    }
+}

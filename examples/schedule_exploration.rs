@@ -1,0 +1,59 @@
+//! Schedule-space exploration: how bounded yield injection accelerates
+//! rare-bug exposure (paper §II-C / §IV-A).
+//!
+//! Runs GOAT with delay bounds D ∈ {0..4} on two of the benchmark's
+//! rare kernels and reports the iterations needed to expose each bug.
+//!
+//! ```text
+//! cargo run --release --example schedule_exploration
+//! ```
+
+use goat::core::{Program, Goat, GoatConfig};
+use std::sync::Arc;
+
+struct KernelProgram(&'static goat::goker::BugKernel);
+
+impl Program for KernelProgram {
+    fn name(&self) -> &str {
+        Program::name(self.0)
+    }
+    fn main(&self) {
+        Program::main(self.0)
+    }
+}
+
+fn main() {
+    // moby33781: needs a narrow native preemption window.
+    // kubernetes6632: needs two coinciding preemptions — essentially
+    // unreachable natively, found only via injected yields.
+    for name in ["moby33781", "kubernetes6632"] {
+        let kernel = goat::goker::by_name(name).expect("benchmark kernel");
+        println!("=== {name}: {} ===", kernel.description);
+        for d in 0..=4u32 {
+            let goat = Goat::new(
+                GoatConfig::default()
+                    .with_delay_bound(d)
+                    .with_iterations(600)
+                    .with_seed0(1),
+            );
+            let result = goat.test(Arc::new(KernelProgram(kernel)));
+            match result.first_detection {
+                Some(iter) => {
+                    let yields: u32 =
+                        result.records.last().map(|r| r.yields).unwrap_or(0);
+                    println!(
+                        "  D{d}: exposed after {iter:>4} iterations \
+                         ({yields} yields injected in the buggy run)"
+                    );
+                }
+                None => println!("  D{d}: not exposed within 600 iterations"),
+            }
+        }
+        println!();
+    }
+    println!(
+        "Shape to observe (paper): D ≥ 1 exposes the bugs orders of magnitude \
+         faster than native D0, and fewer than three yields suffice — but \
+         larger D is not monotonically better."
+    );
+}

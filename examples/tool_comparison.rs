@@ -1,0 +1,53 @@
+//! Tool comparison on one bug: run GoAT and the three baseline dynamic
+//! detectors of §IV-A on the same kernel and contrast what each sees.
+//!
+//! ```text
+//! cargo run --release --example tool_comparison [kernel-name]
+//! ```
+
+use goat::core::{GoatTool, Program};
+use goat::detectors::{BuiltinDetector, Detector, GoleakDetector, LockdlDetector};
+use goat::runtime::Config;
+use std::sync::Arc;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "moby28462".to_string());
+    let kernel = goat::goker::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown kernel {name}; available:");
+        for k in goat::goker::all_kernels() {
+            eprintln!("  {}", k.name);
+        }
+        std::process::exit(1);
+    });
+    println!("kernel {name} [{} / {}]: {}\n", kernel.project, kernel.cause, kernel.description);
+
+    let tools: Vec<Box<dyn Detector>> = vec![
+        Box::new(GoatTool::new(0)),
+        Box::new(GoatTool::new(2)),
+        Box::new(BuiltinDetector::new()),
+        Box::new(LockdlDetector::new()),
+        Box::new(GoleakDetector::new()),
+    ];
+    let budget = 300usize;
+    for tool in tools {
+        let program: goat::detectors::ProgramFn = Arc::new(move || Program::main(kernel));
+        let mut found = None;
+        for i in 0..budget {
+            let v = tool.run_once(Config::new(1 + i as u64), Arc::clone(&program));
+            if v.detected {
+                found = Some((i + 1, v));
+                break;
+            }
+        }
+        match found {
+            Some((iter, v)) => println!(
+                "{:<10} detected {:<8} after {:>3} execution(s): {}",
+                tool.name(),
+                v.symptom.code(),
+                iter,
+                v.detail
+            ),
+            None => println!("{:<10} nothing detected in {budget} executions", tool.name()),
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # GoAT — Go Analysis and Testing, reproduced in Rust
+//!
+//! Umbrella crate re-exporting the GoAT reproduction workspace:
+//!
+//! * [`runtime`] — deterministic Go-style concurrency runtime (goroutines,
+//!   channels, select, sync primitives, virtual time, yield perturbation)
+//! * [`trace`] — execution concurrency traces (ECT) and goroutine trees
+//! * [`model`] — static CU model and coverage requirements
+//! * [`detectors`] — baseline dynamic detectors (builtin, LockDL, goleak)
+//! * [`core`] — the GoAT tool proper: test runner, deadlock detection,
+//!   coverage measurement, reports
+//! * [`goker`] — the 68-kernel GoKer-style blocking-bug benchmark
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use goat_core as core;
+pub use goat_detectors as detectors;
+pub use goat_goker as goker;
+pub use goat_model as model;
+pub use goat_runtime as runtime;
+pub use goat_trace as trace;

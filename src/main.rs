@@ -1,0 +1,183 @@
+//! `goat` — the command-line front end, mirroring the original tool's
+//! workflow (paper appendix, listing 3):
+//!
+//! ```text
+//! Usage of goat:
+//!   -target <name>   benchmark kernel to test ('list' enumerates, 'all' sweeps)
+//!   -d <int>         number of delays (delay bound D, default 0)
+//!   -freq <int>      frequency of test executions (default 100)
+//!   -cov             include the coverage report in the evaluation
+//!   -seed <int>      base seed (default 1)
+//! ```
+//!
+//! Example: `goat -target moby28462 -d 2 -freq 200 -cov`
+
+use goat::core::{bug_report, Goat, GoatConfig, Program};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Cli {
+    target: String,
+    d: u32,
+    freq: usize,
+    cov: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli =
+        Cli { target: String::new(), d: 0, freq: 100, cov: false, seed: 1 };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "-target" | "--target" => cli.target = take("-target")?,
+            "-d" | "--d" => {
+                cli.d = take("-d")?.parse().map_err(|e| format!("-d: {e}"))?
+            }
+            "-freq" | "--freq" => {
+                cli.freq = take("-freq")?.parse().map_err(|e| format!("-freq: {e}"))?
+            }
+            "-seed" | "--seed" => {
+                cli.seed = take("-seed")?.parse().map_err(|e| format!("-seed: {e}"))?
+            }
+            "-cov" | "--cov" => cli.cov = true,
+            "-h" | "--help" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if cli.target.is_empty() {
+        return Err("missing -target (use '-target list' to enumerate kernels)".into());
+    }
+    Ok(cli)
+}
+
+fn print_help() {
+    println!(
+        "goat — automated concurrency analysis and debugging (GoAT reproduction)\n\n\
+         usage: goat -target <kernel> [-d <int>] [-freq <int>] [-cov] [-seed <int>]\n\n\
+         \x20 -target <name>  benchmark kernel to test ('list' enumerates all 68)\n\
+         \x20 -d <int>        delay bound D: max injected yields per execution (default 0)\n\
+         \x20 -freq <int>     maximum testing iterations (default 100)\n\
+         \x20 -cov            print the coverage report after the campaign\n\
+         \x20 -seed <int>     base seed (default 1)"
+    );
+}
+
+struct KernelProgram(&'static goat::goker::BugKernel);
+
+impl Program for KernelProgram {
+    fn name(&self) -> &str {
+        Program::name(self.0)
+    }
+    fn main(&self) {
+        Program::main(self.0)
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("goat: {e}\n");
+            print_help();
+            return ExitCode::from(2);
+        }
+    };
+
+    if cli.target == "list" {
+        println!("{:<18} {:<11} {:<14} description", "name", "project", "cause");
+        for k in goat::goker::all_kernels() {
+            println!(
+                "{:<18} {:<11} {:<14} {}",
+                k.name,
+                k.project.to_string(),
+                k.cause.to_string(),
+                k.description
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if cli.target == "all" {
+        // The paper's `-eval_conf … -freq` whole-benchmark run.
+        let mut detected = 0usize;
+        for kernel in goat::goker::all_kernels() {
+            let goat = Goat::new(
+                GoatConfig::default()
+                    .with_delay_bound(cli.d)
+                    .with_iterations(cli.freq)
+                    .with_seed0(cli.seed),
+            );
+            let result = goat.test(Arc::new(KernelProgram(kernel)));
+            match result.first_detection {
+                Some(iter) => {
+                    detected += 1;
+                    println!(
+                        "{:<18} {:<10} (iteration {iter}, coverage {:.1}%)",
+                        kernel.name,
+                        result.bug.as_ref().map(|b| b.to_string()).unwrap_or_default(),
+                        result.coverage_percent()
+                    );
+                }
+                None => println!(
+                    "{:<18} X          ({} iterations, coverage {:.1}%)",
+                    kernel.name,
+                    result.records.len(),
+                    result.coverage_percent()
+                ),
+            }
+        }
+        println!("
+detected {detected}/68 at D={} within {} iterations", cli.d, cli.freq);
+        return if detected == 68 { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    let Some(kernel) = goat::goker::by_name(&cli.target) else {
+        eprintln!("goat: unknown kernel '{}'; try -target list or -target all", cli.target);
+        return ExitCode::from(2);
+    };
+
+    println!(
+        "testing {} (D={}, freq={}, seed0={}) — {}",
+        kernel.name, cli.d, cli.freq, cli.seed, kernel.description
+    );
+    let goat = Goat::new(
+        GoatConfig::default()
+            .with_delay_bound(cli.d)
+            .with_iterations(cli.freq)
+            .with_seed0(cli.seed),
+    );
+    let result = goat.test(Arc::new(KernelProgram(kernel)));
+
+    match (&result.bug, &result.bug_ect) {
+        (Some(verdict), Some(ect)) => {
+            println!(
+                "\nbug detected on iteration {} ({} yields in the buggy run)\n",
+                result.first_detection.expect("detected"),
+                result.records.last().map(|r| r.yields).unwrap_or(0),
+            );
+            println!("{}", bug_report(kernel.name, verdict, ect));
+        }
+        _ => println!(
+            "\nno bug detected in {} iterations (final coverage {:.1}%)",
+            result.records.len(),
+            result.coverage_percent()
+        ),
+    }
+
+    if cli.cov {
+        println!("{}", goat::core::campaign_report(kernel.name, &result));
+    }
+
+    if result.detected() {
+        ExitCode::FAILURE // bug found: nonzero, like a failing test
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,101 @@
+//! Coverage-metric invariants over the whole benchmark: percentages stay
+//! in range, accumulation is monotone in covered count, every covered
+//! requirement exists in the universe, and the global goroutine tree's
+//! equivalence keeps node counts stable across runs.
+
+use goat::core::{extract_coverage, GlobalGTree, Program};
+use goat::model::RequirementUniverse;
+use goat::runtime::{Config, Runtime};
+use goat::trace::GTree;
+
+#[test]
+fn coverage_invariants_hold_for_every_kernel() {
+    for kernel in goat::goker::all_kernels() {
+        let mut universe = RequirementUniverse::new();
+        let mut covered = goat::model::CoverageSet::new();
+        let mut global_tree = GlobalGTree::new();
+        let mut last_covered_len = 0usize;
+        let mut tree_len_after_first = None;
+
+        for seed in 0..6u64 {
+            let r = Runtime::run(Config::new(seed).with_delay_bound(1), move || {
+                Program::main(kernel)
+            });
+            let Some(ect) = &r.ect else { continue };
+            let cov = extract_coverage(ect, &mut universe);
+
+            // Every covered requirement must exist in the universe.
+            for key in cov.covered.iter() {
+                assert!(
+                    universe.contains(key),
+                    "{}: covered requirement missing from universe: {key:?}",
+                    kernel.name
+                );
+            }
+            covered.merge(&cov.covered);
+            assert!(
+                covered.len() >= last_covered_len,
+                "{}: covered count shrank",
+                kernel.name
+            );
+            last_covered_len = covered.len();
+
+            let pct = covered.percent(&universe);
+            assert!((0.0..=100.0).contains(&pct), "{}: pct {pct}", kernel.name);
+
+            global_tree.merge_run(&GTree::from_ect(ect), &cov);
+            match tree_len_after_first {
+                None => tree_len_after_first = Some(global_tree.len()),
+                Some(n) => {
+                    // Equivalence may discover new nodes on new schedules
+                    // but never below the first run's count.
+                    assert!(global_tree.len() >= n, "{}: global tree shrank", kernel.name);
+                }
+            }
+        }
+        assert!(!universe.is_empty(), "{}: no requirements discovered", kernel.name);
+        assert!(!covered.is_empty(), "{}: nothing covered", kernel.name);
+    }
+}
+
+#[test]
+fn coverage_grows_with_perturbation_on_the_study_kernels() {
+    // The fig. 6 kernels must show coverage movement across schedules —
+    // a flat curve would make the coverage study vacuous.
+    for name in ["etcd7443", "kubernetes11298"] {
+        let kernel = goat::goker::by_name(name).expect("study kernel");
+        let mut universe = RequirementUniverse::new();
+        let mut covered = goat::model::CoverageSet::new();
+        let mut curve = Vec::new();
+        for seed in 0..30u64 {
+            let r = Runtime::run(Config::new(seed).with_delay_bound(2), move || {
+                Program::main(kernel)
+            });
+            if let Some(ect) = &r.ect {
+                let cov = extract_coverage(ect, &mut universe);
+                covered.merge(&cov.covered);
+            }
+            curve.push(covered.percent(&universe));
+        }
+        let first = curve.first().copied().unwrap();
+        let last = curve.last().copied().unwrap();
+        assert!(
+            last > first,
+            "{name}: coverage never grew over 30 perturbed runs ({first} → {last})"
+        );
+        assert!(last < 100.0, "{name}: trivially saturated — requirements too weak");
+    }
+}
+
+#[test]
+fn select_case_requirements_materialise_at_runtime() {
+    let kernel = goat::goker::by_name("moby28462").expect("kernel");
+    let mut universe = RequirementUniverse::new();
+    let r = Runtime::run(Config::new(1), move || Program::main(kernel));
+    let _ = extract_coverage(r.ect.as_ref().unwrap(), &mut universe);
+    let case_reqs = universe
+        .iter()
+        .filter(|k| matches!(k.target, goat::model::ReqTarget::Case { .. }))
+        .count();
+    assert!(case_reqs >= 3, "select cases (incl. default) must appear: {case_reqs}");
+}

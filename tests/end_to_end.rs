@@ -1,0 +1,152 @@
+//! End-to-end pipeline tests spanning every crate: program → runtime →
+//! trace → goroutine tree → deadlock verdict → coverage → reports, and
+//! the baseline detectors on the same programs.
+
+use goat::core::{
+    analyze_run, bug_report, coverage_table, crosscheck, deadlock_check, extract_coverage,
+    FnProgram, Goat, GoatConfig, GoatVerdict,
+};
+use goat::detectors::{BuiltinDetector, Detector, GoleakDetector, LockdlDetector, Symptom};
+use goat::model::RequirementUniverse;
+use goat::runtime::{go_named, gosched, Chan, Config, Mutex, Runtime, Select, WaitGroup};
+use goat::trace::GTree;
+use std::sync::Arc;
+
+fn listing1() {
+    let mu = Mutex::new();
+    let status: Chan<u32> = Chan::new(0);
+    {
+        let (mu, status) = (mu.clone(), status.clone());
+        go_named("Monitor", move || loop {
+            let got = Select::new().recv(&status, |v| v).default(|| None).run();
+            if got.is_some() {
+                return;
+            }
+            mu.lock();
+            mu.unlock();
+        });
+    }
+    {
+        let (mu, status) = (mu.clone(), status.clone());
+        go_named("StatusChange", move || {
+            mu.lock();
+            status.send(1);
+            mu.unlock();
+        });
+    }
+    goat::runtime::time::sleep(std::time::Duration::from_millis(30));
+}
+
+#[test]
+fn full_pipeline_on_listing1() {
+    // Find a leaking schedule deterministically, then run the whole
+    // offline pipeline against its trace.
+    let mut found = None;
+    for seed in 0..200 {
+        let r = Runtime::run(Config::new(seed), listing1);
+        crosscheck(&r).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        if matches!(analyze_run(&r), GoatVerdict::PartialDeadlock { .. }) {
+            found = Some(r);
+            break;
+        }
+    }
+    let r = found.expect("the listing 1 leak manifests within 200 schedules");
+    let ect = r.ect.as_ref().expect("traced");
+    ect.well_formed().expect("well-formed trace");
+
+    let tree = GTree::from_ect(ect);
+    let verdict = deadlock_check(&tree);
+    let GoatVerdict::PartialDeadlock { ref leaked } = verdict else {
+        panic!("expected a leak, got {verdict}");
+    };
+    assert_eq!(leaked.len(), 2, "Monitor and StatusChange both leak");
+
+    // The leaked goroutines are blocked on lock and send respectively.
+    let mut reasons: Vec<String> = leaked
+        .iter()
+        .map(|g| format!("{:?}", tree.get(*g).expect("node").last_event))
+        .collect();
+    reasons.sort();
+    assert!(reasons[0].contains("Sync") || reasons[1].contains("Sync"), "{reasons:?}");
+    assert!(reasons[0].contains("Send") || reasons[1].contains("Send"), "{reasons:?}");
+
+    // Coverage extraction and report rendering work on the same trace.
+    let mut universe = RequirementUniverse::new();
+    let cov = extract_coverage(ect, &mut universe);
+    assert!(!cov.covered.is_empty());
+    assert!(universe.len() >= cov.covered.len());
+    let report = bug_report("listing1", &verdict, ect);
+    assert!(report.contains("Monitor"));
+    assert!(report.contains("StatusChange"));
+    let table = coverage_table(&universe, &cov.covered);
+    assert!(table.contains("select"));
+}
+
+#[test]
+fn detectors_disagree_exactly_as_designed() {
+    // A leak invisible to builtin/lockdl but visible to GoAT and goleak.
+    let leak = || {
+        let ch: Chan<u8> = Chan::new(0);
+        go_named("stuck", move || {
+            ch.recv();
+        });
+        gosched();
+    };
+    let cfg = || Config::new(7).with_native_preempt_prob(0.0);
+    let program: goat::detectors::ProgramFn = Arc::new(leak);
+
+    let builtin = BuiltinDetector::new().run_once(cfg(), Arc::clone(&program));
+    assert!(!builtin.detected);
+
+    let lockdl = LockdlDetector::new().run_once(cfg(), Arc::clone(&program));
+    assert!(!lockdl.detected);
+
+    let goleak = GoleakDetector::new().run_once(cfg(), Arc::clone(&program));
+    assert_eq!(goleak.symptom, Symptom::PartialDeadlock { leaked: 1 });
+
+    let goat_tool = goat::core::GoatTool::new(0);
+    let gv = goat_tool.run_once(cfg(), program);
+    assert_eq!(gv.symptom, Symptom::PartialDeadlock { leaked: 1 });
+}
+
+#[test]
+fn campaign_stops_at_bug_and_produces_replayable_ect() {
+    let program = Arc::new(FnProgram::new("gdl", || {
+        let wg = WaitGroup::new();
+        wg.add(1);
+        wg.wait(); // nobody ever calls done
+    }));
+    let goat = Goat::new(GoatConfig::default().with_iterations(5));
+    let result = goat.test(program);
+    assert_eq!(result.first_detection, Some(1));
+    assert_eq!(result.bug, Some(GoatVerdict::GlobalDeadlock));
+    let ect = result.bug_ect.expect("bug trace kept for reporting");
+    assert!(ect.well_formed().is_ok());
+    // The trace shows main blocked on the wait group.
+    let tree = GTree::from_ect(&ect);
+    let main = tree.root().expect("main node");
+    assert!(format!("{:?}", main.last_event).contains("WaitGroup"), "{:?}", main.last_event);
+}
+
+#[test]
+fn static_and_dynamic_cu_models_agree_on_listing1() {
+    // Scan this test file statically; run the program dynamically; every
+    // dynamically observed CU must be present in the static model.
+    let src = std::path::PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/end_to_end.rs"
+    ));
+    let table = goat::model::scan_sources([&src]).expect("scan");
+    let r = Runtime::run(Config::new(3), listing1);
+    let ect = r.ect.expect("traced");
+    let mut missing = Vec::new();
+    for ev in ect.iter() {
+        if let Some(cu) = &ev.cu {
+            if (ev.kind.is_op_completion() || matches!(ev.kind, goat::trace::EventKind::GoCreate { .. }))
+                && table.lookup(&cu.file, cu.line, cu.kind).is_none() {
+                    missing.push(cu.clone());
+                }
+        }
+    }
+    assert!(missing.is_empty(), "dynamic CUs missing from static model: {missing:?}");
+}
