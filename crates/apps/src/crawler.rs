@@ -85,12 +85,10 @@ pub fn run(cfg: Config) {
         let links = cfg.links_per_page as u64;
         go_named(&format!("fetcher{f}"), move || {
             loop {
-                let page = Select::new()
-                    .recv(&frontier, Some)
-                    .recv(ctx.done(), |_| None)
-                    .run();
+                let page = Select::new().recv(&frontier, Some).recv(ctx.done(), |_| None).run();
                 let Some(Some(url)) = page else { break };
-                time::sleep(Duration::from_micros(200)); // download latency
+                // download latency
+                time::sleep(Duration::from_micros(200));
                 // record fetch statistics under the shared mutex — the
                 // edge the seeded bug's cycle runs through
                 visited_mu.lock();
@@ -172,12 +170,7 @@ mod tests {
                 let r = Runtime::run(RtConfig::new(seed).with_policy(policy.clone()), || {
                     run(Config::correct())
                 });
-                assert!(
-                    r.clean(),
-                    "seed {seed} {policy:?}: {:?} {:?}",
-                    r.outcome,
-                    r.alive_at_end
-                );
+                assert!(r.clean(), "seed {seed} {policy:?}: {:?} {:?}", r.outcome, r.alive_at_end);
             }
         }
     }
@@ -185,9 +178,8 @@ mod tests {
     #[test]
     fn correct_crawler_survives_yield_injection() {
         for seed in 0..8u64 {
-            let r = Runtime::run(RtConfig::new(seed).with_delay_bound(4), || {
-                run(Config::correct())
-            });
+            let r =
+                Runtime::run(RtConfig::new(seed).with_delay_bound(4), || run(Config::correct()));
             assert!(r.clean(), "seed {seed}: {:?}", r.outcome);
         }
     }

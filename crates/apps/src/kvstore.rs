@@ -131,12 +131,7 @@ mod tests {
                 let r = Runtime::run(RtConfig::new(seed).with_policy(policy.clone()), || {
                     run(Config::correct())
                 });
-                assert!(
-                    r.clean(),
-                    "seed {seed} {policy:?}: {:?} {:?}",
-                    r.outcome,
-                    r.alive_at_end
-                );
+                assert!(r.clean(), "seed {seed} {policy:?}: {:?} {:?}", r.outcome, r.alive_at_end);
             }
         }
     }
@@ -144,9 +139,8 @@ mod tests {
     #[test]
     fn correct_store_survives_yield_injection() {
         for seed in 0..8u64 {
-            let r = Runtime::run(RtConfig::new(seed).with_delay_bound(4), || {
-                run(Config::correct())
-            });
+            let r =
+                Runtime::run(RtConfig::new(seed).with_delay_bound(4), || run(Config::correct()));
             assert!(r.clean(), "seed {seed}: {:?}", r.outcome);
         }
     }
@@ -160,10 +154,7 @@ mod tests {
             if v.is_bug() {
                 detected += 1;
                 assert!(
-                    matches!(
-                        v,
-                        GoatVerdict::GlobalDeadlock | GoatVerdict::PartialDeadlock { .. }
-                    ),
+                    matches!(v, GoatVerdict::GlobalDeadlock | GoatVerdict::PartialDeadlock { .. }),
                     "unexpected symptom {v}"
                 );
             }
@@ -180,10 +171,8 @@ mod tests {
         assert!(result.detected(), "campaign must expose the replication bug");
 
         let fixed = Arc::new(FnProgram::new("kv-fixed", || run(Config::correct())));
-        let result = Goat::new(
-            GoatConfig::default().with_iterations(30).with_delay_bound(3),
-        )
-        .test(fixed);
+        let result =
+            Goat::new(GoatConfig::default().with_iterations(30).with_delay_bound(3)).test(fixed);
         assert!(!result.detected(), "fixed store flagged: {:?}", result.bug);
     }
 }

@@ -37,13 +37,12 @@ pub fn all_programs() -> Vec<Arc<dyn Program>> {
             pubsub::run(pubsub::Config::slow_subscriber_bug())
         }),
         program("kvstore_correct", || kvstore::run(kvstore::Config::correct())),
-        program("kvstore_replication_deadlock", || {
-            kvstore::run(kvstore::Config::replication_bug())
-        }),
+        program(
+            "kvstore_replication_deadlock",
+            || kvstore::run(kvstore::Config::replication_bug()),
+        ),
         program("crawler_correct", || crawler::run(crawler::Config::correct())),
-        program("crawler_frontier_deadlock", || {
-            crawler::run(crawler::Config::frontier_bug())
-        }),
+        program("crawler_frontier_deadlock", || crawler::run(crawler::Config::frontier_bug())),
     ]
 }
 
@@ -57,8 +56,7 @@ mod tests {
 
     #[test]
     fn corpus_has_correct_and_buggy_pairs() {
-        let names: Vec<String> =
-            all_programs().iter().map(|p| p.name().to_string()).collect();
+        let names: Vec<String> = all_programs().iter().map(|p| p.name().to_string()).collect();
         assert_eq!(names.len(), 6);
         assert_eq!(names.iter().filter(|n| n.contains("correct")).count(), 3);
     }

@@ -70,7 +70,8 @@ impl Config {
 /// Run the broker to completion (or into its seeded deadlock).
 pub fn run(cfg: Config) {
     let submissions: Chan<u64> = Chan::new(8);
-    let acks: Chan<u64> = Chan::new(cfg.publishers * cfg.messages_per_publisher * cfg.subscribers + 8);
+    let acks: Chan<u64> =
+        Chan::new(cfg.publishers * cfg.messages_per_publisher * cfg.subscribers + 8);
     let sub_lock = RwLock::new(); // protects the subscription table
     let mailboxes: Vec<Chan<u64>> =
         (0..cfg.subscribers).map(|_| Chan::new(cfg.mailbox_cap)).collect();
@@ -190,12 +191,7 @@ mod tests {
             for policy in [SchedPolicy::Native, SchedPolicy::UniformRandom] {
                 let cfg = RtConfig::new(seed).with_policy(policy.clone());
                 let r = Runtime::run(cfg, || run(Config::correct()));
-                assert!(
-                    r.clean(),
-                    "seed {seed} {policy:?}: {:?} {:?}",
-                    r.outcome,
-                    r.alive_at_end
-                );
+                assert!(r.clean(), "seed {seed} {policy:?}: {:?} {:?}", r.outcome, r.alive_at_end);
             }
         }
     }
@@ -217,9 +213,7 @@ mod tests {
         // paper's GDL rows), occasionally a leak when main squeaks out.
         let mut detected = 0;
         for seed in 0..10u64 {
-            let r = Runtime::run(RtConfig::new(seed), || {
-                run(Config::slow_subscriber_bug())
-            });
+            let r = Runtime::run(RtConfig::new(seed), || run(Config::slow_subscriber_bug()));
             if analyze_run(&r).is_bug() {
                 detected += 1;
             }
@@ -231,18 +225,14 @@ mod tests {
     fn wedged_broker_is_blocked_on_a_mailbox_send() {
         let mut seen_send_block = false;
         for seed in 0..10u64 {
-            let r = Runtime::run(RtConfig::new(seed), || {
-                run(Config::slow_subscriber_bug())
-            });
+            let r = Runtime::run(RtConfig::new(seed), || run(Config::slow_subscriber_bug()));
             if !analyze_run(&r).is_bug() {
                 continue;
             }
             let ect = r.ect.expect("traced");
             let tree = goat_trace::GTree::from_ect(&ect);
-            let broker_evt = tree
-                .nodes()
-                .find(|n| n.name == "broker")
-                .map(|n| format!("{:?}", n.last_event));
+            let broker_evt =
+                tree.nodes().find(|n| n.name == "broker").map(|n| format!("{:?}", n.last_event));
             if broker_evt.is_some_and(|evt| evt.contains("Send")) {
                 seen_send_block = true;
             }

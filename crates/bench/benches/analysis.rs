@@ -63,9 +63,7 @@ fn bench_analysis(c: &mut Criterion) {
             assert_eq!(back.len(), ect.len());
         })
     });
-    c.bench_function("well_formed_check", |b| {
-        b.iter(|| ect.well_formed().expect("well-formed"))
-    });
+    c.bench_function("well_formed_check", |b| b.iter(|| ect.well_formed().expect("well-formed")));
 }
 
 fn config() -> Criterion {

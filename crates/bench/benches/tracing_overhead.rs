@@ -63,10 +63,7 @@ fn bench_tracing(c: &mut Criterion) {
     g.bench_function("trace_on_with_yields_d4", |b| {
         b.iter(|| {
             let r = Runtime::run(
-                Config::new(1)
-                    .with_native_preempt_prob(0.0)
-                    .with_trace(true)
-                    .with_delay_bound(4),
+                Config::new(1).with_native_preempt_prob(0.0).with_trace(true).with_delay_bound(4),
                 pipeline,
             );
             assert!(r.outcome.is_completed());

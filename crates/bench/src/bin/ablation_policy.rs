@@ -44,10 +44,7 @@ fn main() {
     let variants: Vec<(&str, ConfigFactory)> = vec![
         ("native-d0", Box::new(Config::new)),
         ("goat-d2", Box::new(|s| Config::new(s).with_delay_bound(2))),
-        (
-            "uniform-random",
-            Box::new(|s| Config::new(s).with_policy(SchedPolicy::UniformRandom)),
-        ),
+        ("uniform-random", Box::new(|s| Config::new(s).with_policy(SchedPolicy::UniformRandom))),
     ];
 
     println!("Ablation — yield injection vs. full scheduler control (budget {budget})\n");
@@ -60,9 +57,7 @@ fn main() {
         for (vi, (name, mk)) in variants.iter().enumerate() {
             let d = first_detection(kernel, budget, s0, mk);
             match d {
-                Some(i) => {
-                    *dist.entry(name).or_default().entry(bucket_label(i)).or_default() += 1
-                }
+                Some(i) => *dist.entry(name).or_default().entry(bucket_label(i)).or_default() += 1,
                 None => *undetected.entry(name).or_default() += 1,
             }
             row.push((vi, d));
@@ -80,7 +75,10 @@ fn main() {
         }
     }
 
-    println!("{:<16} {:>6} {:>8} {:>8} {:>10} {:>11}", "policy", "1", "2-10", "11-100", "101-1000", "undetected");
+    println!(
+        "{:<16} {:>6} {:>8} {:>8} {:>10} {:>11}",
+        "policy", "1", "2-10", "11-100", "101-1000", "undetected"
+    );
     for (name, _) in &variants {
         let d = dist.get(name).cloned().unwrap_or_default();
         println!(

@@ -17,9 +17,7 @@ fn main() {
     let tools = tools();
     let names = tool_names();
 
-    println!(
-        "Figure 5 — % distribution of detection iterations per tool (budget {budget})\n"
-    );
+    println!("Figure 5 — % distribution of detection iterations per tool (budget {budget})\n");
     print!("{:<10}", "tool");
     for (_, _, label) in BUCKETS {
         print!("{label:>12}");

@@ -37,8 +37,7 @@ fn main() {
                     .keep_running(),
             );
             let result = goat.test(Arc::new(ProgramRef(kernel)));
-            let curve: Vec<f64> =
-                result.records.iter().map(|r| r.coverage_percent).collect();
+            let curve: Vec<f64> = result.records.iter().map(|r| r.coverage_percent).collect();
             curves.push((d, curve));
         }
 

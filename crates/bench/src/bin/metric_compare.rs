@@ -36,10 +36,7 @@ fn main() {
         let mut pair_saturated_at = None;
         let mut req_last_growth = 0usize;
 
-        println!(
-            "{:>4}  {:>12} {:>10}  {:>10}",
-            "iter", "req-covered", "req-%", "sync-pairs"
-        );
+        println!("{:>4}  {:>12} {:>10}  {:>10}", "iter", "req-covered", "req-%", "sync-pairs");
         for i in 0..iterations {
             let seed = s0.wrapping_add(name_salt(kernel_name)).wrapping_add(i as u64);
             let cfg = Config::new(seed).with_delay_bound(2);

@@ -44,12 +44,7 @@ fn main() {
     for p in Project::ALL {
         println!("  {p}:");
         for k in goat_goker::by_project(p) {
-            println!(
-                "    {:<18} {:<14} {:?}",
-                k.name,
-                k.cause.to_string(),
-                k.rarity
-            );
+            println!("    {:<18} {:<14} {:?}", k.name, k.cause.to_string(), k.rarity);
         }
     }
 }

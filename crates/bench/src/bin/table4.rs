@@ -14,10 +14,7 @@ fn main() {
     let tools = tools();
     let names = tool_names();
 
-    println!(
-        "Table IV — per-bug output of each tool ({} executions max, seed0={})",
-        budget, s0
-    );
+    println!("Table IV — per-bug output of each tool ({} executions max, seed0={})", budget, s0);
     println!("legend: SYMPTOM (min executions) | X (budget) = undetected\n");
     print!("{:<18}", "bug");
     for n in &names {

@@ -92,7 +92,12 @@ pub fn name_salt(name: &str) -> u64 {
 
 /// Run `tool` on `kernel` for up to `budget` iterations (fresh seed per
 /// iteration, per-kernel salted), returning the first detection.
-pub fn detect(tool: &dyn Detector, kernel: &'static BugKernel, budget: usize, seed0: u64) -> Detection {
+pub fn detect(
+    tool: &dyn Detector,
+    kernel: &'static BugKernel,
+    budget: usize,
+    seed0: u64,
+) -> Detection {
     let program = kernel_program(kernel);
     let salt = name_salt(kernel.name);
     for i in 0..budget {

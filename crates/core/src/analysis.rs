@@ -162,8 +162,8 @@ pub fn crosscheck(result: &RunResult) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use goat_trace::Ect;
     use goat_runtime::{go, go_named, gosched, Chan, Config, Mutex, Runtime};
+    use goat_trace::Ect;
 
     fn cfg(seed: u64) -> Config {
         Config::new(seed).with_native_preempt_prob(0.0)

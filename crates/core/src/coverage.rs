@@ -87,8 +87,7 @@ pub fn extract_coverage(ect: &Ect, universe: &mut RequirementUniverse) -> RunCov
     // Runtime-internal goroutines (GoAT's own watcher/stopper) are not
     // part of the application: none of their operations count as
     // coverage, mirroring the application-level filter of §III-E.
-    let mut internal: std::collections::BTreeSet<Gid> =
-        std::iter::once(Gid::RUNTIME).collect();
+    let mut internal: std::collections::BTreeSet<Gid> = std::iter::once(Gid::RUNTIME).collect();
 
     for ev in ect.iter() {
         let g = ev.g;
@@ -101,7 +100,7 @@ pub fn extract_coverage(ect: &Ect, universe: &mut RequirementUniverse) -> RunCov
         match &ev.kind {
             EventKind::GoCreate { internal: false, .. } => {
                 if let Some(cu) = &ev.cu {
-                    let id = universe.discover_cu(cu.clone());
+                    let id = universe.discover_cu(*cu);
                     cov.cover(g, ReqKey::op(id, ReqValue::Nop));
                 }
                 pending_unblocks.remove(&g);
@@ -109,16 +108,16 @@ pub fn extract_coverage(ect: &Ect, universe: &mut RequirementUniverse) -> RunCov
             EventKind::GoBlock { reason, holder_cu, holder } => {
                 // Req3 "blocking": credit the holder's acquisition site.
                 if let Some(hcu) = holder_cu {
-                    let id = universe.discover_cu(hcu.clone());
+                    let id = universe.discover_cu(*hcu);
                     cov.cover(holder.unwrap_or(g), ReqKey::op(id, ReqValue::Blocking));
                 }
                 if let Some(cu) = &ev.cu {
-                    last_block.insert(g, cu.clone());
+                    last_block.insert(g, *cu);
                     // Discover the blocked op's CU and cover its
                     // *blocked* requirement right away: a goroutine that
                     // leaks here never emits a completion event, yet its
                     // blocking is exactly what Req1/Req3 want observed.
-                    let id = universe.discover_cu(cu.clone());
+                    let id = universe.discover_cu(*cu);
                     if goat_model::op_requirements(cu.kind).contains(&ReqValue::Blocked) {
                         cov.cover(g, ReqKey::op(id, ReqValue::Blocked));
                     }
@@ -136,7 +135,7 @@ pub fn extract_coverage(ect: &Ect, universe: &mut RequirementUniverse) -> RunCov
             }
             EventKind::GoUnblock { .. } => {
                 if let Some(cu) = &ev.cu {
-                    pending_unblocks.entry(g).or_default().push(cu.clone());
+                    pending_unblocks.entry(g).or_default().push(*cu);
                     if cu.kind == CuKind::Select {
                         if let Some(stack) = select_stack.get_mut(&g) {
                             if let Some(top) = stack.last_mut() {
@@ -150,20 +149,15 @@ pub fn extract_coverage(ect: &Ect, universe: &mut RequirementUniverse) -> RunCov
             }
             EventKind::SelectBegin { cases, has_default } => {
                 if let Some(cu) = &ev.cu {
-                    let id = universe.discover_cu(cu.clone());
+                    let id = universe.discover_cu(*cu);
                     for (i, (fl, _)) in cases.iter().enumerate() {
                         universe.discover_select_case(id, i, flavor_of(*fl), *has_default);
                     }
                     if *has_default {
-                        universe.discover_select_case(
-                            id,
-                            cases.len(),
-                            CaseFlavor::Default,
-                            true,
-                        );
+                        universe.discover_select_case(id, cases.len(), CaseFlavor::Default, true);
                     }
                     select_stack.entry(g).or_default().push(PendingSelect {
-                        cu: cu.clone(),
+                        cu: *cu,
                         cases: cases.len(),
                         has_default: *has_default,
                         blocked: false,
@@ -174,10 +168,8 @@ pub fn extract_coverage(ect: &Ect, universe: &mut RequirementUniverse) -> RunCov
             }
             EventKind::SelectEnd { chosen, flavor, .. } => {
                 if let Some(cu) = &ev.cu {
-                    let id = universe.discover_cu(cu.clone());
-                    let entry = select_stack
-                        .get_mut(&g)
-                        .and_then(|st| st.pop());
+                    let id = universe.discover_cu(*cu);
+                    let entry = select_stack.get_mut(&g).and_then(|st| st.pop());
                     let (blocked, woke, cases, has_default) = match &entry {
                         Some(e) if e.cu.same_site(cu) => {
                             (e.blocked, e.woke, e.cases, e.has_default)
@@ -185,10 +177,7 @@ pub fn extract_coverage(ect: &Ect, universe: &mut RequirementUniverse) -> RunCov
                         _ => (false, false, chosen.wrapping_add(1), false),
                     };
                     if *chosen == usize::MAX {
-                        cov.cover(
-                            g,
-                            ReqKey::case(id, cases, CaseFlavor::Default, ReqValue::Nop),
-                        );
+                        cov.cover(g, ReqKey::case(id, cases, CaseFlavor::Default, ReqValue::Nop));
                     } else {
                         let fl = flavor_of(*flavor);
                         let value = if blocked && !has_default {
@@ -208,11 +197,8 @@ pub fn extract_coverage(ect: &Ect, universe: &mut RequirementUniverse) -> RunCov
                 let allowed = expected_kinds(kind);
                 if let Some(cu) = &ev.cu {
                     if allowed.contains(&cu.kind) {
-                        let id = universe.discover_cu(cu.clone());
-                        let blocked = last_block
-                            .get(&g)
-                            .map(|b| b.same_site(cu))
-                            .unwrap_or(false)
+                        let id = universe.discover_cu(*cu);
+                        let blocked = last_block.get(&g).map(|b| b.same_site(cu)).unwrap_or(false)
                             || matches!(kind, EventKind::CondWait { .. });
                         let woke = pending_unblocks
                             .get(&g)
@@ -252,7 +238,7 @@ pub fn extract_sync_pairs(ect: &Ect) -> goat_model::SyncPairCoverage {
         match &ev.kind {
             EventKind::GoBlock { .. } => {
                 if let Some(cu) = &ev.cu {
-                    blocked_at.insert(ev.g, cu.clone());
+                    blocked_at.insert(ev.g, *cu);
                 }
             }
             EventKind::GoUnblock { g } => {
@@ -285,11 +271,14 @@ mod tests {
         (cov, universe)
     }
 
-    fn has(universe: &RequirementUniverse, cov: &RunCoverage, kind: CuKind, value: ReqValue) -> bool {
+    fn has(
+        universe: &RequirementUniverse,
+        cov: &RunCoverage,
+        kind: CuKind,
+        value: ReqValue,
+    ) -> bool {
         cov.covered.iter().any(|k| {
-            k.value == value
-                && k.target == ReqTarget::Op
-                && universe.table().get(k.cu).kind == kind
+            k.value == value && k.target == ReqTarget::Op && universe.table().get(k.cu).kind == kind
         })
     }
 
@@ -381,17 +370,12 @@ mod tests {
             let _ = Select::new().recv(&a, |v| v).recv(&b, |v| v).run();
         });
         // two recv cases discovered, each with the blocking-select set
-        let case_reqs: Vec<&ReqKey> = u
-            .iter()
-            .filter(|k| matches!(k.target, ReqTarget::Case { .. }))
-            .collect();
+        let case_reqs: Vec<&ReqKey> =
+            u.iter().filter(|k| matches!(k.target, ReqTarget::Case { .. })).collect();
         assert_eq!(case_reqs.len(), 6, "{case_reqs:?}");
         // the fired case covered a NOP (data was ready; nobody woken)
-        let covered_cases: Vec<&ReqKey> = cov
-            .covered
-            .iter()
-            .filter(|k| matches!(k.target, ReqTarget::Case { .. }))
-            .collect();
+        let covered_cases: Vec<&ReqKey> =
+            cov.covered.iter().filter(|k| matches!(k.target, ReqTarget::Case { .. })).collect();
         assert_eq!(covered_cases.len(), 1);
         assert_eq!(covered_cases[0].value, ReqValue::Nop);
     }
@@ -422,9 +406,7 @@ mod tests {
         let default_cov: Vec<&ReqKey> = cov
             .covered
             .iter()
-            .filter(|k| {
-                matches!(k.target, ReqTarget::Case { flavor: CaseFlavor::Default, .. })
-            })
+            .filter(|k| matches!(k.target, ReqTarget::Case { flavor: CaseFlavor::Default, .. }))
             .collect();
         assert_eq!(default_cov.len(), 1);
         // non-blocking select cases got the Req4 set (2 reqs) + default (1)

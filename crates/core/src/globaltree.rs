@@ -9,13 +9,13 @@
 //! coverage vector is the union over all its dynamic instances.
 
 use crate::coverage::RunCoverage;
-use goat_model::CoverageSet;
+use goat_model::{CoverageSet, Istr};
 use goat_trace::{GNode, GTree, Gid};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Key identifying a child slot under a parent: the creation site.
-type SiteKey = (String, u32);
+type SiteKey = (Istr, u32);
 
 /// One node of the global goroutine tree.
 #[derive(Debug, Clone, Default)]
@@ -45,9 +45,7 @@ impl Default for GlobalGTree {
 impl GlobalGTree {
     /// A tree containing only the (empty) main node.
     pub fn new() -> Self {
-        GlobalGTree {
-            nodes: vec![GlobalNode { name: "main".to_string(), ..Default::default() }],
-        }
+        GlobalGTree { nodes: vec![GlobalNode { name: "main".to_string(), ..Default::default() }] }
     }
 
     /// Number of global nodes.
@@ -86,8 +84,8 @@ impl GlobalGTree {
             let key: SiteKey = child
                 .create_cu
                 .as_ref()
-                .map(|cu| (cu.file.clone(), cu.line))
-                .unwrap_or_else(|| (format!("<unknown:{}>", child.name), 0));
+                .map(|cu| (cu.file, cu.line))
+                .unwrap_or_else(|| (Istr::new(format!("<unknown:{}>", child.name)), 0));
             let child_idx = match self.nodes[global_idx].children.get(&key) {
                 Some(&i) => i,
                 None => {

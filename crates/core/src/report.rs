@@ -3,7 +3,7 @@
 //! and the Table III-style coverage table.
 
 use crate::analysis::GoatVerdict;
-use goat_model::{CoverageSet, ReqTarget, RequirementUniverse};
+use goat_model::{CoverageSet, Istr, ReqTarget, RequirementUniverse};
 use goat_trace::{Ect, GTree};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -51,7 +51,7 @@ const TAIL: usize = 40;
 /// Render a Table III-style coverage table: one row per requirement,
 /// grouped by CU, with its covered/uncovered status.
 pub fn coverage_table(universe: &RequirementUniverse, covered: &CoverageSet) -> String {
-    let mut by_cu: BTreeMap<(String, u32, String), Vec<(String, bool)>> = BTreeMap::new();
+    let mut by_cu: BTreeMap<(Istr, u32, String), Vec<(String, bool)>> = BTreeMap::new();
     for key in universe.iter() {
         let req = universe.resolve(*key);
         let label = match key.target {
@@ -59,22 +59,19 @@ pub fn coverage_table(universe: &RequirementUniverse, covered: &CoverageSet) -> 
             ReqTarget::Case { idx, flavor } => format!("case{idx}({flavor})-{}", key.value),
         };
         by_cu
-            .entry((req.cu.file.clone(), req.cu.line, req.cu.kind.to_string()))
+            .entry((req.cu.file, req.cu.line, req.cu.kind.to_string()))
             .or_default()
             .push((label, covered.contains(key)));
     }
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:<40} {:>5} {:<10} {:<28} covered",
-        "file", "line", "kind", "requirement"
-    );
+    let _ =
+        writeln!(out, "{:<40} {:>5} {:<10} {:<28} covered", "file", "line", "kind", "requirement");
     let _ = writeln!(out, "{}", "-".repeat(95));
     let mut total = 0usize;
     let mut hit = 0usize;
     for ((file, line, kind), mut reqs) in by_cu {
         reqs.sort();
-        let short = file.rsplit('/').next().unwrap_or(&file);
+        let short = file.rsplit('/').next().unwrap_or(file.as_str());
         for (label, ok) in reqs {
             total += 1;
             if ok {
@@ -122,7 +119,9 @@ pub fn goroutine_tree_dot(ect: &Ect, verdict: &GoatVerdict) -> String {
         GoatVerdict::PartialDeadlock { leaked } => leaked.iter().copied().collect(),
         _ => Default::default(),
     };
-    let mut out = String::from("digraph goroutines {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut out = String::from(
+        "digraph goroutines {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n",
+    );
     for node in tree.app_nodes() {
         let status = match &node.last_event {
             Some(k) if node.finished() => format!("{k}"),

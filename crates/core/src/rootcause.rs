@@ -57,15 +57,11 @@ pub fn find_divergence(
         .zip(p_log.decisions.iter())
         .position(|(a, b)| a != b)
         .unwrap_or_else(|| f_log.decisions.len().min(p_log.decisions.len()));
-    if decision_index == f_log.decisions.len() && f_log.decisions.len() == p_log.decisions.len()
-    {
+    if decision_index == f_log.decisions.len() && f_log.decisions.len() == p_log.decisions.len() {
         return None;
     }
-    let common_events = f_ect
-        .iter()
-        .zip(p_ect.iter())
-        .take_while(|(a, b)| same_event(a, b))
-        .count();
+    let common_events =
+        f_ect.iter().zip(p_ect.iter()).take_while(|(a, b)| same_event(a, b)).count();
     Some(Divergence {
         decision_index,
         failing_decision: f_log.decisions.get(decision_index).cloned(),
@@ -108,16 +104,8 @@ pub fn root_cause_report(
                 "runs agree for {} events and {} scheduler decisions, then diverge:",
                 d.common_events, d.decision_index
             );
-            let _ = writeln!(
-                out,
-                "  failing run: {}",
-                describe_decision(&d.failing_decision)
-            );
-            let _ = writeln!(
-                out,
-                "  passing run: {}",
-                describe_decision(&d.passing_decision)
-            );
+            let _ = writeln!(out, "  failing run: {}", describe_decision(&d.failing_decision));
+            let _ = writeln!(out, "  passing run: {}", describe_decision(&d.passing_decision));
             if let Some(ev) = &d.failing_event {
                 let _ = writeln!(out, "  first failing-only event: {ev}");
             }
@@ -180,8 +168,7 @@ mod tests {
             {
                 let (mu, status) = (mu.clone(), status.clone());
                 go_named("Monitor", move || loop {
-                    let got =
-                        Select::new().recv(&status, |v| v).default(|| None).run();
+                    let got = Select::new().recv(&status, |v| v).default(|| None).run();
                     if got.is_some() {
                         return;
                     }

@@ -10,7 +10,8 @@ use goat_detectors::{Detector, ProgramFn, ToolVerdict};
 use goat_model::{scan_sources, CoverageSet, CuTable, RequirementUniverse};
 use goat_runtime::{go_internal, Chan, Config, Runtime};
 use goat_trace::{Ect, GTree};
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::sync::{mpsc, Arc, Condvar, Mutex as StdMutex};
 
 /// Campaign configuration (the tool's command-line knobs: `-d`, `-freq`,
 /// `-cov`, …).
@@ -34,6 +35,10 @@ pub struct GoatConfig {
     /// independent; results are identical to the sequential campaign
     /// because per-iteration seeds are fixed and merged in order).
     pub parallelism: usize,
+    /// Run goroutines on the shared worker-thread pool (see
+    /// [`goat_runtime::Config::pool`]); scheduling is identical either
+    /// way, the pool only removes thread-creation cost.
+    pub pool: bool,
 }
 
 impl Default for GoatConfig {
@@ -47,6 +52,7 @@ impl Default for GoatConfig {
             native_preempt_prob: 0.02,
             max_steps: 200_000,
             parallelism: 1,
+            pool: true,
         }
     }
 }
@@ -83,12 +89,19 @@ impl GoatConfig {
         self
     }
 
+    /// Enable or disable the shared goroutine worker-thread pool.
+    pub fn with_pool(mut self, on: bool) -> Self {
+        self.pool = on;
+        self
+    }
+
     fn runtime_config(&self, iter: usize) -> Config {
         Config::new(self.seed0 + iter as u64)
             .with_delay_bound(self.delay_bound)
             .with_native_preempt_prob(self.native_preempt_prob)
             .with_max_steps(self.max_steps)
             .with_trace(true)
+            .with_pool(self.pool)
     }
 }
 
@@ -185,6 +198,158 @@ impl CampaignResult {
     }
 }
 
+/// Everything a campaign accumulates, plus the single merge path both
+/// the sequential and the streaming executor funnel through.
+///
+/// Merging is the *only* stateful step of a campaign (runs themselves
+/// are independent), so routing every iteration — in strict iteration
+/// order — through [`MergeState::merge_one`] is what makes the parallel
+/// campaign byte-identical to the sequential one, including the
+/// `stop_on_bug` and coverage-threshold early exits.
+struct MergeState {
+    universe: RequirementUniverse,
+    covered: CoverageSet,
+    global_tree: GlobalGTree,
+    records: Vec<IterationRecord>,
+    first_detection: Option<usize>,
+    bug: Option<GoatVerdict>,
+    bug_ect: Option<Ect>,
+    bug_schedule: Option<goat_runtime::ReplayLog>,
+}
+
+impl MergeState {
+    fn new(table: CuTable) -> Self {
+        MergeState {
+            universe: RequirementUniverse::from_table(table),
+            covered: CoverageSet::new(),
+            global_tree: GlobalGTree::new(),
+            records: Vec::new(),
+            first_detection: None,
+            bug: None,
+            bug_ect: None,
+            bug_schedule: None,
+        }
+    }
+
+    /// Fold iteration `iter_no`'s result into the campaign; returns
+    /// `true` when the campaign must stop (bug with `stop_on_bug`, or
+    /// coverage threshold reached).
+    fn merge_one(
+        &mut self,
+        cfg: &GoatConfig,
+        iter_no: usize,
+        result: goat_runtime::RunResult,
+    ) -> bool {
+        let verdict = analyze_run(&result);
+        if let Some(ect) = &result.ect {
+            let cov = extract_coverage(ect, &mut self.universe);
+            self.covered.merge(&cov.covered);
+            self.global_tree.merge_run(&GTree::from_ect(ect), &cov);
+        }
+        // One percent computation per iteration, shared by the record
+        // and the threshold check below.
+        let percent = self.covered.percent(&self.universe);
+        let is_bug = verdict.is_bug();
+        self.records.push(IterationRecord {
+            iter: iter_no + 1,
+            seed: cfg.seed0 + iter_no as u64,
+            verdict: verdict.clone(),
+            coverage_percent: percent,
+            universe_size: self.universe.len(),
+            yields: result.yields_injected,
+        });
+        if is_bug && self.first_detection.is_none() {
+            self.first_detection = Some(iter_no + 1);
+            self.bug = Some(verdict);
+            self.bug_ect = result.ect;
+            self.bug_schedule = Some(result.schedule);
+            if cfg.stop_on_bug {
+                return true;
+            }
+        }
+        if let Some(th) = cfg.coverage_threshold {
+            if percent >= th {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn finish(self) -> CampaignResult {
+        CampaignResult {
+            records: self.records,
+            first_detection: self.first_detection,
+            bug: self.bug,
+            bug_ect: self.bug_ect,
+            bug_schedule: self.bug_schedule,
+            universe: self.universe,
+            covered: self.covered,
+            global_tree: self.global_tree,
+        }
+    }
+}
+
+/// Work queue of the streaming executor: hands out iteration indices to
+/// long-lived campaign workers, gated by a *claim window* so execution
+/// never races more than `window` iterations ahead of the merge point —
+/// this bounds both the reorder buffer and the work wasted past an
+/// early-exit cutoff.
+struct ClaimQueue {
+    state: StdMutex<ClaimState>,
+    cv: Condvar,
+    window: usize,
+}
+
+struct ClaimState {
+    /// Next unclaimed iteration index.
+    next: usize,
+    /// Iterations merged so far (claims must stay < merged + window).
+    merged: usize,
+    /// One past the last claimable index; shrinks on early exit.
+    cutoff: usize,
+}
+
+impl ClaimQueue {
+    fn new(iterations: usize, window: usize) -> Self {
+        ClaimQueue {
+            state: StdMutex::new(ClaimState { next: 0, merged: 0, cutoff: iterations }),
+            cv: Condvar::new(),
+            window: window.max(1),
+        }
+    }
+
+    /// Claim the next iteration index, blocking while the claim window
+    /// is exhausted; `None` once the campaign is over.
+    fn claim(&self) -> Option<usize> {
+        let mut st = self.state.lock().expect("claim queue");
+        loop {
+            if st.next >= st.cutoff {
+                return None;
+            }
+            if st.next < st.merged + self.window {
+                let i = st.next;
+                st.next += 1;
+                return Some(i);
+            }
+            st = self.cv.wait(st).expect("claim queue");
+        }
+    }
+
+    /// Record one merged iteration, sliding the claim window forward.
+    fn advance_merged(&self) {
+        let mut st = self.state.lock().expect("claim queue");
+        st.merged += 1;
+        self.cv.notify_all();
+    }
+
+    /// Early exit: forbid all further claims.
+    fn stop(&self) {
+        let mut st = self.state.lock().expect("claim queue");
+        st.cutoff = st.cutoff.min(st.merged);
+        self.cv.notify_all();
+    }
+}
+
 /// The GoAT tool: drives instrumented executions of a program.
 #[derive(Debug, Clone, Default)]
 pub struct Goat {
@@ -242,89 +407,74 @@ impl Goat {
 
     /// Run a full testing campaign on `program`.
     ///
-    /// With [`GoatConfig::parallelism`] > 1 the iterations execute on
-    /// multiple host threads in batches; because every iteration's seed
-    /// is fixed up front and results are merged in iteration order, the
-    /// campaign outcome is byte-identical to the sequential one.
+    /// With [`GoatConfig::parallelism`] > 1 the iterations execute on a
+    /// streaming executor: `parallelism` long-lived workers claim
+    /// seed-indexed iterations from a shared queue and a reorder buffer
+    /// merges their results in strict iteration order. Because every
+    /// iteration's seed is fixed up front and merging is the only
+    /// stateful step, the campaign outcome is byte-identical to the
+    /// sequential one — including `stop_on_bug` and coverage-threshold
+    /// early exits.
     pub fn test(&self, program: Arc<dyn Program>) -> CampaignResult {
         let table = Self::static_model(program.as_ref());
-        let mut universe = RequirementUniverse::from_table(table);
-        let mut covered = CoverageSet::new();
-        let mut global_tree = GlobalGTree::new();
-        let mut records = Vec::new();
-        let mut first_detection = None;
-        let mut bug = None;
-        let mut bug_ect = None;
-        let mut bug_schedule = None;
+        let mut m = MergeState::new(table);
 
-        let batch = self.cfg.parallelism.max(1);
-        let mut i = 0usize;
-        'outer: while i < self.cfg.iterations {
-            let n = batch.min(self.cfg.iterations - i);
-            // Execute a batch of independent runs (possibly in parallel).
-            let results: Vec<goat_runtime::RunResult> = if n == 1 {
-                vec![Runtime::run(
+        if self.cfg.parallelism <= 1 {
+            for i in 0..self.cfg.iterations {
+                let result = Runtime::run(
                     self.cfg.runtime_config(i),
                     Self::instrumented(Arc::clone(&program)),
-                )]
-            } else {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..n)
-                        .map(|k| {
-                            let cfg = self.cfg.runtime_config(i + k);
-                            let body = Self::instrumented(Arc::clone(&program));
-                            scope.spawn(move || Runtime::run(cfg, body))
-                        })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("campaign worker")).collect()
-                })
-            };
-            // Merge in iteration order: identical to the sequential path.
-            for (k, result) in results.into_iter().enumerate() {
-                let iter_no = i + k;
-                let verdict = analyze_run(&result);
-                if let Some(ect) = &result.ect {
-                    let cov = extract_coverage(ect, &mut universe);
-                    covered.merge(&cov.covered);
-                    global_tree.merge_run(&GTree::from_ect(ect), &cov);
-                }
-                let record = IterationRecord {
-                    iter: iter_no + 1,
-                    seed: self.cfg.seed0 + iter_no as u64,
-                    verdict: verdict.clone(),
-                    coverage_percent: covered.percent(&universe),
-                    universe_size: universe.len(),
-                    yields: result.yields_injected,
-                };
-                let is_bug = record.verdict.is_bug();
-                records.push(record);
-                if is_bug && first_detection.is_none() {
-                    first_detection = Some(iter_no + 1);
-                    bug = Some(verdict);
-                    bug_ect = result.ect.clone();
-                    bug_schedule = Some(result.schedule.clone());
-                    if self.cfg.stop_on_bug {
-                        break 'outer;
-                    }
-                }
-                if let Some(th) = self.cfg.coverage_threshold {
-                    if covered.percent(&universe) >= th {
-                        break 'outer;
-                    }
+                );
+                if m.merge_one(&self.cfg, i, result) {
+                    break;
                 }
             }
-            i += n;
+            return m.finish();
         }
-        CampaignResult {
-            records,
-            first_detection,
-            bug,
-            bug_ect,
-            bug_schedule,
-            universe,
-            covered,
-            global_tree,
-        }
+
+        let queue = ClaimQueue::new(self.cfg.iterations, self.cfg.parallelism * 4);
+        let (tx, rx) = mpsc::channel::<(usize, goat_runtime::RunResult)>();
+        std::thread::scope(|scope| {
+            for _ in 0..self.cfg.parallelism {
+                let tx = tx.clone();
+                let queue = &queue;
+                let program = &program;
+                let goat = &self;
+                scope.spawn(move || {
+                    while let Some(i) = queue.claim() {
+                        let result = Runtime::run(
+                            goat.cfg.runtime_config(i),
+                            Self::instrumented(Arc::clone(program)),
+                        );
+                        if tx.send((i, result)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            // Only workers hold senders: the channel closes (ending the
+            // merge loop) exactly when the last worker exits.
+            drop(tx);
+
+            let mut reorder: BTreeMap<usize, goat_runtime::RunResult> = BTreeMap::new();
+            let mut expect = 0usize;
+            let mut stopped = false;
+            for (idx, result) in rx {
+                reorder.insert(idx, result);
+                while let Some(next) = reorder.remove(&expect) {
+                    if stopped {
+                        // Speculative runs past the cutoff: discard.
+                    } else if m.merge_one(&self.cfg, expect, next) {
+                        stopped = true;
+                        queue.stop();
+                    } else {
+                        queue.advance_merged();
+                    }
+                    expect += 1;
+                }
+            }
+        });
+        m.finish()
     }
 
     /// Re-execute `program` forcing a previously recorded schedule and
@@ -451,9 +601,8 @@ mod tests {
 
     #[test]
     fn delay_bound_injects_yields() {
-        let goat = Goat::new(
-            GoatConfig::default().with_delay_bound(3).with_iterations(5).keep_running(),
-        );
+        let goat =
+            Goat::new(GoatConfig::default().with_delay_bound(3).with_iterations(5).keep_running());
         let r = goat.test(clean_program());
         assert!(r.records.iter().any(|rec| rec.yields > 0));
         assert!(r.records.iter().all(|rec| rec.yields <= 3));
@@ -512,10 +661,7 @@ mod tests {
             {
                 let (mu, ch) = (mu.clone(), ch.clone());
                 go_named("monitor", move || loop {
-                    let got = goat_runtime::Select::new()
-                        .recv(&ch, |v| v)
-                        .default(|| None)
-                        .run();
+                    let got = goat_runtime::Select::new().recv(&ch, |v| v).default(|| None).run();
                     if got.is_some() {
                         return;
                     }
@@ -571,10 +717,9 @@ mod tests {
     fn parallel_campaign_matches_sequential_results() {
         let seq = Goat::new(GoatConfig::default().with_iterations(12).keep_running())
             .test(clean_program());
-        let par = Goat::new(
-            GoatConfig::default().with_iterations(12).keep_running().with_parallelism(4),
-        )
-        .test(clean_program());
+        let par =
+            Goat::new(GoatConfig::default().with_iterations(12).keep_running().with_parallelism(4))
+                .test(clean_program());
         assert_eq!(seq.records.len(), par.records.len());
         for (a, b) in seq.records.iter().zip(par.records.iter()) {
             assert_eq!(a.seed, b.seed);
@@ -589,10 +734,8 @@ mod tests {
     #[test]
     fn parallel_campaign_finds_the_same_first_bug() {
         let seq = Goat::new(GoatConfig::default().with_iterations(50)).test(leaky_program());
-        let par = Goat::new(
-            GoatConfig::default().with_iterations(50).with_parallelism(8),
-        )
-        .test(leaky_program());
+        let par = Goat::new(GoatConfig::default().with_iterations(50).with_parallelism(8))
+            .test(leaky_program());
         assert_eq!(seq.first_detection, par.first_detection);
         assert_eq!(seq.bug, par.bug);
     }

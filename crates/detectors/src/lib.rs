@@ -27,7 +27,7 @@ pub use goleak::GoleakDetector;
 pub use lockdl::{LockGraph, LockdlDetector, LockdlReport};
 pub use verdict::{Detector, ProgramFn, Symptom, ToolVerdict};
 
-use goat_runtime::{Config, Runtime, RunOutcome};
+use goat_runtime::{Config, RunOutcome, Runtime};
 
 /// Go's built-in global deadlock detector.
 ///

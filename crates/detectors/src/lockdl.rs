@@ -116,17 +116,12 @@ impl Monitor for LockdlMonitor {
         let mut st = self.st.lock();
         let held = st.held.get(&g).cloned().unwrap_or_default();
         if held.contains(&mu) {
-            st.reports.push(LockdlReport::DoubleLock { g, mu, at: cu.clone() });
+            st.reports.push(LockdlReport::DoubleLock { g, mu, at: *cu });
             return;
         }
         for h in held {
             if st.graph.would_cycle(h, mu) {
-                st.reports.push(LockdlReport::OrderCycle {
-                    g,
-                    held: h,
-                    acquiring: mu,
-                    at: cu.clone(),
-                });
+                st.reports.push(LockdlReport::OrderCycle { g, held: h, acquiring: mu, at: *cu });
             }
             st.graph.add_edge(h, mu);
         }

@@ -20,8 +20,7 @@ pub fn moby28462_fixed() -> Arc<dyn Program> {
             let (mu, status_ch, wg) = (mu.clone(), status_ch.clone(), wg.clone());
             go_named("Monitor", move || {
                 loop {
-                    let got =
-                        Select::new().recv(&status_ch, |v| v).default(|| None).run();
+                    let got = Select::new().recv(&status_ch, |v| v).default(|| None).run();
                     if got.is_some() {
                         break;
                     }
@@ -83,10 +82,8 @@ pub fn cockroach13755_fixed() -> Arc<dyn Program> {
             let (rows, stop, wg) = (rows.clone(), stop.clone(), wg.clone());
             go_named("rowFetcher", move || {
                 for r in 0..4 {
-                    let stopped = Select::new()
-                        .send(&rows, r, || false)
-                        .recv(&stop, |_| true)
-                        .run();
+                    let stopped =
+                        Select::new().send(&rows, r, || false).recv(&stop, |_| true).run();
                     if stopped {
                         break; // FIX: stop is observable mid-send
                     }
@@ -182,8 +179,7 @@ pub fn serving2137_fixed() -> Arc<dyn Program> {
             });
         }
         for i in 0..2u32 {
-            let (mu, completions, served) =
-                (mu.clone(), completions.clone(), served.clone());
+            let (mu, completions, served) = (mu.clone(), completions.clone(), served.clone());
             go_named(&format!("request{i}"), move || {
                 // FIX: atomic check-and-claim under the mutex
                 mu.lock();

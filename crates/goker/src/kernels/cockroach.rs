@@ -94,10 +94,7 @@ fn cockroach2448() {
         let (events, done) = (events.clone(), done.clone());
         go_named("consumer", move || {
             // BUG: both cases ready; taking done first abandons the feed
-            let finished = Select::new()
-                .recv(&events, |_| false)
-                .recv(&done, |_| true)
-                .run();
+            let finished = Select::new().recv(&events, |_| false).recv(&done, |_| true).run();
             if finished {
                 return;
             }
@@ -342,8 +339,7 @@ fn cockroach24808() {
         let suggestions = suggestions.clone();
         go_named("compactionLoop", move || {
             for _ in 0..2 {
-                let got =
-                    Select::new().recv(&suggestions, |v| v).default(|| None).run();
+                let got = Select::new().recv(&suggestions, |v| v).default(|| None).run();
                 if got.is_some() {
                     return;
                 }

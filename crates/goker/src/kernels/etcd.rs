@@ -63,10 +63,7 @@ fn etcd6857() {
             // BUG: the status request and the stop signal are both
             // ready; the pseudo-random choice may pick stop and exit,
             // stranding the blocked status sender.
-            let stop = Select::new()
-                .recv(&statusc, |_| false)
-                .recv(&stopc, |_| true)
-                .run();
+            let stop = Select::new().recv(&statusc, |_| false).recv(&stopc, |_| true).run();
             if stop {
                 return;
             }

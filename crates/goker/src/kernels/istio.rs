@@ -77,10 +77,7 @@ fn istio18454() {
         go_named("distributor", move || loop {
             // BUG: ack and shutdown both ready; picking shutdown exits
             // while the worker is still blocked on its ack.
-            let stop = Select::new()
-                .recv(&acks, |_| false)
-                .recv(&shutdown, |_| true)
-                .run();
+            let stop = Select::new().recv(&acks, |_| false).recv(&shutdown, |_| true).run();
             if stop {
                 return;
             }

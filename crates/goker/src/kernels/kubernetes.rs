@@ -80,7 +80,7 @@ fn kubernetes6632() {
         let (errc, active, mu) = (errc.clone(), active.clone(), mu.clone());
         go_named(&format!("connWriter{i}"), move || {
             active.send(()); // register this writer
-            // BUG window 1: the sibling registers before our check
+                             // BUG window 1: the sibling registers before our check
             mu.lock();
             let both_active = active.len() > 1;
             mu.unlock();
@@ -160,10 +160,7 @@ fn kubernetes11298() {
                 // BUG: once the manager's stop lands, it races the
                 // second worker's result; picking stop exits the loop
                 // while that worker still blocks sending.
-                let stopped = Select::new()
-                    .recv(&results, |_| false)
-                    .recv(&stop, |_| true)
-                    .run();
+                let stopped = Select::new().recv(&results, |_| false).recv(&stop, |_| true).run();
                 if stopped {
                     return;
                 }
@@ -221,10 +218,7 @@ fn kubernetes25331() {
     {
         let (result, stopped) = (result.clone(), stopped.clone());
         go_named("distributor", move || loop {
-            let stop = Select::new()
-                .send(&result, 1, || false)
-                .recv(&stopped, |_| true)
-                .run();
+            let stop = Select::new().send(&result, 1, || false).recv(&stopped, |_| true).run();
             if stop {
                 return;
             }
@@ -296,10 +290,7 @@ fn kubernetes38669() {
     {
         let (updates, stop) = (updates.clone(), stop.clone());
         go_named("updateLoop", move || loop {
-            let stopped = Select::new()
-                .recv(&updates, |_| false)
-                .recv(&stop, |_| true)
-                .run();
+            let stopped = Select::new().recv(&updates, |_| false).recv(&stop, |_| true).run();
             if stopped {
                 return;
             }

@@ -157,7 +157,7 @@ fn moby27782() {
         let (queue, notify) = (queue.clone(), notify.clone());
         go_named("rotateLogs", move || {
             queue.send(1); // buffered: never blocks
-            // fire-and-forget notification (the actual fsnotify shape)
+                           // fire-and-forget notification (the actual fsnotify shape)
             Select::new().send(&notify, (), || ()).default(|| ()).run();
         });
     }
@@ -179,15 +179,12 @@ fn moby28462() {
     {
         let (mu, status_ch) = (mu.clone(), status_ch.clone());
         go_named("Monitor", move || loop {
-            let got = Select::new()
-                .recv(&status_ch, |v| v)
-                .default(|| None)
-                .run();
+            let got = Select::new().recv(&status_ch, |v| v).default(|| None).run();
             if got.is_some() {
                 return; // status received: monitoring done
             }
             mu.lock(); // BUG window: StatusChange may hold the lock
-            // inspect container state
+                       // inspect container state
             mu.unlock();
         });
     }
@@ -265,10 +262,8 @@ fn moby33781() {
     {
         let (stdin, detach) = (stdin.clone(), detach.clone());
         go_named("stdinCopy", move || loop {
-            let keep_going = Select::new()
-                .recv(&stdin, |v| v.is_some())
-                .recv(&detach, |_| false)
-                .run();
+            let keep_going =
+                Select::new().recv(&stdin, |v| v.is_some()).recv(&detach, |_| false).run();
             if !keep_going {
                 return;
             }
@@ -279,14 +274,11 @@ fn moby33781() {
         go_named("session", move || {
             stdin.send(1); // one keystroke
             goat_runtime::gosched(); // io wait before teardown
-            // BUG window: if the copier was preempted between consuming
-            // the keystroke and re-entering its select, it is not yet
-            // listening — the non-blocking detach notification is
-            // dropped and the copier sleeps forever.
-            let notified = Select::new()
-                .send(&detach, (), || true)
-                .default(|| false)
-                .run();
+                                     // BUG window: if the copier was preempted between consuming
+                                     // the keystroke and re-entering its select, it is not yet
+                                     // listening — the non-blocking detach notification is
+                                     // dropped and the copier sleeps forever.
+            let notified = Select::new().send(&detach, (), || true).default(|| false).run();
             if !notified {
                 // detach dropped: copier leaks on its next select
             }

@@ -34,8 +34,8 @@ fn serving2137() {
         let completions = completions.clone();
         go_named(&format!("request{i}"), move || {
             active.send(()); // register as an outstanding request
-            // BUG window 1: preempted here, the other request also
-            // registers before this one runs the check below.
+                             // BUG window 1: preempted here, the other request also
+                             // registers before this one runs the check below.
             let scratch: Chan<u8> = Chan::new(1);
             scratch.send(0);
             let both_active = active.len() > 1;

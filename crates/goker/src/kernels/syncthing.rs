@@ -51,10 +51,7 @@ fn syncthing5795() {
         go_named("dispatcher", move || loop {
             // BUG: both cases ready — close may win over the pending
             // cluster config, stranding the sender.
-            let done = Select::new()
-                .recv(&cluster_config, |_| false)
-                .recv(&closed, |_| true)
-                .run();
+            let done = Select::new().recv(&cluster_config, |_| false).recv(&closed, |_| true).run();
             if done {
                 return;
             }

@@ -278,8 +278,7 @@ mod tests {
 
     #[test]
     fn all_cause_classes_represented() {
-        let causes: BTreeSet<String> =
-            all_kernels().iter().map(|k| k.cause.to_string()).collect();
+        let causes: BTreeSet<String> = all_kernels().iter().map(|k| k.cause.to_string()).collect();
         assert_eq!(causes.len(), 3);
     }
 

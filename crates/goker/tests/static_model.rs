@@ -33,10 +33,7 @@ fn benchmark_model_covers_the_whole_taxonomy() {
         CuKind::Select,
         CuKind::Range,
     ] {
-        assert!(
-            m.count_kind(kind) > 0,
-            "no {kind} CU anywhere in the benchmark — taxonomy gap"
-        );
+        assert!(m.count_kind(kind) > 0, "no {kind} CU anywhere in the benchmark — taxonomy gap");
     }
 }
 
@@ -45,9 +42,7 @@ fn dynamic_cus_are_a_subset_of_the_static_model() {
     let m = scan_benchmark_sources();
     let mut missing = Vec::new();
     for kernel in goat_goker::all_kernels() {
-        let r = Runtime::run(Config::new(1).with_delay_bound(1), move || {
-            Program::main(kernel)
-        });
+        let r = Runtime::run(Config::new(1).with_delay_bound(1), move || Program::main(kernel));
         let Some(ect) = r.ect else { continue };
         for ev in ect.iter() {
             let Some(cu) = &ev.cu else { continue };
@@ -81,11 +76,6 @@ fn every_kernel_contributes_cus_to_the_model() {
     // of its kernels (each kernel has at least a `go` or a primitive op).
     for kernel in goat_goker::all_kernels() {
         let m = goat_model::scan_file(kernel.source_file).expect("scan");
-        assert!(
-            m.len() >= 4,
-            "{}: suspiciously few CUs in {}",
-            kernel.name,
-            kernel.source_file
-        );
+        assert!(m.len() >= 4, "{}: suspiciously few CUs in {}", kernel.name, kernel.source_file);
     }
 }

@@ -284,7 +284,7 @@ impl RequirementUniverse {
 
     /// Resolve a key into a displayable [`Requirement`].
     pub fn resolve(&self, key: ReqKey) -> Requirement {
-        Requirement { key, cu: self.table.get(key.cu).clone() }
+        Requirement { key, cu: *self.table.get(key.cu) }
     }
 
     /// Requirements not covered by `covered`, for the paper's "actions for
@@ -447,11 +447,8 @@ mod tests {
 
     #[test]
     fn uncovered_reporting() {
-        let u = RequirementUniverse::from_table(CuTable::from_cus([Cu::new(
-            "p.rs",
-            1,
-            CuKind::Lock,
-        )]));
+        let u =
+            RequirementUniverse::from_table(CuTable::from_cus([Cu::new("p.rs", 1, CuKind::Lock)]));
         let mut c = CoverageSet::new();
         let first = *u.iter().next().unwrap();
         c.cover(first);

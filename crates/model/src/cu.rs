@@ -5,6 +5,7 @@
 //! used both as the yield-injection site list and as the skeleton of the
 //! coverage-requirement universe.
 
+use crate::intern::Istr;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -102,7 +103,12 @@ impl CuKind {
     pub fn may_block(self) -> bool {
         matches!(
             self,
-            CuKind::Send | CuKind::Recv | CuKind::Lock | CuKind::Wait | CuKind::Select | CuKind::Range
+            CuKind::Send
+                | CuKind::Recv
+                | CuKind::Lock
+                | CuKind::Wait
+                | CuKind::Select
+                | CuKind::Range
         )
     }
 
@@ -141,11 +147,14 @@ impl fmt::Display for CuKind {
 }
 
 /// A concurrency usage: one `(file, line, kind)` tuple of the model `M`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+///
+/// `Copy`: the file path is an interned [`Istr`], so a CU is two words
+/// and cloning one (e.g. into every trace event) allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Cu {
     /// Source file (stored as given; comparisons use suffix matching so
     /// that absolute build paths and repo-relative paths interoperate).
-    pub file: String,
+    pub file: Istr,
     /// 1-based line number.
     pub line: u32,
     /// Primitive kind at this location.
@@ -153,9 +162,9 @@ pub struct Cu {
 }
 
 impl Cu {
-    /// Create a CU from its components.
-    pub fn new(file: impl Into<String>, line: u32, kind: CuKind) -> Self {
-        Cu { file: file.into(), line, kind }
+    /// Create a CU from its components (interning the file path).
+    pub fn new(file: impl AsRef<str>, line: u32, kind: CuKind) -> Self {
+        Cu { file: Istr::new(file), line, kind }
     }
 
     /// Do two CU locations denote the same source point?
@@ -260,10 +269,7 @@ impl CuTable {
     /// Find the CU id for a dynamic call site, using suffix file matching.
     pub fn lookup(&self, file: &str, line: u32, kind: CuKind) -> Option<CuId> {
         let ids = self.index.get(&(line, kind))?;
-        ids.iter()
-            .copied()
-            .find(|&i| files_match(&self.entries[i].file, file))
-            .map(CuId)
+        ids.iter().copied().find(|&i| files_match(&self.entries[i].file, file)).map(CuId)
     }
 
     /// Get a CU by id.
@@ -282,7 +288,7 @@ impl CuTable {
     /// Merge another table into this one, deduplicating sites.
     pub fn merge(&mut self, other: &CuTable) {
         for (_, cu) in other.iter() {
-            self.insert(cu.clone());
+            self.insert(*cu);
         }
     }
 
@@ -340,8 +346,7 @@ mod tests {
     #[test]
     fn kind_taxonomy_is_partition() {
         for k in CuKind::ALL {
-            let classes =
-                [k.is_channel(), k.is_sync(), k.is_go()].iter().filter(|&&b| b).count();
+            let classes = [k.is_channel(), k.is_sync(), k.is_go()].iter().filter(|&&b| b).count();
             assert_eq!(classes, 1, "{k} must belong to exactly one class");
         }
     }
@@ -381,14 +386,10 @@ mod tests {
 
     #[test]
     fn merge_accumulates_without_duplicates() {
-        let mut a = CuTable::from_cus([
-            Cu::new("x.rs", 1, CuKind::Go),
-            Cu::new("x.rs", 2, CuKind::Send),
-        ]);
-        let b = CuTable::from_cus([
-            Cu::new("x.rs", 2, CuKind::Send),
-            Cu::new("x.rs", 3, CuKind::Lock),
-        ]);
+        let mut a =
+            CuTable::from_cus([Cu::new("x.rs", 1, CuKind::Go), Cu::new("x.rs", 2, CuKind::Send)]);
+        let b =
+            CuTable::from_cus([Cu::new("x.rs", 2, CuKind::Send), Cu::new("x.rs", 3, CuKind::Lock)]);
         a.merge(&b);
         assert_eq!(a.len(), 3);
     }
@@ -404,10 +405,8 @@ mod tests {
 
     #[test]
     fn json_roundtrip_preserves_lookup() {
-        let t = CuTable::from_cus([
-            Cu::new("a.rs", 1, CuKind::Send),
-            Cu::new("b.rs", 2, CuKind::Lock),
-        ]);
+        let t =
+            CuTable::from_cus([Cu::new("a.rs", 1, CuKind::Send), Cu::new("b.rs", 2, CuKind::Lock)]);
         let json = t.to_json().unwrap();
         let back = CuTable::from_json(&json).unwrap();
         assert_eq!(back.len(), 2);

@@ -1,0 +1,213 @@
+//! Interned strings for hot trace payloads.
+//!
+//! CU file paths and goroutine names repeat across *every* event of
+//! *every* run of a campaign, yet the seed stored them as owned
+//! `String`s — one heap allocation per event emitted. [`Istr`] replaces
+//! them with a `Copy` handle into a process-wide arena: interning a
+//! string costs one lookup (plus one leak the first time a distinct
+//! string is seen), after which cloning a CU or an event is a pointer
+//! copy.
+//!
+//! Semantics are those of the string itself: equality, ordering and
+//! hashing are **content-based**, and serde writes/reads a plain
+//! string, so every serialized artifact (reports, traces, summaries)
+//! stays byte-identical to the un-interned representation.
+//!
+//! The arena is append-only and never freed. That is the right trade
+//! for GoAT's workload: the universe of file paths and goroutine names
+//! is the static model `M` plus a handful of runtime-internal names —
+//! bounded by the program text, not by campaign length.
+
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Mutex;
+
+static ARENA: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+/// An interned, immutable string (`Copy`, pointer-sized).
+///
+/// ```
+/// use goat_model::Istr;
+/// let a = Istr::new("src/kernel.rs");
+/// let b = Istr::new(String::from("src/kernel.rs"));
+/// assert_eq!(a, b);                       // content equality
+/// assert_eq!(a.as_str(), "src/kernel.rs");
+/// assert!(a < Istr::new("z.rs"));         // content ordering
+/// ```
+#[derive(Clone, Copy)]
+pub struct Istr(&'static str);
+
+impl Istr {
+    /// Intern `s`, returning a handle valid for the process lifetime.
+    pub fn new(s: impl AsRef<str>) -> Istr {
+        let s = s.as_ref();
+        let mut arena = ARENA.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(&existing) = arena.get(s) {
+            return Istr(existing);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        arena.insert(leaked);
+        Istr(leaked)
+    }
+
+    /// The interned string slice.
+    pub fn as_str(&self) -> &'static str {
+        self.0
+    }
+
+    /// Number of distinct strings interned so far (diagnostics).
+    pub fn arena_len() -> usize {
+        ARENA.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+}
+
+impl Default for Istr {
+    fn default() -> Self {
+        Istr::new("")
+    }
+}
+
+impl Deref for Istr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.0
+    }
+}
+
+impl AsRef<str> for Istr {
+    fn as_ref(&self) -> &str {
+        self.0
+    }
+}
+
+impl From<&str> for Istr {
+    fn from(s: &str) -> Self {
+        Istr::new(s)
+    }
+}
+
+impl From<String> for Istr {
+    fn from(s: String) -> Self {
+        Istr::new(s)
+    }
+}
+
+impl From<&String> for Istr {
+    fn from(s: &String) -> Self {
+        Istr::new(s)
+    }
+}
+
+impl PartialEq for Istr {
+    fn eq(&self, other: &Self) -> bool {
+        // Interning canonicalizes, so pointer equality is the common
+        // fast path; fall through to content for robustness.
+        std::ptr::eq(self.0, other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Istr {}
+
+impl PartialEq<str> for Istr {
+    fn eq(&self, other: &str) -> bool {
+        self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Istr {
+    fn eq(&self, other: &&str) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialOrd for Istr {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Istr {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(other.0)
+    }
+}
+
+impl std::hash::Hash for Istr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl fmt::Display for Istr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl fmt::Debug for Istr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.0, f)
+    }
+}
+
+impl Serialize for Istr {
+    fn to_content(&self) -> Content {
+        Content::Str(self.0.to_owned())
+    }
+}
+
+impl Deserialize for Istr {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(Istr::new(s)),
+            other => Err(DeError::custom(format!("expected string for Istr, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn interning_canonicalizes() {
+        let a = Istr::new("alpha/beta.rs");
+        let b = Istr::new(String::from("alpha/beta.rs"));
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+    }
+
+    #[test]
+    fn content_semantics_match_string() {
+        let mut by_istr: BTreeMap<Istr, u32> = BTreeMap::new();
+        let mut by_string: BTreeMap<String, u32> = BTreeMap::new();
+        for (i, s) in ["b.rs", "a.rs", "c/a.rs", "a.rs"].iter().enumerate() {
+            by_istr.insert(Istr::new(s), i as u32);
+            by_string.insert(s.to_string(), i as u32);
+        }
+        let flat: Vec<(String, u32)> = by_istr.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let flat2: Vec<(String, u32)> = by_string.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        assert_eq!(flat, flat2);
+    }
+
+    #[test]
+    fn serde_roundtrip_is_plain_string() {
+        let i = Istr::new("path/with \"quotes\".rs");
+        let json = serde_json::to_string(&i).unwrap();
+        assert_eq!(json, serde_json::to_string(&"path/with \"quotes\".rs").unwrap());
+        let back: Istr = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, i);
+    }
+
+    #[test]
+    fn copy_and_compare_with_str() {
+        let i = Istr::new("x.rs");
+        let j = i; // Copy
+        assert_eq!(i, j);
+        assert_eq!(i, "x.rs");
+        assert!(i.ends_with(".rs")); // Deref to str
+    }
+}

@@ -29,6 +29,8 @@
 
 pub mod coverage;
 pub mod cu;
+/// Interned strings for hot trace payloads.
+pub mod intern;
 pub mod scanner;
 pub mod syncpair;
 
@@ -37,5 +39,6 @@ pub use coverage::{
     RequirementUniverse,
 };
 pub use cu::{Cu, CuId, CuKind, CuTable};
+pub use intern::Istr;
 pub use scanner::{scan_file, scan_source, scan_sources, ScanError};
 pub use syncpair::{SyncPair, SyncPairCoverage};

@@ -77,10 +77,7 @@ const METHOD_PATTERNS: &[(&str, CuKind)] = &[
 
 /// Free-function / constructor patterns: matched on an identifier
 /// boundary (not preceded by an identifier character, `.` or `:`).
-const FREE_PATTERNS: &[(&str, CuKind)] = &[
-    ("go(", CuKind::Go),
-    ("go_named(", CuKind::Go),
-];
+const FREE_PATTERNS: &[(&str, CuKind)] = &[("go(", CuKind::Go), ("go_named(", CuKind::Go)];
 
 /// Exact-path patterns matched anywhere outside comments/strings.
 const PATH_PATTERNS: &[(&str, CuKind)] = &[("Select::new(", CuKind::Select)];
@@ -116,10 +113,8 @@ pub fn scan_source(file: &str, source: &str) -> CuTable {
 /// Scan one file from disk. The CU `file` field is the path as given.
 pub fn scan_file(path: impl AsRef<Path>) -> Result<CuTable, ScanError> {
     let path = path.as_ref();
-    let src = std::fs::read_to_string(path).map_err(|source| ScanError {
-        path: path.display().to_string(),
-        source,
-    })?;
+    let src = std::fs::read_to_string(path)
+        .map_err(|source| ScanError { path: path.display().to_string(), source })?;
     Ok(scan_source(&path.display().to_string(), &src))
 }
 
@@ -174,9 +169,7 @@ fn sanitize_line(line: &str, in_block_comment: &mut bool) -> String {
                     }
                 }
             }
-            b'\'' if i + 2 < bytes.len()
-                && (bytes[i + 2] == b'\'' || (bytes[i + 1] == b'\\')) =>
-            {
+            b'\'' if i + 2 < bytes.len() && (bytes[i + 2] == b'\'' || (bytes[i + 1] == b'\\')) => {
                 // char literal like 'x' or '\n' — blank it; lifetimes ('a)
                 // do not match this shape.
                 while i < bytes.len() && bytes[i] != b'\'' {
@@ -217,7 +210,8 @@ fn find_cus(line: &str) -> Vec<CuKind> {
         for pos in match_positions(line, pat) {
             // Require a receiver expression before the dot.
             let before = bytes[..pos].iter().rev().find(|b| !b.is_ascii_whitespace());
-            let ok = matches!(before, Some(&b) if is_ident(b) || b == b')' || b == b']' || b == b'>');
+            let ok =
+                matches!(before, Some(&b) if is_ident(b) || b == b')' || b == b']' || b == b'>');
             if ok {
                 found.push((pos, kind));
             }

@@ -54,7 +54,7 @@ impl SyncPairCoverage {
     }
 
     fn lookup_or_insert(&mut self, cu: &Cu) -> CuId {
-        self.table.insert(cu.clone())
+        self.table.insert(*cu)
     }
 
     /// Number of distinct pairs observed so far.
@@ -80,8 +80,8 @@ impl SyncPairCoverage {
     /// Merge another coverage state (site ids are re-mapped).
     pub fn merge(&mut self, other: &SyncPairCoverage) {
         for pair in &other.pairs {
-            let u = other.table.get(pair.unblocker).clone();
-            let b = other.table.get(pair.blocked).clone();
+            let u = *other.table.get(pair.unblocker);
+            let b = *other.table.get(pair.blocked);
             self.observe(&u, &b);
         }
     }

@@ -20,7 +20,7 @@ proptest! {
     fn table_insert_is_idempotent_and_lookupable(cus in prop::collection::vec(cu_strategy(), 0..40)) {
         let mut table = CuTable::new();
         for cu in &cus {
-            table.insert(cu.clone());
+            table.insert(*cu);
         }
         prop_assert!(table.len() <= cus.len());
         for cu in &cus {
@@ -31,7 +31,7 @@ proptest! {
         // Re-inserting everything changes nothing.
         let before = table.len();
         for cu in &cus {
-            table.insert(cu.clone());
+            table.insert(*cu);
         }
         prop_assert_eq!(table.len(), before);
     }
@@ -47,7 +47,7 @@ proptest! {
         merged.merge(&tb);
         let mut all = CuTable::new();
         for cu in a.iter().chain(b.iter()) {
-            all.insert(cu.clone());
+            all.insert(*cu);
         }
         prop_assert_eq!(merged.len(), all.len());
     }
@@ -163,8 +163,7 @@ fn scanner_survives_the_whole_repository() {
                 }
             } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
                 let table = goat_model::scan_file(&path).expect("readable source");
-                let src_lines =
-                    std::fs::read_to_string(&path).unwrap().lines().count() as u32;
+                let src_lines = std::fs::read_to_string(&path).unwrap().lines().count() as u32;
                 for (_, cu) in table.iter() {
                     assert!(cu.line >= 1 && cu.line <= src_lines.max(1), "{cu}");
                 }

@@ -161,10 +161,7 @@ impl<T> Clone for Chan<T> {
 
 impl<T> std::fmt::Debug for Chan<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Chan")
-            .field("id", &self.core.id)
-            .field("cap", &self.core.cap)
-            .finish()
+        f.debug_struct("Chan").field("id", &self.core.id).field("cap", &self.core.cap).finish()
     }
 }
 
@@ -228,7 +225,7 @@ impl<T: Send + 'static> Chan<T> {
             rw.slot.put(RecvOutcome::Val(v));
             drop(st);
             let mut s = ctx.rt.state.lock();
-            s.wake(rw.g, ctx.gid, Some(cu.clone()));
+            s.wake(rw.g, ctx.gid, Some(cu));
             s.emit(ctx.gid, EventKind::ChSend { ch: self.core.id }, Some(cu));
             return Ok(());
         }
@@ -275,7 +272,7 @@ impl<T: Send + 'static> Chan<T> {
             sw.slot.put(SendOutcome::Sent);
             drop(st);
             let mut s = ctx.rt.state.lock();
-            s.wake(sw.g, ctx.gid, Some(cu.clone()));
+            s.wake(sw.g, ctx.gid, Some(cu));
             s.emit(ctx.gid, EventKind::ChRecv { ch: core.id, closed: false }, Some(cu));
             return Some(Some(v));
         }
@@ -316,7 +313,7 @@ impl<T: Send + 'static> Chan<T> {
         drop(st);
         let mut s = ctx.rt.state.lock();
         for g in woken {
-            s.wake(g, ctx.gid, Some(cu.clone()));
+            s.wake(g, ctx.gid, Some(cu));
         }
         s.emit(ctx.gid, EventKind::ChClose { ch: self.core.id }, Some(cu));
     }
@@ -370,7 +367,7 @@ impl<T: Send + 'static> ChanCore<T> {
                 st.buf.push_back(v);
                 sw.slot.put(SendOutcome::Sent);
                 let mut s = ctx.rt.state.lock();
-                s.wake(sw.g, ctx.gid, Some(cu.clone()));
+                s.wake(sw.g, ctx.gid, Some(*cu));
             }
         }
     }
@@ -385,7 +382,7 @@ impl<T: Send + 'static> ChanCore<T> {
             rw.slot.put(RecvOutcome::Val(v));
             drop(st);
             let mut s = ctx.rt.state.lock();
-            s.wake(rw.g, ctx.gid, Some(cu.clone()));
+            s.wake(rw.g, ctx.gid, Some(cu));
             s.emit(ctx.gid, EventKind::ChSend { ch: self.id }, Some(cu));
             return;
         }
@@ -405,7 +402,7 @@ impl<T: Send + 'static> ChanCore<T> {
             slot: Arc::clone(&slot),
         });
         drop(st);
-        block_current(ctx, BlockReason::Send, None, Some(cu.clone()));
+        block_current(ctx, BlockReason::Send, None, Some(cu));
         match slot.take() {
             Some(SendOutcome::Sent) => {
                 let mut s = ctx.rt.state.lock();
@@ -430,7 +427,7 @@ impl<T: Send + 'static> ChanCore<T> {
             sw.slot.put(SendOutcome::Sent);
             drop(st);
             let mut s = ctx.rt.state.lock();
-            s.wake(sw.g, ctx.gid, Some(cu.clone()));
+            s.wake(sw.g, ctx.gid, Some(cu));
             s.emit(ctx.gid, EventKind::ChRecv { ch: self.id, closed: false }, Some(cu));
             return Some(v);
         }
@@ -443,7 +440,7 @@ impl<T: Send + 'static> ChanCore<T> {
         let slot = OpSlot::new();
         st.recvers.push_back(RecvWaiter { g: ctx.gid, sel: None, slot: Arc::clone(&slot) });
         drop(st);
-        block_current(ctx, BlockReason::Recv, None, Some(cu.clone()));
+        block_current(ctx, BlockReason::Recv, None, Some(cu));
         match slot.take() {
             Some(RecvOutcome::Val(v)) => {
                 let mut s = ctx.rt.state.lock();
@@ -487,7 +484,7 @@ impl<T: Send + 'static> ChanCore<T> {
                     st.buf.push_back(v2);
                     sw.slot.put(SendOutcome::Sent);
                     let mut s = ctx.rt.state.lock();
-                    s.wake(sw.g, ctx.gid, Some(cu.clone()));
+                    s.wake(sw.g, ctx.gid, Some(*cu));
                 }
             }
             return Some(Some(v));
@@ -497,7 +494,7 @@ impl<T: Send + 'static> ChanCore<T> {
             sw.slot.put(SendOutcome::Sent);
             drop(st);
             let mut s = ctx.rt.state.lock();
-            s.wake(sw.g, ctx.gid, Some(cu.clone()));
+            s.wake(sw.g, ctx.gid, Some(*cu));
             return Some(Some(v));
         }
         if st.closed {
@@ -520,7 +517,7 @@ impl<T: Send + 'static> ChanCore<T> {
             rw.slot.put(RecvOutcome::Val(v));
             drop(st);
             let mut s = ctx.rt.state.lock();
-            s.wake(rw.g, ctx.gid, Some(cu.clone()));
+            s.wake(rw.g, ctx.gid, Some(*cu));
             return Ok(());
         }
         if st.buf.len() < self.cap {
@@ -645,7 +642,7 @@ impl<'a, T: Send + 'static> Iterator for RangeIter<'a, T> {
     fn next(&mut self) -> Option<T> {
         let ctx = current();
         op_enter(&ctx, CuKind::Range, &self.cu);
-        self.ch.core.recv_impl(&ctx, self.cu.clone())
+        self.ch.core.recv_impl(&ctx, self.cu)
     }
 }
 

@@ -93,6 +93,12 @@ pub struct Config {
     pub max_trace_events: usize,
     /// Scheduling policy (native, uniform-random exploration, or replay).
     pub policy: SchedPolicy,
+    /// Run goroutines on the shared worker-thread pool instead of
+    /// spawning a fresh OS thread per goroutine. Scheduling semantics
+    /// and traces are identical either way; the pool only removes
+    /// thread-creation cost. The pool's idle-retention size is set by
+    /// the `GOAT_POOL_MAX_IDLE` environment variable.
+    pub pool: bool,
 }
 
 impl Config {
@@ -143,6 +149,12 @@ impl Config {
     pub fn with_replay(self, log: ReplayLog) -> Self {
         self.with_policy(SchedPolicy::Replay(log))
     }
+
+    /// Enable or disable the shared goroutine worker-thread pool.
+    pub fn with_pool(mut self, on: bool) -> Self {
+        self.pool = on;
+        self
+    }
 }
 
 impl Default for Config {
@@ -157,6 +169,7 @@ impl Default for Config {
             trace: true,
             max_trace_events: 1_000_000,
             policy: SchedPolicy::Native,
+            pool: true,
         }
     }
 }

@@ -86,7 +86,9 @@ impl Context {
     /// # Panics
     /// Panics when called outside a goroutine.
     pub fn background() -> Context {
-        Context { inner: Arc::new(CtxInner { done: Chan::new(0), cancelled: AtomicBool::new(false) }) }
+        Context {
+            inner: Arc::new(CtxInner { done: Chan::new(0), cancelled: AtomicBool::new(false) }),
+        }
     }
 
     /// A cancellable context plus its [`Canceler`].
@@ -162,8 +164,7 @@ mod tests {
         let r = Runtime::run(cfg(0), || {
             let (ctx, _cancel) = Context::with_timeout(Duration::from_millis(10));
             let never: Chan<u32> = Chan::new(0);
-            let timed_out =
-                Select::new().recv(&never, |_| false).recv(ctx.done(), |_| true).run();
+            let timed_out = Select::new().recv(&never, |_| false).recv(ctx.done(), |_| true).run();
             assert!(timed_out);
             assert!(ctx.is_cancelled());
         });

@@ -47,6 +47,8 @@ mod config;
 /// Go-style cancellation contexts.
 pub mod context;
 mod monitor;
+/// Shared goroutine worker-thread pool (statistics surface).
+pub mod pool;
 mod rt;
 mod select;
 mod sync;

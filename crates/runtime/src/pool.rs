@@ -1,0 +1,202 @@
+//! Shared worker-thread pool for goroutine execution.
+//!
+//! Under the paper's campaign model a kernel is executed thousands of
+//! times, and every iteration spawns every goroutine afresh. With one
+//! OS thread per goroutine the dominant cost of small kernels becomes
+//! `pthread_create`/`join`. This pool removes it: a worker thread is
+//! checked out per goroutine, runs that goroutine's **entire
+//! lifetime** (parking and unparking with the scheduler's token
+//! machinery as usual), and returns to the idle stack when the
+//! goroutine finishes or is unwound at teardown.
+//!
+//! Properties:
+//!
+//! * **Global and shared** — one process-wide pool serves all runtime
+//!   instances, so campaign iterations and parallel campaign workers
+//!   reuse each other's threads.
+//! * **No semantic impact** — the scheduler's single-token discipline
+//!   is unchanged; which thread hosts a goroutine is invisible to
+//!   scheduling, tracing and replay. [`crate::Config::pool`] turns the
+//!   pool off to get the historical thread-per-goroutine behaviour.
+//! * **Bounded retention** — at most `GOAT_POOL_MAX_IDLE` workers
+//!   (default 256) stay parked waiting for work; excess workers exit.
+//! * **Wedge-proof** — a worker is returned only by its goroutine
+//!   running to completion (normal exit or shutdown unwind). A worker
+//!   wedged by a goroutine stuck outside runtime primitives is simply
+//!   never returned; checkout falls back to spawning a fresh worker,
+//!   so one bad run cannot drain the pool (see
+//!   [`Runtime::run_monitored`](crate::Runtime)'s teardown timeout for
+//!   the run-side fallback).
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// An idle worker, addressed by the sending half of its job channel.
+struct IdleWorker {
+    job_tx: Sender<Job>,
+}
+
+/// The process-wide goroutine worker pool.
+pub(crate) struct WorkerPool {
+    idle: Mutex<Vec<IdleWorker>>,
+    max_idle: usize,
+    threads_spawned: AtomicU64,
+    jobs_reused: AtomicU64,
+}
+
+static POOL: OnceLock<WorkerPool> = OnceLock::new();
+
+/// The global pool (created on first use).
+pub(crate) fn global() -> &'static WorkerPool {
+    POOL.get_or_init(|| {
+        let max_idle = std::env::var("GOAT_POOL_MAX_IDLE")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(256);
+        WorkerPool {
+            idle: Mutex::new(Vec::new()),
+            max_idle,
+            threads_spawned: AtomicU64::new(0),
+            jobs_reused: AtomicU64::new(0),
+        }
+    })
+}
+
+impl WorkerPool {
+    /// Run `job` on a pooled worker: check out an idle worker if one is
+    /// parked, otherwise spawn a new one. Never blocks on pool state.
+    pub(crate) fn execute(&'static self, job: Job) {
+        let mut job = job;
+        loop {
+            let worker = self.idle.lock().expect("pool lock").pop();
+            match worker {
+                Some(w) => match w.job_tx.send(job) {
+                    Ok(()) => {
+                        self.jobs_reused.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    // The worker died between parking and checkout
+                    // (its channel is closed); take the job back and
+                    // try the next one.
+                    Err(mpsc::SendError(returned)) => job = returned,
+                },
+                None => {
+                    self.spawn_worker(job);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn spawn_worker(&'static self, first_job: Job) {
+        self.threads_spawned.fetch_add(1, Ordering::Relaxed);
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        std::thread::Builder::new()
+            .name("goat-worker".to_string())
+            .spawn(move || self.worker_loop(first_job, job_tx, job_rx))
+            .expect("failed to spawn pool worker thread");
+    }
+
+    fn worker_loop(&'static self, first_job: Job, job_tx: Sender<Job>, job_rx: Receiver<Job>) {
+        let mut job = first_job;
+        loop {
+            // `goroutine_main` handles all panics internally (including
+            // shutdown unwinds); anything escaping here means the worker
+            // is in an unknown state, so it must not be reused.
+            if panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+                return;
+            }
+            {
+                let mut idle = self.idle.lock().expect("pool lock");
+                if idle.len() >= self.max_idle {
+                    return;
+                }
+                idle.push(IdleWorker { job_tx: job_tx.clone() });
+            }
+            // Park until the next checkout; a closed channel would mean
+            // the global pool was dropped, which cannot happen, but exit
+            // cleanly regardless.
+            match job_rx.recv() {
+                Ok(next) => job = next,
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+/// Point-in-time pool counters, for benchmarks and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// OS threads created by the pool since process start.
+    pub threads_spawned: u64,
+    /// Goroutine executions served by an already-running worker.
+    pub jobs_reused: u64,
+    /// Workers currently parked awaiting checkout.
+    pub idle_now: usize,
+}
+
+/// Snapshot the global pool's counters.
+pub fn stats() -> PoolStats {
+    let pool = global();
+    PoolStats {
+        threads_spawned: pool.threads_spawned.load(Ordering::Relaxed),
+        jobs_reused: pool.jobs_reused.load(Ordering::Relaxed),
+        idle_now: pool.idle.lock().expect("pool lock").len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn drain_until(cond: impl Fn() -> bool) {
+        for _ in 0..200 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("pool did not settle");
+    }
+
+    #[test]
+    fn workers_are_reused_sequentially() {
+        let before = stats();
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let inner = Arc::clone(&ran);
+            let target = ran.load(Ordering::SeqCst) + 1;
+            global().execute(Box::new(move || {
+                inner.fetch_add(1, Ordering::SeqCst);
+            }));
+            // Serialize jobs so each finds the previous worker idle.
+            drain_until(|| ran.load(Ordering::SeqCst) >= target);
+        }
+        let after = stats();
+        assert_eq!(ran.load(Ordering::SeqCst), 10);
+        // Ten sequential jobs must not have cost ten threads.
+        assert!(
+            after.threads_spawned - before.threads_spawned <= 2,
+            "expected reuse, spawned {} threads",
+            after.threads_spawned - before.threads_spawned
+        );
+    }
+
+    #[test]
+    fn panicking_job_does_not_poison_the_pool() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        global().execute(Box::new(|| panic!("deliberate test panic")));
+        let ran2 = Arc::clone(&ran);
+        global().execute(Box::new(move || {
+            ran2.fetch_add(1, Ordering::SeqCst);
+        }));
+        drain_until(|| ran.load(Ordering::SeqCst) == 1);
+    }
+}

@@ -20,9 +20,11 @@
 //! chosen instead — the preemption/multi-processor noise that makes rare
 //! interleavings rare.
 
-use crate::config::{AliveGoroutine, Config, Decision, ReplayLog, RunOutcome, RunResult, SchedPolicy};
+use crate::config::{
+    AliveGoroutine, Config, Decision, ReplayLog, RunOutcome, RunResult, SchedPolicy,
+};
 use crate::monitor::Monitor;
-use goat_model::{Cu, CuKind};
+use goat_model::{Cu, CuKind, Istr};
 use goat_trace::{BlockReason, Ect, Event, EventKind, Gid, RId, VTime};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
@@ -32,7 +34,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------
 // Parking
@@ -132,7 +134,7 @@ enum GState {
 
 struct GSlot {
     gid: Gid,
-    name: String,
+    name: Istr,
     internal: bool,
     state: GState,
     parker: Arc<Parker>,
@@ -340,9 +342,8 @@ impl Sched {
         let yield_now = match replayed {
             Some(b) => b,
             None => {
-                let inject = self.cfg.delay_bound > self.yields_injected
-                    && self.cfg.delay_bound > 0
-                    && {
+                let inject =
+                    self.cfg.delay_bound > self.yields_injected && self.cfg.delay_bound > 0 && {
                         let p = self.cfg.yield_prob;
                         p > 0.0 && self.rng.gen_bool(p)
                     };
@@ -366,7 +367,7 @@ impl Sched {
     }
 
     /// Create a goroutine slot in `Runnable` state and enqueue it.
-    fn new_goroutine(&mut self, name: String, internal: bool) -> Gid {
+    fn new_goroutine(&mut self, name: Istr, internal: bool) -> Gid {
         let gid = Gid(self.slots.len() as u64 + 1);
         self.slots.push(GSlot {
             gid,
@@ -383,10 +384,7 @@ impl Sched {
     /// is attached to the `GoUnblock` event for coverage attribution).
     pub(crate) fn wake(&mut self, g: Gid, by: Gid, cu: Option<Cu>) {
         let slot = self.slot_mut(g);
-        debug_assert!(
-            matches!(slot.state, GState::Blocked(_)),
-            "waking non-blocked goroutine {g}"
-        );
+        debug_assert!(matches!(slot.state, GState::Blocked(_)), "waking non-blocked goroutine {g}");
         slot.state = GState::Runnable;
         self.runq.push_back(g);
         self.emit(by, EventKind::GoUnblock { g }, cu);
@@ -452,11 +450,7 @@ impl Sched {
         // traces carry the GC/Mem category with realistic placement.
         if self.steps.is_multiple_of(4096) {
             self.emit(Gid::RUNTIME, EventKind::GcStart, None);
-            self.emit(
-                Gid::RUNTIME,
-                EventKind::HeapAlloc { bytes: self.steps * 64 },
-                None,
-            );
+            self.emit(Gid::RUNTIME, EventKind::HeapAlloc { bytes: self.steps * 64 }, None);
             self.emit(Gid::RUNTIME, EventKind::GcDone, None);
         }
         self.fire_due_timers();
@@ -476,18 +470,16 @@ impl Sched {
         let replayed: Option<usize> = if let SchedPolicy::Replay(log) = &self.cfg.policy {
             if !self.replay_diverged {
                 match log.decisions.get(self.replay_cursor) {
-                    Some(Decision::Pick(g)) => {
-                        match self.runq.iter().position(|x| x == g) {
-                            Some(idx) => {
-                                self.replay_cursor += 1;
-                                Some(idx)
-                            }
-                            None => {
-                                self.replay_diverged = true;
-                                None
-                            }
+                    Some(Decision::Pick(g)) => match self.runq.iter().position(|x| x == g) {
+                        Some(idx) => {
+                            self.replay_cursor += 1;
+                            Some(idx)
                         }
-                    }
+                        None => {
+                            self.replay_diverged = true;
+                            None
+                        }
+                    },
                     _ => {
                         self.replay_diverged = true;
                         None
@@ -591,7 +583,7 @@ impl Sched {
             .filter(|s| s.state != GState::Done && s.gid != Gid::MAIN)
             .map(|s| AliveGoroutine {
                 g: s.gid,
-                name: s.name.clone(),
+                name: s.name.to_string(),
                 state: match &s.state {
                     GState::Runnable => "runnable".to_string(),
                     GState::Running => "running".to_string(),
@@ -612,7 +604,15 @@ impl Sched {
 pub(crate) struct RtShared {
     pub(crate) state: Mutex<Sched>,
     done_cv: Condvar,
-    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Goroutine jobs of this runtime still running on some OS thread
+    /// (pooled or not). Replaces the historical `Vec<JoinHandle>`,
+    /// which grew by one entry per spawned goroutine and forced a
+    /// join-per-goroutine teardown.
+    threads: Mutex<u64>,
+    threads_cv: Condvar,
+    /// Whether goroutines of this runtime run on the shared worker
+    /// pool (snapshot of [`Config::pool`] at construction).
+    pooled: bool,
 }
 
 impl RtShared {
@@ -642,9 +642,9 @@ thread_local! {
 /// inside [`Runtime::run`]).
 pub(crate) fn current() -> Ctx {
     CURRENT.with(|c| {
-        c.borrow()
-            .clone()
-            .expect("GoAT runtime primitive used outside a goroutine; wrap the code in Runtime::run")
+        c.borrow().clone().expect(
+            "GoAT runtime primitive used outside a goroutine; wrap the code in Runtime::run",
+        )
     })
 }
 
@@ -696,11 +696,8 @@ pub(crate) fn yield_current(ctx: &Ctx, preempt: bool, cu: Option<Cu>) {
         let mut s = ctx.rt.state.lock();
         s.slot_mut(ctx.gid).state = GState::Runnable;
         s.runq.push_back(ctx.gid);
-        let kind = if preempt {
-            EventKind::GoPreempt
-        } else {
-            EventKind::GoSched { trace_stop: false }
-        };
+        let kind =
+            if preempt { EventKind::GoPreempt } else { EventKind::GoSched { trace_stop: false } };
         s.emit(ctx.gid, kind, cu);
         if !s.tick() {
             ctx.rt.finish(&mut s, RunOutcome::StepLimit);
@@ -730,7 +727,7 @@ pub(crate) fn op_enter(ctx: &Ctx, _kind: CuKind, cu: &Cu) {
         s.decide_yield()
     };
     if do_yield {
-        yield_current(ctx, true, Some(cu.clone()));
+        yield_current(ctx, true, Some(*cu));
     }
 }
 
@@ -743,17 +740,37 @@ pub(crate) fn cu_here(kind: CuKind, loc: &std::panic::Location<'_>) -> Cu {
 // Spawning
 // ---------------------------------------------------------------------
 
-fn spawn_goroutine(
-    rt: &Arc<RtShared>,
-    gid: Gid,
-    body: Box<dyn FnOnce() + Send + 'static>,
-) {
+/// Decrements the owning runtime's live-thread count when the
+/// goroutine's job finishes, however it finishes (normal completion,
+/// shutdown unwind, or a panic escaping `goroutine_main`).
+struct ThreadCountGuard {
+    rt: Arc<RtShared>,
+}
+
+impl Drop for ThreadCountGuard {
+    fn drop(&mut self) {
+        let mut n = self.rt.threads.lock();
+        *n -= 1;
+        self.rt.threads_cv.notify_all();
+    }
+}
+
+fn spawn_goroutine(rt: &Arc<RtShared>, gid: Gid, body: Box<dyn FnOnce() + Send + 'static>) {
     let rt2 = Arc::clone(rt);
-    let handle = std::thread::Builder::new()
-        .name(format!("goat-{}", gid.0))
-        .spawn(move || goroutine_main(rt2, gid, body))
-        .expect("failed to spawn goroutine thread");
-    rt.handles.lock().push(handle);
+    *rt.threads.lock() += 1;
+    let guard = ThreadCountGuard { rt: Arc::clone(rt) };
+    let job = Box::new(move || {
+        let _guard = guard;
+        goroutine_main(rt2, gid, body);
+    });
+    if rt.pooled {
+        crate::pool::global().execute(job);
+    } else {
+        std::thread::Builder::new()
+            .name("goat-g".to_string())
+            .spawn(job)
+            .expect("failed to spawn goroutine thread");
+    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -856,12 +873,9 @@ fn go_impl(
     }
     let gid = {
         let mut s = ctx.rt.state.lock();
-        let gid = s.new_goroutine(name.to_string(), internal);
-        s.emit(
-            ctx.gid,
-            EventKind::GoCreate { new_g: gid, name: name.to_string(), internal },
-            Some(cu),
-        );
+        let name = Istr::new(name);
+        let gid = s.new_goroutine(name, internal);
+        s.emit(ctx.gid, EventKind::GoCreate { new_g: gid, name, internal }, Some(cu));
         gid
     };
     spawn_goroutine(&ctx.rt, gid, body);
@@ -909,10 +923,13 @@ impl Runtime {
         f: F,
     ) -> RunResult {
         install_panic_hook();
+        let pooled = cfg.pool;
         let rt = Arc::new(RtShared {
             state: Mutex::new(Sched::new(cfg, monitor)),
             done_cv: Condvar::new(),
-            handles: Mutex::new(Vec::new()),
+            threads: Mutex::new(0),
+            threads_cv: Condvar::new(),
+            pooled,
         });
 
         // Bootstrap: create the main goroutine and grant it the token.
@@ -920,7 +937,7 @@ impl Runtime {
             let mut s = rt.state.lock();
             s.emit(Gid::RUNTIME, EventKind::Gomaxprocs { n: 1 }, None);
             s.emit(Gid::RUNTIME, EventKind::ProcStart, None);
-            let gid = s.new_goroutine("main".to_string(), false);
+            let gid = s.new_goroutine(Istr::new("main"), false);
             debug_assert_eq!(gid, Gid::MAIN);
         }
         spawn_goroutine(&rt, Gid::MAIN, Box::new(f));
@@ -944,13 +961,24 @@ impl Runtime {
             }
             s.emit(Gid::RUNTIME, EventKind::ProcStop, None);
         }
-        loop {
-            let drained: Vec<JoinHandle<()>> = std::mem::take(&mut *rt.handles.lock());
-            if drained.is_empty() {
-                break;
-            }
-            for h in drained {
-                let _ = h.join();
+        // Wait for every goroutine job to finish (the shutdown unwind
+        // above releases them all). A goroutine wedged outside runtime
+        // primitives would historically hang the join loop forever; now
+        // a teardown deadline abandons it — its worker thread is simply
+        // never reused, and the pool replaces it on the next checkout.
+        {
+            let timeout_ms = std::env::var("GOAT_TEARDOWN_TIMEOUT_MS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(5_000);
+            let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+            let mut n = rt.threads.lock();
+            while *n > 0 {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                rt.threads_cv.wait_for(&mut n, deadline - now);
             }
         }
 
@@ -1137,10 +1165,8 @@ mod tests {
         let log = original.schedule.clone();
         assert!(!log.is_empty());
         // Replay with a DIFFERENT seed: the log, not the RNG, must drive.
-        let replayed = Runtime::run(
-            Config::new(999_999).with_delay_bound(2).with_replay(log),
-            program,
-        );
+        let replayed =
+            Runtime::run(Config::new(999_999).with_delay_bound(2).with_replay(log), program);
         assert!(!replayed.replay_diverged, "same program must follow its log");
         assert_eq!(
             original.ect.unwrap().render(),
@@ -1173,16 +1199,14 @@ mod tests {
         use crate::config::SchedPolicy;
         let fingerprints: std::collections::BTreeSet<String> = (0..10u64)
             .map(|seed| {
-                let r = Runtime::run(
-                    Config::new(seed).with_policy(SchedPolicy::UniformRandom),
-                    || {
+                let r =
+                    Runtime::run(Config::new(seed).with_policy(SchedPolicy::UniformRandom), || {
                         for _ in 0..4 {
                             go_named("w", || gosched());
                         }
                         gosched();
                         gosched();
-                    },
-                );
+                    });
                 assert!(r.outcome.is_completed());
                 r.ect.unwrap().render()
             })
@@ -1214,10 +1238,7 @@ mod tests {
         });
         let ect = r.ect.unwrap();
         let tree = goat_trace::GTree::from_ect(&ect);
-        let worker = tree
-            .nodes()
-            .find(|n| n.name == "worker")
-            .expect("worker node");
+        let worker = tree.nodes().find(|n| n.name == "worker").expect("worker node");
         assert_eq!(worker.parent, Some(Gid::MAIN));
         let nested = tree.nodes().find(|n| n.name == "nested").expect("nested");
         assert_eq!(nested.parent, Some(worker.g));

@@ -184,8 +184,7 @@ impl<'a, R: 'a> Select<'a, R> {
         v: T,
         f: impl FnOnce() -> R + 'a,
     ) -> Self {
-        self.cases
-            .push(Box::new(SendCase { ch, val: Some(v), f: Some(Box::new(f)), slot: None }));
+        self.cases.push(Box::new(SendCase { ch, val: Some(v), f: Some(Box::new(f)), slot: None }));
         self
     }
 
@@ -207,12 +206,9 @@ impl<'a, R: 'a> Select<'a, R> {
     /// forever in Go; here that is a programming error), or if a fired
     /// send case hits a closed channel.
     pub fn run(mut self) -> R {
-        assert!(
-            !self.cases.is_empty() || self.default_case.is_some(),
-            "select with no cases"
-        );
+        assert!(!self.cases.is_empty() || self.default_case.is_some(), "select with no cases");
         let ctx = current();
-        let cu = self.cu.clone();
+        let cu = self.cu;
         op_enter(&ctx, CuKind::Select, &cu);
         {
             let descs: Vec<(SelCaseFlavor, Option<RId>)> =
@@ -221,7 +217,7 @@ impl<'a, R: 'a> Select<'a, R> {
             s.emit(
                 ctx.gid,
                 EventKind::SelectBegin { cases: descs, has_default: self.default_case.is_some() },
-                Some(cu.clone()),
+                Some(cu),
             );
         }
         loop {
@@ -249,7 +245,7 @@ impl<'a, R: 'a> Select<'a, R> {
                         flavor: SelCaseFlavor::Default,
                         ch: None,
                     },
-                    Some(cu.clone()),
+                    Some(cu),
                 );
                 drop(s);
                 return d();
@@ -259,7 +255,7 @@ impl<'a, R: 'a> Select<'a, R> {
             for (i, c) in self.cases.iter_mut().enumerate() {
                 c.register(&ctx, &tok, i);
             }
-            block_current(&ctx, BlockReason::Select, None, Some(cu.clone()));
+            block_current(&ctx, BlockReason::Select, None, Some(cu));
             let winner = tok.winner().expect("select woken without a committed case");
             for (i, c) in self.cases.iter_mut().enumerate() {
                 if i != winner {
@@ -281,7 +277,7 @@ impl<'a, R: 'a> Select<'a, R> {
                 flavor: self.cases[idx].flavor(),
                 ch: Some(self.cases[idx].ch_id()),
             },
-            Some(self.cu.clone()),
+            Some(self.cu),
         );
     }
 }

@@ -111,22 +111,22 @@ impl Mutex {
         let mut st = self.core.st.lock();
         if st.owner.is_none() {
             st.owner = Some(ctx.gid);
-            st.owner_cu = Some(cu.clone());
+            st.owner_cu = Some(cu);
             drop(st);
             let mut s = ctx.rt.state.lock();
-            s.emit(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu.clone()));
+            s.emit(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu));
             if let Some(m) = s.monitor() {
                 m.on_lock_acquired(ctx.gid, self.core.id, &cu);
             }
             return;
         }
-        let holder = (st.owner.expect("checked"), st.owner_cu.clone());
-        st.waiters.push_back(MuWaiter { g: ctx.gid, cu: cu.clone() });
+        let holder = (st.owner.expect("checked"), st.owner_cu);
+        st.waiters.push_back(MuWaiter { g: ctx.gid, cu });
         drop(st);
-        block_current(ctx, BlockReason::Sync, Some(holder), Some(cu.clone()));
+        block_current(ctx, BlockReason::Sync, Some(holder), Some(cu));
         // Ownership was transferred to us by the unlocker.
         let mut s = ctx.rt.state.lock();
-        s.emit(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu.clone()));
+        s.emit(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu));
         if let Some(m) = s.monitor() {
             m.on_lock_acquired(ctx.gid, self.core.id, &cu);
         }
@@ -143,10 +143,10 @@ impl Mutex {
             return false;
         }
         st.owner = Some(ctx.gid);
-        st.owner_cu = Some(cu.clone());
+        st.owner_cu = Some(cu);
         drop(st);
         let mut s = ctx.rt.state.lock();
-        s.emit(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu.clone()));
+        s.emit(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu));
         if let Some(m) = s.monitor() {
             m.on_lock_acquired(ctx.gid, self.core.id, &cu);
         }
@@ -174,10 +174,10 @@ impl Mutex {
         }
         if let Some(w) = st.waiters.pop_front() {
             st.owner = Some(w.g);
-            st.owner_cu = Some(w.cu.clone());
+            st.owner_cu = Some(w.cu);
             drop(st);
             let mut s = ctx.rt.state.lock();
-            s.wake(w.g, ctx.gid, Some(cu.clone()));
+            s.wake(w.g, ctx.gid, Some(cu));
             s.emit(ctx.gid, EventKind::MuUnlock { mu: self.core.id }, Some(cu));
             if let Some(m) = s.monitor() {
                 m.on_unlock(ctx.gid, self.core.id);
@@ -266,10 +266,10 @@ impl RwLock {
         }
         let mut st = self.core.st.lock();
         if st.writer.is_none() && st.readers.is_empty() {
-            st.writer = Some((ctx.gid, cu.clone()));
+            st.writer = Some((ctx.gid, cu));
             drop(st);
             let mut s = ctx.rt.state.lock();
-            s.emit(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu.clone()));
+            s.emit(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu));
             if let Some(m) = s.monitor() {
                 m.on_lock_acquired(ctx.gid, self.core.id, &cu);
             }
@@ -277,14 +277,13 @@ impl RwLock {
         }
         let holder = st
             .writer
-            .clone()
             .map(|(g, c)| (g, Some(c)))
-            .or_else(|| st.readers.first().map(|(g, c)| (*g, Some(c.clone()))));
-        st.wait_writers.push_back(MuWaiter { g: ctx.gid, cu: cu.clone() });
+            .or_else(|| st.readers.first().map(|(g, c)| (*g, Some(*c))));
+        st.wait_writers.push_back(MuWaiter { g: ctx.gid, cu });
         drop(st);
-        block_current(&ctx, BlockReason::Sync, holder, Some(cu.clone()));
+        block_current(&ctx, BlockReason::Sync, holder, Some(cu));
         let mut s = ctx.rt.state.lock();
-        s.emit(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu.clone()));
+        s.emit(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu));
         if let Some(m) = s.monitor() {
             m.on_lock_acquired(ctx.gid, self.core.id, &cu);
         }
@@ -310,7 +309,7 @@ impl RwLock {
         drop(st);
         let mut s = ctx.rt.state.lock();
         for g in woken {
-            s.wake(g, ctx.gid, Some(cu.clone()));
+            s.wake(g, ctx.gid, Some(cu));
         }
         s.emit(ctx.gid, EventKind::MuUnlock { mu: self.core.id }, Some(cu));
         if let Some(m) = s.monitor() {
@@ -327,7 +326,7 @@ impl RwLock {
         op_enter(&ctx, CuKind::Lock, &cu);
         let mut st = self.core.st.lock();
         if st.writer.is_none() && st.wait_writers.is_empty() {
-            st.readers.push((ctx.gid, cu.clone()));
+            st.readers.push((ctx.gid, cu));
             drop(st);
             let mut s = ctx.rt.state.lock();
             s.emit(ctx.gid, EventKind::RwRLock { mu: self.core.id }, Some(cu));
@@ -335,12 +334,11 @@ impl RwLock {
         }
         let holder = st
             .writer
-            .clone()
             .map(|(g, c)| (g, Some(c)))
-            .or_else(|| st.wait_writers.front().map(|w| (w.g, Some(w.cu.clone()))));
-        st.wait_readers.push_back(MuWaiter { g: ctx.gid, cu: cu.clone() });
+            .or_else(|| st.wait_writers.front().map(|w| (w.g, Some(w.cu))));
+        st.wait_readers.push_back(MuWaiter { g: ctx.gid, cu });
         drop(st);
-        block_current(&ctx, BlockReason::Sync, holder, Some(cu.clone()));
+        block_current(&ctx, BlockReason::Sync, holder, Some(cu));
         let mut s = ctx.rt.state.lock();
         s.emit(ctx.gid, EventKind::RwRLock { mu: self.core.id }, Some(cu));
     }
@@ -365,7 +363,7 @@ impl RwLock {
         drop(st);
         let mut s = ctx.rt.state.lock();
         for g in woken {
-            s.wake(g, ctx.gid, Some(cu.clone()));
+            s.wake(g, ctx.gid, Some(cu));
         }
         s.emit(ctx.gid, EventKind::RwRUnlock { mu: self.core.id }, Some(cu));
     }
@@ -450,7 +448,10 @@ impl WaitGroup {
         let ctx = current();
         let id = ctx.rt.state.lock().alloc_rid();
         WaitGroup {
-            core: Arc::new(WgCore { id, st: PlMutex::new(WgSt { count: 0, waiters: VecDeque::new() }) }),
+            core: Arc::new(WgCore {
+                id,
+                st: PlMutex::new(WgSt { count: 0, waiters: VecDeque::new() }),
+            }),
         }
     }
 
@@ -486,12 +487,11 @@ impl WaitGroup {
             drop(st);
             gopanic("sync: negative WaitGroup counter");
         }
-        let woken: Vec<Gid> =
-            if count == 0 { st.waiters.drain(..).collect() } else { Vec::new() };
+        let woken: Vec<Gid> = if count == 0 { st.waiters.drain(..).collect() } else { Vec::new() };
         drop(st);
         let mut s = ctx.rt.state.lock();
         for g in &woken {
-            s.wake(*g, ctx.gid, Some(cu.clone()));
+            s.wake(*g, ctx.gid, Some(cu));
         }
         let ev = if is_done {
             EventKind::WgDone { wg: self.core.id, count }
@@ -511,7 +511,7 @@ impl WaitGroup {
         if st.count > 0 {
             st.waiters.push_back(ctx.gid);
             drop(st);
-            block_current(&ctx, BlockReason::WaitGroup, None, Some(cu.clone()));
+            block_current(&ctx, BlockReason::WaitGroup, None, Some(cu));
         } else {
             drop(st);
         }
@@ -579,9 +579,9 @@ impl Cond {
         let ctx = current();
         op_enter(&ctx, CuKind::Wait, &cu);
         self.core.st.lock().waiters.push_back(ctx.gid);
-        self.core.mu.unlock_impl(&ctx, cu.clone());
-        block_current(&ctx, BlockReason::Cond, None, Some(cu.clone()));
-        self.core.mu.lock_impl(&ctx, cu.clone());
+        self.core.mu.unlock_impl(&ctx, cu);
+        block_current(&ctx, BlockReason::Cond, None, Some(cu));
+        self.core.mu.lock_impl(&ctx, cu);
         let mut s = ctx.rt.state.lock();
         s.emit(ctx.gid, EventKind::CondWait { cv: self.core.id }, Some(cu));
     }
@@ -596,7 +596,7 @@ impl Cond {
         let woken = self.core.st.lock().waiters.pop_front();
         let mut s = ctx.rt.state.lock();
         if let Some(g) = woken {
-            s.wake(g, ctx.gid, Some(cu.clone()));
+            s.wake(g, ctx.gid, Some(cu));
         }
         s.emit(ctx.gid, EventKind::CondSignal { cv: self.core.id }, Some(cu));
     }
@@ -610,7 +610,7 @@ impl Cond {
         let woken: Vec<Gid> = self.core.st.lock().waiters.drain(..).collect();
         let mut s = ctx.rt.state.lock();
         for g in woken {
-            s.wake(g, ctx.gid, Some(cu.clone()));
+            s.wake(g, ctx.gid, Some(cu));
         }
         s.emit(ctx.gid, EventKind::CondBroadcast { cv: self.core.id }, Some(cu));
     }

@@ -249,10 +249,7 @@ mod tests {
             let data: Chan<u32> = Chan::new(0);
             let mut ticks = 0;
             while ticks < 3 {
-                let tick = Select::new()
-                    .recv(&data, |_| false)
-                    .recv(t.chan(), |_| true)
-                    .run();
+                let tick = Select::new().recv(&data, |_| false).recv(t.chan(), |_| true).run();
                 if tick {
                     ticks += 1;
                 }

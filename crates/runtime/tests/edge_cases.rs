@@ -5,8 +5,7 @@
 
 use goat_runtime::context::Context;
 use goat_runtime::{
-    go, go_named, gosched, time, Chan, Config, Once, Runtime, RwLock, Select,
-    WaitGroup,
+    go, go_named, gosched, time, Chan, Config, Once, Runtime, RwLock, Select, WaitGroup,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -83,8 +82,7 @@ fn five_way_select_takes_only_ready_cases() {
     let r = Runtime::run(cfg(4), || {
         let chans: Vec<Chan<u32>> = (0..5).map(|_| Chan::new(1)).collect();
         chans[2].send(42); // only case 2 is ready
-        let (c0, c1, c2, c3, c4) =
-            (&chans[0], &chans[1], &chans[2], &chans[3], &chans[4]);
+        let (c0, c1, c2, c3, c4) = (&chans[0], &chans[1], &chans[2], &chans[3], &chans[4]);
         for _ in 0..3 {
             let got = Select::new()
                 .recv(c0, |_| 0u32)
@@ -126,16 +124,10 @@ fn select_send_and_recv_cases_on_same_channel() {
     let r = Runtime::run(cfg(6), || {
         let ch: Chan<u32> = Chan::new(1);
         // empty buffered channel: send ready, recv not → send must win
-        let which = Select::new()
-            .recv(&ch, |_| "recv")
-            .send(&ch, 7, || "send")
-            .run();
+        let which = Select::new().recv(&ch, |_| "recv").send(&ch, 7, || "send").run();
         assert_eq!(which, "send");
         // now full: recv ready, send not → recv must win
-        let which = Select::new()
-            .recv(&ch, |_| "recv")
-            .send(&ch, 8, || "send")
-            .run();
+        let which = Select::new().recv(&ch, |_| "recv").send(&ch, 8, || "send").run();
         assert_eq!(which, "recv");
     });
     assert!(r.clean());
@@ -154,8 +146,7 @@ fn timer_vs_data_race_is_deterministic_per_seed() {
                 let _ = tx.try_send(1);
             });
             let timeout = time::after(Duration::from_micros(60));
-            let timed_out =
-                Select::new().recv(&data, |_| false).recv(&timeout, |_| true).run();
+            let timed_out = Select::new().recv(&data, |_| false).recv(&timeout, |_| true).run();
             if timed_out {
                 probe.store(1, Ordering::SeqCst);
             }

@@ -43,10 +43,8 @@ struct Script {
 fn op_strategy(channels: usize, mutexes: usize) -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..channels, 1..4u8).prop_map(|(ch, n)| Op::Send { ch, n }),
-        (0..mutexes, 0..mutexes).prop_map(move |(a, b)| Op::LockCycle {
-            first: a.min(b),
-            second: a.max(b),
-        }),
+        (0..mutexes, 0..mutexes)
+            .prop_map(move |(a, b)| Op::LockCycle { first: a.min(b), second: a.max(b) }),
         Just(Op::Yield),
         (1..3u8).prop_map(|ms| Op::Sleep { ms }),
         (0..channels).prop_map(|ch| Op::PollSelect { ch }),
@@ -69,8 +67,7 @@ fn script_strategy() -> impl Strategy<Value = Script> {
 fn run_script(script: &Script, cfg: Config) -> goat_runtime::RunResult {
     let script = Arc::new(script.clone());
     Runtime::run(cfg, move || {
-        let channels: Vec<Chan<u64>> =
-            (0..script.channels).map(|_| Chan::new(64)).collect();
+        let channels: Vec<Chan<u64>> = (0..script.channels).map(|_| Chan::new(64)).collect();
         let mutexes: Vec<Mutex> = (0..script.mutexes).map(|_| Mutex::new()).collect();
         let wg = WaitGroup::new();
         let consumer_done: Chan<u64> = Chan::new(script.channels);
@@ -100,10 +97,8 @@ fn run_script(script: &Script, cfg: Config) -> goat_runtime::RunResult {
                         Op::Yield => gosched(),
                         Op::Sleep { ms } => time::sleep(Duration::from_millis(u64::from(*ms))),
                         Op::PollSelect { ch } => {
-                            let _ = Select::new()
-                                .recv(&channels[*ch], |v| v)
-                                .default(|| None)
-                                .run();
+                            let _ =
+                                Select::new().recv(&channels[*ch], |v| v).default(|| None).run();
                         }
                     }
                 }

@@ -35,11 +35,7 @@ impl Ect {
     /// Panics if `ev.seq` does not equal the current length: the ECT is a
     /// total order and sequence numbers are dense.
     pub fn push(&mut self, ev: Event) {
-        assert_eq!(
-            ev.seq as usize,
-            self.events.len(),
-            "ECT sequence numbers must be dense"
-        );
+        assert_eq!(ev.seq as usize, self.events.len(), "ECT sequence numbers must be dense");
         self.events.push(ev);
     }
 
@@ -97,9 +93,9 @@ impl Ect {
 
     /// The `GoCreate` event that spawned `g`, if traced.
     pub fn creation_of(&self, g: Gid) -> Option<&Event> {
-        self.events.iter().find(
-            |e| matches!(&e.kind, EventKind::GoCreate { new_g, .. } if *new_g == g),
-        )
+        self.events
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::GoCreate { new_g, .. } if *new_g == g))
     }
 
     /// Serialize the trace to a JSON string.
@@ -150,10 +146,9 @@ impl Ect {
                 return Err(WellFormedError::UncreatedGoroutine { g: ev.g, seq: ev.seq });
             }
             match &ev.kind {
-                EventKind::GoCreate { new_g, .. }
-                    if created.insert(*new_g, ev.seq).is_some() => {
-                        return Err(WellFormedError::DoubleCreate { g: *new_g, seq: ev.seq });
-                    }
+                EventKind::GoCreate { new_g, .. } if created.insert(*new_g, ev.seq).is_some() => {
+                    return Err(WellFormedError::DoubleCreate { g: *new_g, seq: ev.seq });
+                }
                 EventKind::GoEnd | EventKind::GoStop => {
                     ended.insert(ev.g, ev.seq);
                 }
@@ -267,7 +262,15 @@ mod tests {
     }
 
     fn create(seq: u64, g: u64, new_g: u64) -> Event {
-        ev(seq, g, EventKind::GoCreate { new_g: Gid(new_g), name: format!("g{new_g}"), internal: false })
+        ev(
+            seq,
+            g,
+            EventKind::GoCreate {
+                new_g: Gid(new_g),
+                name: format!("g{new_g}").into(),
+                internal: false,
+            },
+        )
     }
 
     #[test]
@@ -283,10 +286,7 @@ mod tests {
         .collect();
         assert!(ect.well_formed().is_ok());
         assert_eq!(ect.goroutines(), vec![Gid(1), Gid(2)]);
-        assert_eq!(
-            ect.last_event_of(Gid(2)).unwrap().kind,
-            EventKind::GoEnd
-        );
+        assert_eq!(ect.last_event_of(Gid(2)).unwrap().kind, EventKind::GoEnd);
         assert!(ect.creation_of(Gid(2)).is_some());
         assert!(ect.creation_of(Gid(1)).is_none());
     }
@@ -305,10 +305,7 @@ mod tests {
         ect.push(create(1, 1, 2));
         ect.push(ev(2, 2, EventKind::GoEnd));
         ect.push(ev(3, 2, EventKind::GoStart));
-        assert!(matches!(
-            ect.well_formed(),
-            Err(WellFormedError::EventAfterEnd { g: Gid(2), .. })
-        ));
+        assert!(matches!(ect.well_formed(), Err(WellFormedError::EventAfterEnd { g: Gid(2), .. })));
     }
 
     #[test]
@@ -326,10 +323,7 @@ mod tests {
         let mut ect = Ect::new();
         ect.push(create(0, 1, 2));
         ect.push(create(1, 1, 2));
-        assert!(matches!(
-            ect.well_formed(),
-            Err(WellFormedError::DoubleCreate { g: Gid(2), .. })
-        ));
+        assert!(matches!(ect.well_formed(), Err(WellFormedError::DoubleCreate { g: Gid(2), .. })));
     }
 
     #[test]
@@ -337,10 +331,7 @@ mod tests {
         let mut ect = Ect::new();
         ect.push(Event { seq: 0, ts: VTime(100), g: Gid(1), kind: EventKind::GoStart, cu: None });
         ect.push(Event { seq: 1, ts: VTime(50), g: Gid(1), kind: EventKind::GoEnd, cu: None });
-        assert!(matches!(
-            ect.well_formed(),
-            Err(WellFormedError::TimeRegression { seq: 1 })
-        ));
+        assert!(matches!(ect.well_formed(), Err(WellFormedError::TimeRegression { seq: 1 })));
     }
 
     #[test]

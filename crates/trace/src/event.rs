@@ -7,7 +7,7 @@
 //! to (each event "corresponds to exactly one statement in the source
 //! code").
 
-use goat_model::Cu;
+use goat_model::{Cu, Istr};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -194,8 +194,9 @@ pub enum EventKind {
     GoCreate {
         /// The newly created goroutine.
         new_g: Gid,
-        /// Human-readable name of the new goroutine.
-        name: String,
+        /// Human-readable name of the new goroutine (interned: repeated
+        /// spawns of the same site share one allocation).
+        name: Istr,
         /// True for runtime-internal goroutines (watchdog, tracer), which
         /// the application-level filter removes.
         internal: bool,
@@ -383,20 +384,44 @@ impl EventKind {
         use EventKind::*;
         match self {
             ProcStart | ProcStop | Gomaxprocs { .. } => EventCategory::Process,
-            GcStart | GcDone | GcStwStart | GcStwDone | GcSweepStart | GcSweepDone
+            GcStart
+            | GcDone
+            | GcStwStart
+            | GcStwDone
+            | GcSweepStart
+            | GcSweepDone
             | HeapAlloc { .. } => EventCategory::GcMem,
-            GoCreate { .. } | GoStart | GoEnd | GoStop | GoSched { .. } | GoPreempt
-            | GoSleep | GoBlock { .. } | GoUnblock { .. } | GoWaiting | GoBlockNet
+            GoCreate { .. }
+            | GoStart
+            | GoEnd
+            | GoStop
+            | GoSched { .. }
+            | GoPreempt
+            | GoSleep
+            | GoBlock { .. }
+            | GoUnblock { .. }
+            | GoWaiting
+            | GoBlockNet
             | GoInSyscall => EventCategory::Goroutine,
             GoSysCall | GoSysExit | GoSysBlock => EventCategory::Syscall,
             UserLog { .. } | UserTaskCreate | UserTaskEnd | UserRegion => EventCategory::User,
             FutileWakeup | TimerFire { .. } => EventCategory::Misc,
-            ChMake { .. } | ChSend { .. } | ChRecv { .. } | ChClose { .. }
-            | SelectBegin { .. } | SelectEnd { .. } | MuLock { .. } | MuUnlock { .. }
-            | RwRLock { .. } | RwRUnlock { .. } | WgAdd { .. } | WgDone { .. }
-            | WgWait { .. } | CondWait { .. } | CondSignal { .. } | CondBroadcast { .. } => {
-                EventCategory::Concurrency
-            }
+            ChMake { .. }
+            | ChSend { .. }
+            | ChRecv { .. }
+            | ChClose { .. }
+            | SelectBegin { .. }
+            | SelectEnd { .. }
+            | MuLock { .. }
+            | MuUnlock { .. }
+            | RwRLock { .. }
+            | RwRUnlock { .. }
+            | WgAdd { .. }
+            | WgDone { .. }
+            | WgWait { .. }
+            | CondWait { .. }
+            | CondSignal { .. }
+            | CondBroadcast { .. } => EventCategory::Concurrency,
         }
     }
 
@@ -540,10 +565,7 @@ mod tests {
         assert_eq!(EventKind::GoSysCall.category(), EventCategory::Syscall);
         assert_eq!(EventKind::UserTaskEnd.category(), EventCategory::User);
         assert_eq!(EventKind::FutileWakeup.category(), EventCategory::Misc);
-        assert_eq!(
-            EventKind::ChSend { ch: RId(1) }.category(),
-            EventCategory::Concurrency
-        );
+        assert_eq!(EventKind::ChSend { ch: RId(1) }.category(), EventCategory::Concurrency);
     }
 
     #[test]

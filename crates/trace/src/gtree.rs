@@ -78,15 +78,14 @@ impl GTree {
         );
         for (i, ev) in ect.iter().enumerate() {
             if let EventKind::GoCreate { new_g, name, internal } = &ev.kind {
-                let parent_internal =
-                    nodes.get(&ev.g).map(|n| n.internal).unwrap_or(false);
+                let parent_internal = nodes.get(&ev.g).map(|n| n.internal).unwrap_or(false);
                 nodes.insert(
                     *new_g,
                     GNode {
                         g: *new_g,
-                        name: name.clone(),
+                        name: name.to_string(),
                         parent: Some(ev.g),
-                        create_cu: ev.cu.clone(),
+                        create_cu: ev.cu,
                         children: Vec::new(),
                         events: Vec::new(),
                         last_event: None,
@@ -101,7 +100,7 @@ impl GTree {
             if let Some(n) = nodes.get_mut(&ev.g) {
                 n.events.push(i);
                 n.last_event = Some(ev.kind.clone());
-                n.last_cu = ev.cu.clone();
+                n.last_cu = ev.cu;
             }
         }
         GTree { nodes, root: Some(Gid::MAIN) }
@@ -228,14 +227,22 @@ mod tests {
                 seq: 1,
                 ts: VTime(1),
                 g: Gid(1),
-                kind: EventKind::GoCreate { new_g: Gid(2), name: "monitor".into(), internal: false },
+                kind: EventKind::GoCreate {
+                    new_g: Gid(2),
+                    name: "monitor".into(),
+                    internal: false,
+                },
                 cu: Some(Cu::new("k.rs", 12, CuKind::Go)),
             },
             Event {
                 seq: 2,
                 ts: VTime(2),
                 g: Gid(1),
-                kind: EventKind::GoCreate { new_g: Gid(3), name: "goat::watchdog".into(), internal: true },
+                kind: EventKind::GoCreate {
+                    new_g: Gid(3),
+                    name: "goat::watchdog".into(),
+                    internal: true,
+                },
                 cu: None,
             },
             ev(3, 2, EventKind::GoStart),

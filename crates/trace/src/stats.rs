@@ -78,17 +78,13 @@ impl TraceStats {
         let mut stats = TraceStats::default();
         let mut block_start: BTreeMap<Gid, (VTime, BlockReason)> = BTreeMap::new();
         for ev in ect.iter() {
-            *stats
-                .categories
-                .counts
-                .entry(format!("{:?}", ev.kind.category()))
-                .or_default() += 1;
+            *stats.categories.counts.entry(format!("{:?}", ev.kind.category())).or_default() += 1;
             stats.duration = ev.ts;
 
-            let profile = stats.goroutines.entry(ev.g).or_insert_with(|| GoroutineProfile {
-                first_seen: ev.ts,
-                ..Default::default()
-            });
+            let profile = stats
+                .goroutines
+                .entry(ev.g)
+                .or_insert_with(|| GoroutineProfile { first_seen: ev.ts, ..Default::default() });
             profile.events += 1;
             profile.last_seen = ev.ts;
             match &ev.kind {
@@ -146,9 +142,7 @@ impl TraceStats {
     pub fn unfinished(&self) -> Vec<Gid> {
         self.goroutines
             .iter()
-            .filter(|(g, p)| {
-                !p.finished && **g != Gid::RUNTIME && !self.internal.contains(g)
-            })
+            .filter(|(g, p)| !p.finished && **g != Gid::RUNTIME && !self.internal.contains(g))
             .map(|(g, _)| *g)
             .collect()
     }
@@ -173,8 +167,7 @@ impl fmt::Display for TraceStats {
         )?;
         writeln!(f, "{:<6} {:>7} {:>8} {:>12}  blocks", "gid", "events", "done", "blocked")?;
         for (g, p) in &self.goroutines {
-            let blocks: Vec<String> =
-                p.blocks.iter().map(|(r, n)| format!("{r}×{n}")).collect();
+            let blocks: Vec<String> = p.blocks.iter().map(|(r, n)| format!("{r}×{n}")).collect();
             writeln!(
                 f,
                 "{:<6} {:>7} {:>8} {:>12}  {}",
@@ -201,12 +194,7 @@ mod tests {
     fn sample() -> Ect {
         vec![
             ev(0, 0, 1, EventKind::GoStart),
-            ev(
-                1,
-                10,
-                1,
-                EventKind::GoCreate { new_g: Gid(2), name: "w".into(), internal: false },
-            ),
+            ev(1, 10, 1, EventKind::GoCreate { new_g: Gid(2), name: "w".into(), internal: false }),
             ev(2, 20, 2, EventKind::GoStart),
             ev(
                 3,
@@ -262,12 +250,7 @@ mod tests {
     fn leaked_goroutine_counts_open_block_episode() {
         let ect: Ect = vec![
             ev(0, 0, 1, EventKind::GoStart),
-            ev(
-                1,
-                10,
-                1,
-                EventKind::GoCreate { new_g: Gid(2), name: "l".into(), internal: false },
-            ),
+            ev(1, 10, 1, EventKind::GoCreate { new_g: Gid(2), name: "l".into(), internal: false }),
             ev(2, 20, 2, EventKind::GoStart),
             ev(
                 3,

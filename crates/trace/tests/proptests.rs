@@ -52,7 +52,7 @@ fn build_trace(actions: &[Action]) -> (Ect, usize, usize) {
                     parent,
                     EventKind::GoCreate {
                         new_g: child,
-                        name: format!("g{}", child.0),
+                        name: format!("g{}", child.0).into(),
                         internal: *internal,
                     },
                 );

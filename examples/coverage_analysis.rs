@@ -34,10 +34,7 @@ fn main() {
             go_named("merger", move || {
                 let mut got = 0;
                 while got < 4 {
-                    let v = Select::new()
-                        .recv(&lane_a, |v| v)
-                        .recv(&lane_b, |v| v)
-                        .run();
+                    let v = Select::new().recv(&lane_a, |v| v).recv(&lane_b, |v| v).run();
                     if let Some(v) = v {
                         merged.send(v);
                         got += 1;

@@ -47,9 +47,7 @@ fn container_monitor() {
 
 fn main() {
     let src = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/moby28462.rs"));
-    let program = Arc::new(
-        FnProgram::new("moby28462", container_monitor).with_sources(vec![src]),
-    );
+    let program = Arc::new(FnProgram::new("moby28462", container_monitor).with_sources(vec![src]));
 
     // The static model M: every concurrency usage in this file.
     let model = Goat::static_model(program.as_ref());
@@ -64,10 +62,7 @@ fn main() {
     println!();
     match (&result.bug, &result.bug_ect) {
         (Some(verdict), Some(ect)) => {
-            println!(
-                "leak exposed on iteration {}\n",
-                result.first_detection.expect("detected")
-            );
+            println!("leak exposed on iteration {}\n", result.first_detection.expect("detected"));
             println!("{}", bug_report("moby28462", verdict, ect));
         }
         _ => println!("bug did not manifest; increase the iteration budget"),

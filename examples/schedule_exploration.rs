@@ -8,7 +8,7 @@
 //! cargo run --release --example schedule_exploration
 //! ```
 
-use goat::core::{Program, Goat, GoatConfig};
+use goat::core::{Goat, GoatConfig, Program};
 use std::sync::Arc;
 
 struct KernelProgram(&'static goat::goker::BugKernel);
@@ -31,16 +31,12 @@ fn main() {
         println!("=== {name}: {} ===", kernel.description);
         for d in 0..=4u32 {
             let goat = Goat::new(
-                GoatConfig::default()
-                    .with_delay_bound(d)
-                    .with_iterations(600)
-                    .with_seed0(1),
+                GoatConfig::default().with_delay_bound(d).with_iterations(600).with_seed0(1),
             );
             let result = goat.test(Arc::new(KernelProgram(kernel)));
             match result.first_detection {
                 Some(iter) => {
-                    let yields: u32 =
-                        result.records.last().map(|r| r.yields).unwrap_or(0);
+                    let yields: u32 = result.records.last().map(|r| r.yields).unwrap_or(0);
                     println!(
                         "  D{d}: exposed after {iter:>4} iterations \
                          ({yields} yields injected in the buggy run)"

@@ -25,18 +25,13 @@ struct Cli {
 }
 
 fn parse_args() -> Result<Cli, String> {
-    let mut cli =
-        Cli { target: String::new(), d: 0, freq: 100, cov: false, seed: 1 };
+    let mut cli = Cli { target: String::new(), d: 0, freq: 100, cov: false, seed: 1 };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut take = |name: &str| {
-            args.next().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut take = |name: &str| args.next().ok_or_else(|| format!("missing value for {name}"));
         match arg.as_str() {
             "-target" | "--target" => cli.target = take("-target")?,
-            "-d" | "--d" => {
-                cli.d = take("-d")?.parse().map_err(|e| format!("-d: {e}"))?
-            }
+            "-d" | "--d" => cli.d = take("-d")?.parse().map_err(|e| format!("-d: {e}"))?,
             "-freq" | "--freq" => {
                 cli.freq = take("-freq")?.parse().map_err(|e| format!("-freq: {e}"))?
             }
@@ -133,8 +128,11 @@ fn main() -> ExitCode {
                 ),
             }
         }
-        println!("
-detected {detected}/68 at D={} within {} iterations", cli.d, cli.freq);
+        println!(
+            "
+detected {detected}/68 at D={} within {} iterations",
+            cli.d, cli.freq
+        );
         return if detected == 68 { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
 

@@ -45,7 +45,7 @@ fn container_manager(processed_out: Arc<AtomicUsize>) {
         go_named(&format!("worker{w}"), move || {
             for req in requests.range() {
                 rate.send(()); // acquire a token (blocks at the limit)
-                // container start latency
+                               // container start latency
                 time::sleep(Duration::from_millis(1));
                 stats.rlock(); // read config snapshot
                 stats.runlock();
@@ -65,8 +65,7 @@ fn container_manager(processed_out: Arc<AtomicUsize>) {
         let ctx = ctx.clone();
         let stats = stats.clone();
         go_named("healthMonitor", move || loop {
-            let stopped =
-                Select::new().recv(ctx.done(), |_| true).default(|| false).run();
+            let stopped = Select::new().recv(ctx.done(), |_| true).default(|| false).run();
             if stopped {
                 return;
             }
@@ -110,12 +109,7 @@ fn service_is_correct_across_schedules_and_policies() {
             let processed = Arc::new(AtomicUsize::new(0));
             let p = Arc::clone(&processed);
             let r = Runtime::run(cfg, move || container_manager(p));
-            assert!(
-                r.clean(),
-                "{label} seed {seed}: {:?} alive={:?}",
-                r.outcome,
-                r.alive_at_end
-            );
+            assert!(r.clean(), "{label} seed {seed}: {:?} alive={:?}", r.outcome, r.alive_at_end);
             assert_eq!(processed.load(Ordering::SeqCst), REQUESTS, "{label} seed {seed}");
             goat::core::crosscheck(&r).unwrap();
             let ect = r.ect.expect("traced");
@@ -129,9 +123,8 @@ fn goat_campaign_reports_healthy_coverage_and_no_bug() {
     let program = Arc::new(FnProgram::new("container-manager", || {
         container_manager(Arc::new(AtomicUsize::new(0)));
     }));
-    let goat = Goat::new(
-        GoatConfig::default().with_iterations(15).with_delay_bound(2).keep_running(),
-    );
+    let goat =
+        Goat::new(GoatConfig::default().with_iterations(15).with_delay_bound(2).keep_running());
     let result = goat.test(program);
     assert!(!result.detected(), "correct service flagged: {:?}", result.bug);
     assert!(

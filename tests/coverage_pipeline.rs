@@ -18,9 +18,8 @@ fn coverage_invariants_hold_for_every_kernel() {
         let mut tree_len_after_first = None;
 
         for seed in 0..6u64 {
-            let r = Runtime::run(Config::new(seed).with_delay_bound(1), move || {
-                Program::main(kernel)
-            });
+            let r =
+                Runtime::run(Config::new(seed).with_delay_bound(1), move || Program::main(kernel));
             let Some(ect) = &r.ect else { continue };
             let cov = extract_coverage(ect, &mut universe);
 
@@ -33,11 +32,7 @@ fn coverage_invariants_hold_for_every_kernel() {
                 );
             }
             covered.merge(&cov.covered);
-            assert!(
-                covered.len() >= last_covered_len,
-                "{}: covered count shrank",
-                kernel.name
-            );
+            assert!(covered.len() >= last_covered_len, "{}: covered count shrank", kernel.name);
             last_covered_len = covered.len();
 
             let pct = covered.percent(&universe);
@@ -68,9 +63,8 @@ fn coverage_grows_with_perturbation_on_the_study_kernels() {
         let mut covered = goat::model::CoverageSet::new();
         let mut curve = Vec::new();
         for seed in 0..30u64 {
-            let r = Runtime::run(Config::new(seed).with_delay_bound(2), move || {
-                Program::main(kernel)
-            });
+            let r =
+                Runtime::run(Config::new(seed).with_delay_bound(2), move || Program::main(kernel));
             if let Some(ect) = &r.ect {
                 let cov = extract_coverage(ect, &mut universe);
                 covered.merge(&cov.covered);
@@ -93,9 +87,7 @@ fn select_case_requirements_materialise_at_runtime() {
     let mut universe = RequirementUniverse::new();
     let r = Runtime::run(Config::new(1), move || Program::main(kernel));
     let _ = extract_coverage(r.ect.as_ref().unwrap(), &mut universe);
-    let case_reqs = universe
-        .iter()
-        .filter(|k| matches!(k.target, goat::model::ReqTarget::Case { .. }))
-        .count();
+    let case_reqs =
+        universe.iter().filter(|k| matches!(k.target, goat::model::ReqTarget::Case { .. })).count();
     assert!(case_reqs >= 3, "select cases (incl. default) must appear: {case_reqs}");
 }

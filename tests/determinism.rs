@@ -9,12 +9,7 @@ use goat::runtime::{Config, Runtime};
 fn trace_fingerprint(kernel: &'static goat::goker::BugKernel, seed: u64, d: u32) -> String {
     let cfg = Config::new(seed).with_delay_bound(d);
     let r = Runtime::run(cfg, move || Program::main(kernel));
-    format!(
-        "{:?}|{}|{}",
-        r.outcome,
-        r.steps,
-        r.ect.map(|e| e.render()).unwrap_or_default()
-    )
+    format!("{:?}|{}|{}", r.outcome, r.steps, r.ect.map(|e| e.render()).unwrap_or_default())
 }
 
 #[test]
@@ -37,20 +32,104 @@ fn different_seeds_explore_different_schedules() {
     let kernel = goat::goker::by_name("moby28462").expect("kernel");
     let distinct: std::collections::BTreeSet<String> =
         (0..30u64).map(|s| trace_fingerprint(kernel, s, 0)).collect();
-    assert!(
-        distinct.len() >= 3,
-        "30 seeds explored only {} distinct schedules",
-        distinct.len()
-    );
+    assert!(distinct.len() >= 3, "30 seeds explored only {} distinct schedules", distinct.len());
+}
+
+// ---------------------------------------------------------------------
+// Campaign-executor equivalence: the streaming parallel executor and the
+// goroutine worker pool are pure performance features — a campaign's
+// machine-readable summary must be byte-identical no matter how many
+// host threads ran it or whether goroutines were pooled.
+// ---------------------------------------------------------------------
+
+use goat::core::{Goat, GoatConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+struct KernelProgram(&'static goat::goker::BugKernel);
+
+impl Program for KernelProgram {
+    fn name(&self) -> &str {
+        Program::name(self.0)
+    }
+    fn main(&self) {
+        Program::main(self.0)
+    }
+}
+
+fn campaign_summary_json(
+    kernel: &'static goat::goker::BugKernel,
+    d: u32,
+    seed0: u64,
+    iterations: usize,
+    stop_on_bug: bool,
+    parallelism: usize,
+    pool: bool,
+) -> String {
+    let mut cfg = GoatConfig::default()
+        .with_delay_bound(d)
+        .with_iterations(iterations)
+        .with_seed0(seed0)
+        .with_parallelism(parallelism)
+        .with_pool(pool);
+    if !stop_on_bug {
+        cfg = cfg.keep_running();
+    }
+    Goat::new(cfg)
+        .test(Arc::new(KernelProgram(kernel)))
+        .to_json_summary()
+        .expect("summary serializes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+    #[test]
+    fn campaign_summaries_identical_across_parallelism_and_pool(
+        kidx in 0usize..12,
+        d in 0u32..3,
+        seed0 in 1u64..500,
+        iterations in 4usize..10,
+        stop_on_bug in any::<bool>(),
+    ) {
+        let kernels = goat::goker::all_kernels();
+        let kernel = kernels[kidx % kernels.len()];
+        let base = campaign_summary_json(kernel, d, seed0, iterations, stop_on_bug, 1, true);
+        for parallelism in [1usize, 2, 8] {
+            for pool in [true, false] {
+                let json =
+                    campaign_summary_json(kernel, d, seed0, iterations, stop_on_bug, parallelism, pool);
+                prop_assert_eq!(
+                    &base, &json,
+                    "summary diverged: kernel={} d={} stop={} p={} pool={}",
+                    kernel.name, d, stop_on_bug, parallelism, pool
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stop_on_bug_early_exit_matches_across_executors() {
+    // A kernel that detects deterministically on iteration 1: the
+    // stop_on_bug cutoff is exercised on every executor configuration,
+    // and the parallel executor must not merge speculative iterations
+    // past the cutoff.
+    let kernel = goat::goker::by_name("moby28462").expect("kernel");
+    let base = campaign_summary_json(kernel, 2, 7, 40, true, 1, true);
+    for parallelism in [2usize, 8] {
+        for pool in [true, false] {
+            let json = campaign_summary_json(kernel, 2, 7, 40, true, parallelism, pool);
+            assert_eq!(base, json, "early-exit diverged at p={parallelism} pool={pool}");
+        }
+    }
 }
 
 #[test]
 fn traces_are_well_formed_across_the_suite() {
     for kernel in goat::goker::all_kernels() {
         for seed in [1u64, 99] {
-            let r = Runtime::run(Config::new(seed).with_delay_bound(1), move || {
-                Program::main(kernel)
-            });
+            let r =
+                Runtime::run(Config::new(seed).with_delay_bound(1), move || Program::main(kernel));
             if let Some(ect) = &r.ect {
                 ect.well_formed().unwrap_or_else(|e| {
                     panic!("{} seed {seed}: malformed trace: {e}", kernel.name)

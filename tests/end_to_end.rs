@@ -62,10 +62,8 @@ fn full_pipeline_on_listing1() {
     assert_eq!(leaked.len(), 2, "Monitor and StatusChange both leak");
 
     // The leaked goroutines are blocked on lock and send respectively.
-    let mut reasons: Vec<String> = leaked
-        .iter()
-        .map(|g| format!("{:?}", tree.get(*g).expect("node").last_event))
-        .collect();
+    let mut reasons: Vec<String> =
+        leaked.iter().map(|g| format!("{:?}", tree.get(*g).expect("node").last_event)).collect();
     reasons.sort();
     assert!(reasons[0].contains("Sync") || reasons[1].contains("Sync"), "{reasons:?}");
     assert!(reasons[0].contains("Send") || reasons[1].contains("Send"), "{reasons:?}");
@@ -132,20 +130,19 @@ fn campaign_stops_at_bug_and_produces_replayable_ect() {
 fn static_and_dynamic_cu_models_agree_on_listing1() {
     // Scan this test file statically; run the program dynamically; every
     // dynamically observed CU must be present in the static model.
-    let src = std::path::PathBuf::from(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/tests/end_to_end.rs"
-    ));
+    let src = std::path::PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/end_to_end.rs"));
     let table = goat::model::scan_sources([&src]).expect("scan");
     let r = Runtime::run(Config::new(3), listing1);
     let ect = r.ect.expect("traced");
     let mut missing = Vec::new();
     for ev in ect.iter() {
         if let Some(cu) = &ev.cu {
-            if (ev.kind.is_op_completion() || matches!(ev.kind, goat::trace::EventKind::GoCreate { .. }))
-                && table.lookup(&cu.file, cu.line, cu.kind).is_none() {
-                    missing.push(cu.clone());
-                }
+            if (ev.kind.is_op_completion()
+                || matches!(ev.kind, goat::trace::EventKind::GoCreate { .. }))
+                && table.lookup(&cu.file, cu.line, cu.kind).is_none()
+            {
+                missing.push(*cu);
+            }
         }
     }
     assert!(missing.is_empty(), "dynamic CUs missing from static model: {missing:?}");

@@ -132,9 +132,8 @@ fn schedule_dependent_kernels_also_pass_on_some_schedule() {
     {
         let mut saw_pass = false;
         for seed in 0..40u64 {
-            let goat = Goat::new(
-                GoatConfig::default().with_iterations(1).with_seed0(seed * 7919 + 13),
-            );
+            let goat =
+                Goat::new(GoatConfig::default().with_iterations(1).with_seed0(seed * 7919 + 13));
             let result = goat.test(Arc::new(KernelProgram(kernel)));
             if !result.detected() {
                 saw_pass = true;
@@ -153,9 +152,7 @@ fn schedule_dependent_kernels_also_pass_on_some_schedule() {
 fn fixed_variants_are_never_flagged() {
     for program in goat::goker::fixed::all_fixed() {
         for d in [0u32, 2, 4] {
-            let goat = Goat::new(
-                GoatConfig::default().with_delay_bound(d).with_iterations(40),
-            );
+            let goat = Goat::new(GoatConfig::default().with_delay_bound(d).with_iterations(40));
             let result = goat.test(Arc::clone(&program));
             assert!(
                 !result.detected(),

@@ -60,8 +60,7 @@ fn every_exposed_bug_replays_deterministically() {
         };
         // Replay twice: identical verdict both times, no divergence.
         for round in 0..2 {
-            let (verdict, run) =
-                Goat::replay(Arc::new(KernelProgram(kernel)), schedule.clone());
+            let (verdict, run) = Goat::replay(Arc::new(KernelProgram(kernel)), schedule.clone());
             if run.replay_diverged {
                 failures.push(format!("{}: replay diverged (round {round})", kernel.name));
                 break;

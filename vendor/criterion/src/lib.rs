@@ -1,0 +1,289 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `Criterion` with `sample_size`/`warm_up_time`/`measurement_time`,
+//! `bench_function`, `benchmark_group`, `Bencher::iter`, `black_box`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Timing model: a warm-up phase estimates the per-iteration cost, the
+//! iteration count per sample is sized so the configured measurement
+//! time is split across `sample_size` samples, and the reported numbers
+//! are the min/median/max of the per-iteration sample means. Results
+//! print to stdout in a criterion-like format and are also appended as
+//! JSON lines to `target/goat-bench/<bench>.jsonl` (override the
+//! directory with `GOAT_BENCH_DIR`) so runs can be recorded.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Set the total measurement duration per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::new(), config: self.snapshot() };
+        f(&mut b);
+        report(&id, &b.samples);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let saved = self.snapshot();
+        BenchmarkGroup { criterion: self, name: name.into(), saved }
+    }
+
+    fn snapshot(&self) -> Config {
+        Config {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    /// Parent settings restored when the group ends, so per-group
+    /// builder tweaks stay scoped to the group (as in real criterion).
+    saved: Config,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count for benchmarks in this group (clamped ≥ 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up budget for benchmarks in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Finish the group (report-only in the stub; kept for API parity).
+    pub fn finish(self) {}
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        self.criterion.sample_size = self.saved.sample_size;
+        self.criterion.warm_up_time = self.saved.warm_up_time;
+        self.criterion.measurement_time = self.saved.measurement_time;
+    }
+}
+
+/// Runs the measured closure and collects timing samples.
+pub struct Bencher {
+    samples: Vec<f64>, // nanoseconds per iteration
+    config: Config,
+}
+
+impl Bencher {
+    /// Measure `routine`, preventing the optimizer from deleting its
+    /// result.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size each sample so all samples together fill the measurement
+        // budget.
+        let per_sample =
+            self.config.measurement_time.as_secs_f64() / self.config.sample_size as f64;
+        let iters = ((per_sample / per_iter.max(1e-9)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed * 1e9 / iters as f64);
+        }
+    }
+}
+
+fn report(id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples collected)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let median = sorted[sorted.len() / 2];
+    println!("{id:<40} time: [{} {} {}]", fmt_ns(min), fmt_ns(median), fmt_ns(max));
+    write_record(id, min, median, max, samples.len());
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Append a JSON-line record of this measurement under the bench output
+/// directory; failures to write are ignored (reporting is best-effort).
+fn write_record(id: &str, min: f64, median: f64, max: f64, samples: usize) {
+    let dir = std::env::var("GOAT_BENCH_DIR").unwrap_or_else(|_| "target/goat-bench".to_string());
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let bench = std::env::args()
+        .next()
+        .and_then(|p| {
+            std::path::Path::new(&p).file_stem().map(|s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "bench".to_string());
+    // Strip the `-<hash>` suffix cargo appends to bench executables.
+    let bench = match bench.rfind('-') {
+        Some(i) if bench[i + 1..].chars().all(|c| c.is_ascii_hexdigit()) => bench[..i].to_string(),
+        _ => bench,
+    };
+    let line = format!(
+        "{{\"id\":\"{}\",\"min_ns\":{min:.1},\"median_ns\":{median:.1},\"max_ns\":{max:.1},\"samples\":{samples}}}\n",
+        id.replace('\\', "\\\\").replace('"', "\\\""),
+    );
+    use std::io::Write;
+    if let Ok(mut f) =
+        std::fs::OpenOptions::new().create(true).append(true).open(format!("{dir}/{bench}.jsonl"))
+    {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
+/// Define a benchmark group runner (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_names_prefix() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(6));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| black_box(0)));
+        g.finish();
+    }
+}

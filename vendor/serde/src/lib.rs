@@ -1,0 +1,404 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! Instead of the real crate's streaming serializer/deserializer
+//! architecture, values convert to and from a [`Content`] tree, and
+//! `serde_json` renders that tree as JSON text. The derive macro
+//! (`serde_derive`) generates `to_content` / `from_content` impls with
+//! the same externally-tagged data model real serde uses, so the JSON
+//! shape matches what the real crates would produce:
+//!
+//! - named struct     -> map of fields in declaration order
+//! - newtype struct   -> the inner value, untagged
+//! - tuple struct     -> sequence
+//! - unit enum variant   -> `"Name"`
+//! - data enum variant   -> `{"Name": payload}`
+//! - `#[serde(skip)]` field -> omitted on write, defaulted on read
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A parsed/serialized value tree (stand-in for serde's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object; insertion order is preserved on output.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Borrow as a map's entry list, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render this value as a JSON object key (strings pass through,
+    /// integers stringify — mirrors `serde_json` map-key behaviour).
+    pub fn into_key(self) -> String {
+        match self {
+            Content::Str(s) => s,
+            Content::U64(n) => n.to_string(),
+            Content::I64(n) => n.to_string(),
+            Content::Bool(b) => b.to_string(),
+            other => panic!("unsupported map key type: {other:?}"),
+        }
+    }
+
+    /// Parse a JSON object key back into the value it came from.
+    pub fn from_key(key: &str) -> Content {
+        if let Ok(n) = key.parse::<u64>() {
+            return Content::U64(n);
+        }
+        if let Ok(n) = key.parse::<i64>() {
+            return Content::I64(n);
+        }
+        Content::Str(key.to_string())
+    }
+}
+
+/// Deserialization error (stand-in for per-format error types).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Construct an error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can render itself into a [`Content`] tree.
+pub trait Serialize {
+    /// Convert to the data-model tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can rebuild itself from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Convert from the data-model tree.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Look up `name` in a struct's field map and deserialize it; missing
+/// fields deserialize from `Null` so `Option` fields default to `None`.
+pub fn de_field<T: Deserialize>(fields: &[(String, Content)], name: &str) -> Result<T, DeError> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::from_content(v).map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+        }
+        None => T::from_content(&Content::Null)
+            .map_err(|_| DeError::custom(format!("missing field `{name}`"))),
+    }
+}
+
+// ---- primitive impls -------------------------------------------------
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::custom("expected bool")),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let n = match c {
+                    Content::U64(n) => *n,
+                    Content::I64(n) if *n >= 0 => *n as u64,
+                    _ => return Err(DeError::custom("expected unsigned integer")),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let n: i64 = match c {
+                    Content::I64(n) => *n,
+                    Content::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::custom("integer out of range"))?,
+                    _ => return Err(DeError::custom("expected integer")),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(x) => Ok(*x),
+            Content::U64(n) => Ok(*n as f64),
+            Content::I64(n) => Ok(*n as f64),
+            _ => Err(DeError::custom("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = String::from_content(c)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+// ---- generic container impls -----------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            Content::Null => Ok(Vec::new()),
+            _ => Err(DeError::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            Content::Null => Ok(BTreeSet::new()),
+            _ => Err(DeError::custom("expected array")),
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter().map(|(k, v)| (k.to_content().into_key(), v.to_content())).collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(&Content::from_key(k))?, V::from_content(v)?)))
+                .collect(),
+            Content::Null => Ok(BTreeMap::new()),
+            _ => Err(DeError::custom("expected object")),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let items = c.as_seq().ok_or_else(|| DeError::custom("expected tuple array"))?;
+                let expected = [$($n),+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom("tuple length mismatch"));
+                }
+                Ok(($($t::from_content(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip() {
+        let v: Option<u64> = Some(3);
+        assert_eq!(Option::<u64>::from_content(&v.to_content()).unwrap(), v);
+        let n: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_content(&n.to_content()).unwrap(), n);
+    }
+
+    #[test]
+    fn map_keys_stringify() {
+        let mut m = BTreeMap::new();
+        m.insert(7u64, "x".to_string());
+        let c = m.to_content();
+        assert_eq!(c, Content::Map(vec![("7".into(), Content::Str("x".into()))]));
+        assert_eq!(BTreeMap::<u64, String>::from_content(&c).unwrap(), m);
+    }
+}

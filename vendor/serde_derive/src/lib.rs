@@ -1,0 +1,441 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde` stub's `Serialize` /
+//! `Deserialize` traits (`to_content` / `from_content` over a
+//! `Content` tree) using the same externally-tagged data model as real
+//! serde, so JSON output matches what the real crates would produce.
+//!
+//! The parser walks raw `TokenTree`s instead of depending on
+//! `syn`/`quote` (unavailable offline). Supported input shapes — the
+//! only ones this workspace uses — are non-generic structs (named,
+//! tuple, unit) and enums (unit, newtype, tuple, struct variants),
+//! plus the `#[serde(skip)]` field attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+// ---- token-stream parsing --------------------------------------------
+
+/// Consume any leading `#[...]` attributes; report whether one of them
+/// was `#[serde(skip)]`.
+fn eat_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (toks.get(*i), toks.get(*i + 1))
+    {
+        if p.as_char() != '#' || g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        if attr_is_serde_skip(g.stream()) {
+            skip = true;
+        }
+        *i += 2;
+    }
+    skip
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Consume `pub`, `pub(crate)`, `pub(in ...)` etc.
+fn eat_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            toks.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stub: expected {what}, found {other:?}"),
+    }
+}
+
+/// Parse `{ field: Type, ... }` contents into named fields. Commas
+/// nested in `<...>` belong to the type and are skipped by tracking
+/// angle-bracket depth; commas inside parens/brackets live in their own
+/// `Group` and are invisible at this level.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let skip = eat_attrs(&toks, &mut i);
+        eat_vis(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i, "field name");
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after field, found {other:?}"),
+        }
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct/variant `(Type, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut pending = false; // a trailing comma does not start a new field
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => pending = true,
+            _ => {
+                if pending {
+                    count += 1;
+                    pending = false;
+                }
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        eat_attrs(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i, "variant name");
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    eat_attrs(&toks, &mut i);
+    eat_vis(&toks, &mut i);
+    let keyword = expect_ident(&toks, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&toks, &mut i, "type name");
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported (type `{name}`)");
+    }
+    let body = match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => panic!("serde_derive stub: unexpected struct body {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: unexpected enum body {other:?}"),
+        },
+        kw => panic!("serde_derive stub: cannot derive for `{kw}` items"),
+    };
+    Input { name, body }
+}
+
+// ---- code generation -------------------------------------------------
+
+/// `vec![("a".to_string(), ...to_content(&EXPR)), ...]` for named
+/// fields, honouring `#[serde(skip)]`. `access` maps a field name to
+/// the expression that borrows it (`&self.a` or a match binding).
+fn ser_named_entries(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::from("::std::vec![");
+    for f in fields.iter().filter(|f| !f.skip) {
+        let _ = write!(
+            out,
+            "(\"{n}\".to_string(), ::serde::Serialize::to_content({a})),",
+            n = f.name,
+            a = access(&f.name),
+        );
+    }
+    out.push(']');
+    out
+}
+
+fn de_named_inits(fields: &[Field], map_var: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.skip {
+            let _ = write!(out, "{}: ::core::default::Default::default(),", f.name);
+        } else {
+            let _ = write!(out, "{n}: ::serde::de_field({m}, \"{n}\")?,", n = f.name, m = map_var,);
+        }
+    }
+    out
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Fields::Named(fields)) => format!(
+            "::serde::Content::Map({})",
+            ser_named_entries(fields, |n| format!("&self.{n}"))
+        ),
+        Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let mut items = String::new();
+            for idx in 0..*n {
+                let _ = write!(items, "::serde::Serialize::to_content(&self.{idx}),");
+            }
+            format!("::serde::Content::Seq(::std::vec![{items}])")
+        }
+        Body::Struct(Fields::Unit) => "::serde::Content::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_content(__f0)".to_string()
+                        } else {
+                            let mut items = String::new();
+                            for b in &binds {
+                                let _ = write!(items, "::serde::Serialize::to_content({b}),");
+                            }
+                            format!("::serde::Content::Seq(::std::vec![{items}])")
+                        };
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}({pat}) => ::serde::Content::Map(::std::vec![(\"{vn}\".to_string(), {payload})]),",
+                            pat = binds.join(","),
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let pat: Vec<String> = fields
+                            .iter()
+                            .map(|f| if f.skip { format!("{}: _", f.name) } else { f.name.clone() })
+                            .collect();
+                        let entries = ser_named_entries(fields, |n| n.to_string());
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} {{ {pat} }} => ::serde::Content::Map(::std::vec![(\"{vn}\".to_string(), ::serde::Content::Map({entries}))]),",
+                            pat = pat.join(","),
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn to_content(&self) -> ::serde::Content {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Fields::Named(fields)) => format!(
+            "let __m = __c.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected map for struct {name}\"))?; \
+             ::core::result::Result::Ok({name} {{ {inits} }})",
+            inits = de_named_inits(fields, "__m"),
+        ),
+        Body::Struct(Fields::Tuple(1)) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))"
+        ),
+        Body::Struct(Fields::Tuple(n)) => {
+            let mut items = String::new();
+            for idx in 0..*n {
+                let _ = write!(items, "::serde::Deserialize::from_content(&__s[{idx}])?,");
+            }
+            format!(
+                "let __s = __c.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected sequence for {name}\"))?; \
+                 if __s.len() != {n} {{ return ::core::result::Result::Err(::serde::DeError::custom(\"wrong number of fields for {name}\")); }} \
+                 ::core::result::Result::Ok({name}({items}))"
+            )
+        }
+        Body::Struct(Fields::Unit) => {
+            format!("::core::result::Result::Ok({name})")
+        }
+        Body::Enum(variants) => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .collect();
+            let data: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .collect();
+            let mut arms = String::new();
+            if !unit.is_empty() {
+                let mut inner = String::new();
+                for v in &unit {
+                    let _ = write!(
+                        inner,
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    );
+                }
+                let _ = write!(
+                    arms,
+                    "::serde::Content::Str(__s) => match __s.as_str() {{ {inner} \
+                       _ => ::core::result::Result::Err(::serde::DeError::custom(\"unknown variant of {name}\")), }},"
+                );
+            }
+            if !data.is_empty() {
+                let mut inner = String::new();
+                for v in &data {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => unreachable!(),
+                        Fields::Tuple(1) => {
+                            let _ = write!(
+                                inner,
+                                "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_content(__v)?)),"
+                            );
+                        }
+                        Fields::Tuple(n) => {
+                            let mut items = String::new();
+                            for idx in 0..*n {
+                                let _ = write!(
+                                    items,
+                                    "::serde::Deserialize::from_content(&__s[{idx}])?,"
+                                );
+                            }
+                            let _ = write!(
+                                inner,
+                                "\"{vn}\" => {{ \
+                                   let __s = __v.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected sequence for {name}::{vn}\"))?; \
+                                   if __s.len() != {n} {{ return ::core::result::Result::Err(::serde::DeError::custom(\"wrong number of fields for {name}::{vn}\")); }} \
+                                   ::core::result::Result::Ok({name}::{vn}({items})) \
+                                 }},"
+                            );
+                        }
+                        Fields::Named(fields) => {
+                            let _ = write!(
+                                inner,
+                                "\"{vn}\" => {{ \
+                                   let __m = __v.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected map for {name}::{vn}\"))?; \
+                                   ::core::result::Result::Ok({name}::{vn} {{ {inits} }}) \
+                                 }},",
+                                inits = de_named_inits(fields, "__m"),
+                            );
+                        }
+                    }
+                }
+                let _ = write!(
+                    arms,
+                    "::serde::Content::Map(__entries) if __entries.len() == 1 => {{ \
+                       let (__k, __v) = &__entries[0]; \
+                       match __k.as_str() {{ {inner} \
+                         _ => ::core::result::Result::Err(::serde::DeError::custom(\"unknown variant of {name}\")), }} \
+                     }},"
+                );
+            }
+            format!(
+                "match __c {{ {arms} \
+                   _ => ::core::result::Result::Err(::serde::DeError::custom(\"expected enum {name}\")), }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn from_content(__c: &::serde::Content) -> ::core::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
+
+/// Derive the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("serde_derive stub: generated invalid Serialize impl")
+}
+
+/// Derive the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("serde_derive stub: generated invalid Deserialize impl")
+}

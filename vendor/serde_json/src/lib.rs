@@ -1,0 +1,409 @@
+//! Offline stand-in for the subset of `serde_json` this workspace
+//! uses: [`to_string`], [`to_string_pretty`], [`from_str`], [`Error`].
+//!
+//! Values flow through the vendored `serde` stub's `Content` tree.
+//! Output formatting mirrors real `serde_json`: compact form has no
+//! whitespace, pretty form indents with two spaces, floats always
+//! carry a decimal point, map keys stringify.
+
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Error { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e)
+    }
+}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), None, 0)?;
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), Some(2), 0)?;
+    Ok(out)
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let content = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new("trailing characters after JSON value"));
+    }
+    Ok(T::from_content(&content)?)
+}
+
+// ---- writer ----------------------------------------------------------
+
+fn write_content(
+    out: &mut String,
+    c: &Content,
+    indent: Option<usize>,
+    level: usize,
+) -> Result<(), Error> {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(n) => out.push_str(&n.to_string()),
+        Content::I64(n) => out.push_str(&n.to_string()),
+        Content::F64(x) => {
+            if !x.is_finite() {
+                return Err(Error::new("cannot serialize non-finite float"));
+            }
+            if x.fract() == 0.0 && x.abs() < 1e16 {
+                // serde_json always keeps a decimal point on floats.
+                out.push_str(&format!("{x:.1}"));
+            } else {
+                out.push_str(&format!("{x}"));
+            }
+        }
+        Content::Str(s) => write_json_string(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_content(out, item, indent, level + 1)?;
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_json_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(out, v, indent, level + 1)?;
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ----------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{}` at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Content::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Content::Bool(false)),
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => Err(Error::new(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(Error::new("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(Error::new("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.parse_hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: require a paired \uXXXX.
+                                if !self.eat_literal("\\u") {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error::new("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(c).ok_or_else(|| Error::new("invalid codepoint"))?
+                            } else {
+                                char::from_u32(cp).ok_or_else(|| Error::new("invalid codepoint"))?
+                            };
+                            s.push(ch);
+                            continue; // parse_hex4 already advanced pos
+                        }
+                        _ => return Err(Error::new("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::new("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if is_float {
+            text.parse::<f64>().map(Content::F64).map_err(|_| Error::new("invalid number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>().map(Content::I64).map_err(|_| Error::new("invalid number"))
+        } else {
+            text.parse::<u64>().map(Content::U64).map_err(|_| Error::new("invalid number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn compact_and_pretty_shapes() {
+        let mut m: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        m.insert("a".into(), vec![1, 2]);
+        m.insert("b".into(), vec![]);
+        assert_eq!(to_string(&m).unwrap(), r#"{"a":[1,2],"b":[]}"#);
+        assert_eq!(
+            to_string_pretty(&m).unwrap(),
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": []\n}"
+        );
+    }
+
+    #[test]
+    fn floats_keep_decimal_point() {
+        assert_eq!(to_string(&0.0f64).unwrap(), "0.0");
+        assert_eq!(to_string(&12.5f64).unwrap(), "12.5");
+        assert_eq!(to_string(&100.0f64).unwrap(), "100.0");
+    }
+
+    #[test]
+    fn roundtrip_with_escapes() {
+        let s = "line\n\"quoted\"\\ tab\t unicode \u{1F600} end".to_string();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v: Vec<(u64, Option<String>)> = from_str(r#"[[1, "x"], [2, null]]"#).unwrap();
+        assert_eq!(v, vec![(1, Some("x".into())), (2, None)]);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<u64>("7 x").is_err());
+    }
+}
