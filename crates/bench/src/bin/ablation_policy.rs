@@ -39,6 +39,7 @@ fn first_detection(
 type ConfigFactory = Box<dyn Fn(u64) -> Config>;
 
 fn main() {
+    let _stats = goat_bench::stats();
     let budget = freq();
     let s0 = seed0();
     let variants: Vec<(&str, ConfigFactory)> = vec![

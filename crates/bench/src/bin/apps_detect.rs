@@ -12,6 +12,7 @@ use goat_detectors::Symptom;
 use std::sync::Arc;
 
 fn main() {
+    let _stats = goat_bench::stats();
     let budget = freq().min(300);
     let s0 = seed0();
     let tools = tools();

@@ -12,6 +12,7 @@ use goat_core::GoatTool;
 use std::collections::BTreeMap;
 
 fn main() {
+    let _stats = goat_bench::stats();
     let budget = freq();
     let s0 = seed0();
     let tool = GoatTool::new(0); // native execution: D = 0

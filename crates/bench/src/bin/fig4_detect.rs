@@ -10,6 +10,7 @@ use goat_bench::{bar, detect, freq, seed0, tool_names, tools};
 use goat_detectors::Symptom;
 
 fn main() {
+    let _stats = goat_bench::stats();
     let budget = freq();
     let s0 = seed0();
     let tools = tools();

@@ -12,6 +12,7 @@ use goat_bench::{bucket_label, detect, freq, seed0, tool_names, tools, BUCKETS};
 use std::collections::BTreeMap;
 
 fn main() {
+    let _stats = goat_bench::stats();
     let budget = freq();
     let s0 = seed0();
     let tools = tools();

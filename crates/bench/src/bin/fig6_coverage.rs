@@ -17,6 +17,7 @@ use goat_core::{Goat, GoatConfig};
 use std::sync::Arc;
 
 fn main() {
+    let _stats = goat_bench::stats();
     let iterations: usize =
         std::env::var("GOAT_COV_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(60);
     let s0 = seed0();

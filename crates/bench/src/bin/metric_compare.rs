@@ -21,6 +21,7 @@ use goat_model::{CoverageSet, RequirementUniverse, SyncPairCoverage};
 use goat_runtime::{Config, Runtime};
 
 fn main() {
+    let _stats = goat_bench::stats();
     let iterations: usize =
         std::env::var("GOAT_COV_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(40);
     let s0 = seed0();

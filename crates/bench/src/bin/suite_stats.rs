@@ -10,6 +10,7 @@
 use goat_goker::{suite_stats, Project};
 
 fn main() {
+    let _stats = goat_bench::stats();
     let stats = suite_stats();
     println!("GoKer-style blocking-bug suite — 68 kernels\n");
 

@@ -12,6 +12,7 @@ use goat_model::{ReqTarget, RequirementUniverse};
 use goat_runtime::{Config, Runtime};
 
 fn main() {
+    let _stats = goat_bench::stats();
     let kernel = goat_goker::by_name("moby28462").expect("listing 1 kernel");
 
     // Find one clean and one buggy seed (deterministic search).

@@ -9,6 +9,7 @@
 use goat_bench::{detect, freq, seed0, tool_names, tools};
 
 fn main() {
+    let _stats = goat_bench::stats();
     let budget = freq();
     let s0 = seed0();
     let tools = tools();

@@ -29,6 +29,49 @@ pub fn freq() -> usize {
     std::env::var("GOAT_FREQ").ok().and_then(|v| v.parse().ok()).unwrap_or(200)
 }
 
+/// Handle the common `--stats` flag: when present on the command line,
+/// turn on telemetry collection for the whole process. Call first thing
+/// in a bench binary's `main`; pass the result to [`print_stats`].
+pub fn stats_flag() -> bool {
+    let on = std::env::args().any(|a| a == "--stats");
+    if on {
+        goat_metrics::set_enabled(true);
+    }
+    on
+}
+
+/// Print the telemetry summary table accumulated during the run, when
+/// `--stats` was requested (the flag value returned by [`stats_flag`]).
+pub fn print_stats(enabled: bool) {
+    if enabled {
+        println!("\n--stats — telemetry summary");
+        print!("{}", goat_metrics::global().render_table());
+    }
+}
+
+/// RAII form of [`stats_flag`]/[`print_stats`]: bind at the top of a
+/// bench binary's `main` and the summary table prints when it returns.
+///
+/// ```no_run
+/// let _stats = goat_bench::stats();
+/// // ... produce the table/figure ...
+/// // the `--stats` summary prints when the guard drops
+/// ```
+pub fn stats() -> StatsGuard {
+    StatsGuard { enabled: stats_flag() }
+}
+
+/// Guard returned by [`stats`]; prints the `--stats` table on drop.
+pub struct StatsGuard {
+    enabled: bool,
+}
+
+impl Drop for StatsGuard {
+    fn drop(&mut self) {
+        print_stats(self.enabled);
+    }
+}
+
 /// Base seed: `GOAT_SEED0`, default 1.
 pub fn seed0() -> u64 {
     std::env::var("GOAT_SEED0").ok().and_then(|v| v.parse().ok()).unwrap_or(1)

@@ -224,6 +224,12 @@ pub fn extract_coverage(ect: &Ect, universe: &mut RequirementUniverse) -> RunCov
             }
         }
     }
+    if goat_metrics::enabled() {
+        let reg = goat_metrics::global();
+        reg.histogram("coverage.trace_events").record(ect.len() as u64);
+        reg.counter_with("coverage.requirements", goat_metrics::context().as_deref())
+            .add(cov.covered.len() as u64);
+    }
     cov
 }
 

@@ -56,4 +56,6 @@ pub use report::{
     uncovered_report,
 };
 pub use rootcause::{diagnose, find_divergence, root_cause_report, Divergence};
-pub use runner::{CampaignResult, CampaignSummary, Goat, GoatConfig, GoatTool, IterationRecord};
+pub use runner::{
+    CampaignResult, CampaignSummary, CampaignTelemetry, Goat, GoatConfig, GoatTool, IterationRecord,
+};

@@ -7,11 +7,14 @@ use crate::coverage::extract_coverage;
 use crate::globaltree::GlobalGTree;
 use crate::program::Program;
 use goat_detectors::{Detector, ProgramFn, ToolVerdict};
+use goat_metrics::{Histogram, HistogramSnapshot};
 use goat_model::{scan_sources, CoverageSet, CuTable, RequirementUniverse};
-use goat_runtime::{go_internal, Chan, Config, Runtime};
+use goat_runtime::pool::PoolStats;
+use goat_runtime::{go_internal, Chan, Config, Runtime, SchedCounters};
 use goat_trace::{Ect, GTree};
 use std::collections::BTreeMap;
 use std::sync::{mpsc, Arc, Condvar, Mutex as StdMutex};
+use std::time::Instant;
 
 /// Campaign configuration (the tool's command-line knobs: `-d`, `-freq`,
 /// `-cov`, …).
@@ -34,6 +37,9 @@ pub struct GoatConfig {
     /// Host threads running iterations concurrently (runs are fully
     /// independent; results are identical to the sequential campaign
     /// because per-iteration seeds are fixed and merged in order).
+    /// Defaults to the `GOAT_PARALLELISM` environment variable (1 when
+    /// unset), so CI can sweep the streaming executor without code
+    /// changes.
     pub parallelism: usize,
     /// Run goroutines on the shared worker-thread pool (see
     /// [`goat_runtime::Config::pool`]); scheduling is identical either
@@ -51,7 +57,11 @@ impl Default for GoatConfig {
             coverage_threshold: None,
             native_preempt_prob: 0.02,
             max_steps: 200_000,
-            parallelism: 1,
+            parallelism: std::env::var("GOAT_PARALLELISM")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|n| *n >= 1)
+                .unwrap_or(1),
             pool: true,
         }
     }
@@ -122,6 +132,40 @@ pub struct IterationRecord {
     pub yields: u32,
 }
 
+/// Campaign-level telemetry, collected only when
+/// [`goat_metrics::enabled`] (i.e. `GOAT_TELEMETRY` is set or a bench
+/// binary ran with `--stats`). Embedded in the report JSON as an
+/// optional `telemetry` field — absent entirely when disabled, so
+/// telemetry-off reports stay byte-identical to historical output.
+///
+/// Wall-clock figures are host-dependent and therefore live *only*
+/// here, never in the deterministic campaign fields.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CampaignTelemetry {
+    /// Host threads the campaign ran with.
+    pub parallelism: usize,
+    /// Iterations actually executed (early exits shorten campaigns).
+    pub iterations: usize,
+    /// Total campaign wall time, nanoseconds.
+    pub wall_ns: u64,
+    /// Per-iteration wall-time distribution, nanoseconds.
+    pub iter_wall_ns: HistogramSnapshot,
+    /// Worker wait time per claim-queue checkout, nanoseconds
+    /// (empty for sequential campaigns).
+    pub claim_wait_ns: HistogramSnapshot,
+    /// Deepest the reorder buffer grew while merging out-of-order
+    /// results (0 for sequential campaigns).
+    pub reorder_depth_max: usize,
+    /// Scheduler counters summed over all iterations.
+    pub sched: SchedCounters,
+    /// Perturbation yields injected, summed over all iterations.
+    pub yields_injected: u64,
+    /// Newly-covered-requirements-per-iteration distribution.
+    pub coverage_delta: HistogramSnapshot,
+    /// Worker-pool counters at campaign end (process-wide).
+    pub pool: PoolStats,
+}
+
 /// The result of a testing campaign.
 #[derive(Debug)]
 pub struct CampaignResult {
@@ -143,10 +187,12 @@ pub struct CampaignResult {
     pub covered: CoverageSet,
     /// The global goroutine tree.
     pub global_tree: GlobalGTree,
+    /// Campaign telemetry; `Some` only when collection was enabled.
+    pub telemetry: Option<CampaignTelemetry>,
 }
 
 /// Machine-readable campaign summary (for external plotting/tooling).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CampaignSummary {
     /// 1-based iteration of the first detection, if any.
     pub first_detection: Option<usize>,
@@ -160,6 +206,45 @@ pub struct CampaignSummary {
     pub covered: usize,
     /// Total requirement instances discovered.
     pub universe: usize,
+    /// Campaign telemetry; `Some` only when collection was enabled.
+    pub telemetry: Option<CampaignTelemetry>,
+}
+
+// Hand-written (de)serialization: a derived `Option` field always
+// emits `"telemetry": null`, which would change the report JSON for
+// every telemetry-off run. The summary's schema is pinned byte-for-byte
+// by tests/report_snapshot.rs, so the `telemetry` key must be *absent*
+// when disabled, not null.
+impl serde::Serialize for CampaignSummary {
+    fn to_content(&self) -> serde::Content {
+        let mut fields = vec![
+            ("first_detection".to_string(), self.first_detection.to_content()),
+            ("bug".to_string(), self.bug.to_content()),
+            ("iterations".to_string(), self.iterations.to_content()),
+            ("final_coverage_percent".to_string(), self.final_coverage_percent.to_content()),
+            ("covered".to_string(), self.covered.to_content()),
+            ("universe".to_string(), self.universe.to_content()),
+        ];
+        if let Some(t) = &self.telemetry {
+            fields.push(("telemetry".to_string(), t.to_content()));
+        }
+        serde::Content::Map(fields)
+    }
+}
+
+impl serde::Deserialize for CampaignSummary {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::DeError> {
+        let fields = c.as_map().ok_or_else(|| serde::DeError::custom("expected object"))?;
+        Ok(CampaignSummary {
+            first_detection: serde::de_field(fields, "first_detection")?,
+            bug: serde::de_field(fields, "bug")?,
+            iterations: serde::de_field(fields, "iterations")?,
+            final_coverage_percent: serde::de_field(fields, "final_coverage_percent")?,
+            covered: serde::de_field(fields, "covered")?,
+            universe: serde::de_field(fields, "universe")?,
+            telemetry: serde::de_field(fields, "telemetry")?,
+        })
+    }
 }
 
 impl CampaignResult {
@@ -186,6 +271,7 @@ impl CampaignResult {
             final_coverage_percent: self.coverage_percent(),
             covered: self.covered.len(),
             universe: self.universe.len(),
+            telemetry: self.telemetry.clone(),
         }
     }
 
@@ -215,6 +301,35 @@ struct MergeState {
     bug: Option<GoatVerdict>,
     bug_ect: Option<Ect>,
     bug_schedule: Option<goat_runtime::ReplayLog>,
+    /// Scheduler counters summed over merged iterations (plain adds;
+    /// packaged into [`CampaignTelemetry`] when collection is enabled).
+    sched_totals: SchedCounters,
+    yields_total: u64,
+    /// Distribution of newly covered requirements per iteration.
+    coverage_delta: Histogram,
+}
+
+/// Campaign summary exported to the JSONL telemetry stream.
+#[derive(serde::Serialize)]
+struct CampaignEvent {
+    kind: &'static str,
+    program: String,
+    first_detection: Option<usize>,
+    final_coverage_percent: f64,
+    telemetry: CampaignTelemetry,
+}
+
+/// Per-iteration coverage-growth record exported to the JSONL
+/// telemetry stream.
+#[derive(serde::Serialize)]
+struct CoverageEvent {
+    kind: &'static str,
+    iter: usize,
+    seed: u64,
+    covered: usize,
+    delta: usize,
+    universe: usize,
+    percent: f64,
 }
 
 impl MergeState {
@@ -228,6 +343,9 @@ impl MergeState {
             bug: None,
             bug_ect: None,
             bug_schedule: None,
+            sched_totals: SchedCounters::default(),
+            yields_total: 0,
+            coverage_delta: Histogram::default(),
         }
     }
 
@@ -241,14 +359,30 @@ impl MergeState {
         result: goat_runtime::RunResult,
     ) -> bool {
         let verdict = analyze_run(&result);
+        let covered_before = self.covered.len();
         if let Some(ect) = &result.ect {
             let cov = extract_coverage(ect, &mut self.universe);
             self.covered.merge(&cov.covered);
             self.global_tree.merge_run(&GTree::from_ect(ect), &cov);
         }
+        self.sched_totals.accumulate(&result.sched);
+        self.yields_total += u64::from(result.yields_injected);
         // One percent computation per iteration, shared by the record
         // and the threshold check below.
         let percent = self.covered.percent(&self.universe);
+        if goat_metrics::enabled() {
+            let delta = self.covered.len() - covered_before;
+            self.coverage_delta.record(delta as u64);
+            goat_metrics::emit(&CoverageEvent {
+                kind: "coverage",
+                iter: iter_no + 1,
+                seed: cfg.seed0 + iter_no as u64,
+                covered: self.covered.len(),
+                delta,
+                universe: self.universe.len(),
+                percent,
+            });
+        }
         let is_bug = verdict.is_bug();
         self.records.push(IterationRecord {
             iter: iter_no + 1,
@@ -275,7 +409,7 @@ impl MergeState {
         false
     }
 
-    fn finish(self) -> CampaignResult {
+    fn finish(self, telemetry: Option<CampaignTelemetry>) -> CampaignResult {
         CampaignResult {
             records: self.records,
             first_detection: self.first_detection,
@@ -285,6 +419,7 @@ impl MergeState {
             universe: self.universe,
             covered: self.covered,
             global_tree: self.global_tree,
+            telemetry,
         }
     }
 }
@@ -416,20 +551,43 @@ impl Goat {
     /// sequential one — including `stop_on_bug` and coverage-threshold
     /// early exits.
     pub fn test(&self, program: Arc<dyn Program>) -> CampaignResult {
+        // One relaxed load decides whether any timing instrumentation
+        // runs; campaign results are identical either way (wall-clock
+        // figures live only in the optional telemetry block).
+        let telemetry_on = goat_metrics::enabled();
+        if telemetry_on {
+            goat_metrics::set_context(Some(program.name()));
+        }
+        let t_campaign = telemetry_on.then(Instant::now);
+        let iter_wall = Histogram::default();
+        let claim_wait = Histogram::default();
+        let mut reorder_depth_max = 0usize;
+
         let table = Self::static_model(program.as_ref());
         let mut m = MergeState::new(table);
 
         if self.cfg.parallelism <= 1 {
             for i in 0..self.cfg.iterations {
+                let t_iter = telemetry_on.then(Instant::now);
                 let result = Runtime::run(
                     self.cfg.runtime_config(i),
                     Self::instrumented(Arc::clone(&program)),
                 );
+                if let Some(t) = t_iter {
+                    iter_wall.record(t.elapsed().as_nanos() as u64);
+                }
                 if m.merge_one(&self.cfg, i, result) {
                     break;
                 }
             }
-            return m.finish();
+            return self.finish_campaign(
+                m,
+                program.as_ref(),
+                t_campaign,
+                &iter_wall,
+                &claim_wait,
+                0,
+            );
         }
 
         let queue = ClaimQueue::new(self.cfg.iterations, self.cfg.parallelism * 4);
@@ -440,15 +598,23 @@ impl Goat {
                 let queue = &queue;
                 let program = &program;
                 let goat = &self;
-                scope.spawn(move || {
-                    while let Some(i) = queue.claim() {
-                        let result = Runtime::run(
-                            goat.cfg.runtime_config(i),
-                            Self::instrumented(Arc::clone(program)),
-                        );
-                        if tx.send((i, result)).is_err() {
-                            return;
-                        }
+                let (iter_wall, claim_wait) = (&iter_wall, &claim_wait);
+                scope.spawn(move || loop {
+                    let t_claim = telemetry_on.then(Instant::now);
+                    let Some(i) = queue.claim() else { return };
+                    if let Some(t) = t_claim {
+                        claim_wait.record(t.elapsed().as_nanos() as u64);
+                    }
+                    let t_iter = telemetry_on.then(Instant::now);
+                    let result = Runtime::run(
+                        goat.cfg.runtime_config(i),
+                        Self::instrumented(Arc::clone(program)),
+                    );
+                    if let Some(t) = t_iter {
+                        iter_wall.record(t.elapsed().as_nanos() as u64);
+                    }
+                    if tx.send((i, result)).is_err() {
+                        return;
                     }
                 });
             }
@@ -461,6 +627,7 @@ impl Goat {
             let mut stopped = false;
             for (idx, result) in rx {
                 reorder.insert(idx, result);
+                reorder_depth_max = reorder_depth_max.max(reorder.len());
                 while let Some(next) = reorder.remove(&expect) {
                     if stopped {
                         // Speculative runs past the cutoff: discard.
@@ -474,7 +641,57 @@ impl Goat {
                 }
             }
         });
-        m.finish()
+        self.finish_campaign(
+            m,
+            program.as_ref(),
+            t_campaign,
+            &iter_wall,
+            &claim_wait,
+            reorder_depth_max,
+        )
+    }
+
+    /// Package the merge state into a [`CampaignResult`]; when telemetry
+    /// is enabled (`t_campaign` is `Some`), attach a
+    /// [`CampaignTelemetry`] block, bump the global registry and emit
+    /// the campaign summary to the JSONL stream.
+    fn finish_campaign(
+        &self,
+        m: MergeState,
+        program: &dyn Program,
+        t_campaign: Option<Instant>,
+        iter_wall: &Histogram,
+        claim_wait: &Histogram,
+        reorder_depth_max: usize,
+    ) -> CampaignResult {
+        let Some(t0) = t_campaign else { return m.finish(None) };
+        let telemetry = CampaignTelemetry {
+            parallelism: self.cfg.parallelism,
+            iterations: m.records.len(),
+            wall_ns: t0.elapsed().as_nanos() as u64,
+            iter_wall_ns: iter_wall.snapshot(),
+            claim_wait_ns: claim_wait.snapshot(),
+            reorder_depth_max,
+            sched: m.sched_totals,
+            yields_injected: m.yields_total,
+            coverage_delta: m.coverage_delta.snapshot(),
+            pool: goat_runtime::pool::stats(),
+        };
+        let reg = goat_metrics::global();
+        reg.counter("campaigns").inc();
+        reg.counter_with("campaign.iterations", Some(program.name()))
+            .add(telemetry.iterations as u64);
+        reg.gauge("campaign.reorder_depth_max").set(reorder_depth_max as i64);
+        let result = m.finish(Some(telemetry.clone()));
+        goat_metrics::emit(&CampaignEvent {
+            kind: "campaign",
+            program: program.name().to_string(),
+            first_detection: result.first_detection,
+            final_coverage_percent: result.coverage_percent(),
+            telemetry,
+        });
+        goat_metrics::flush();
+        result
     }
 
     /// Re-execute `program` forcing a previously recorded schedule and

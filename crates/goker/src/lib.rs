@@ -135,6 +135,21 @@ pub enum Rarity {
     VeryRare,
 }
 
+impl Rarity {
+    /// The canonical per-kernel iteration budget for suite-style testing:
+    /// enough yield-injection (D > 0) schedules to expose every kernel of
+    /// the class with margin, without burning time on the easy ones. This
+    /// is the single table both the exposure and replay suites draw from.
+    pub fn iteration_budget(self) -> usize {
+        match self {
+            Rarity::Common => 10,
+            Rarity::Uncommon => 120,
+            Rarity::Rare => 400,
+            Rarity::VeryRare => 800,
+        }
+    }
+}
+
 /// One GoKer-style blocking bug kernel.
 pub struct BugKernel {
     /// Kernel name, `<project><issue>` (e.g. `moby28462`).

@@ -1,0 +1,350 @@
+//! The metrics registry: named counters, gauges and log2-bucket
+//! histograms, optionally labeled (by kernel/variant).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot paths pay nothing when telemetry is off** — every recording
+//!    site either guards on [`crate::enabled`] (one relaxed atomic
+//!    load) or accumulates into plain fields it already owns and only
+//!    reports into the registry at run teardown.
+//! 2. **Recording is lock-cheap when on** — metric handles are
+//!    `Arc`-shared atomics; the registry lock is taken only to *look
+//!    up* a handle (once per run / per call site), never per event.
+//! 3. **Readable output** — [`Registry::render_table`] prints the
+//!    human `--stats` table; [`Histogram::snapshot`] feeds the
+//!    serializable campaign telemetry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that goes up and down (e.g. idle workers, reorder
+/// buffer depth). Tracks the high-water mark alongside the level.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    level: AtomicI64,
+    max: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the gauge to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.level.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the gauge by a delta.
+    pub fn add(&self, d: i64) {
+        let v = self.level.fetch_add(d, Ordering::Relaxed) + d;
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.level.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since creation.
+    pub fn high_water(&self) -> i64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: values up to 2^63 land in bucket 63.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A log2-bucket histogram: `record(v)` lands in bucket
+/// `bit_width(v)` (0 → bucket 0, 1 → 1, 2..3 → 2, 4..7 → 3, …), so
+/// bucket `i > 0` spans `[2^(i-1), 2^i)`. Cheap enough for hot paths:
+/// one relaxed `fetch_add` per record plus two for count/sum.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        let b = (u64::BITS - v.leading_zeros()) as usize; // bit_width(v)
+        self.buckets[b.min(HISTOGRAM_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Point-in-time summary of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u32, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u32, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Serializable summary of a [`Histogram`]: total count/sum/max plus the
+/// non-empty log2 buckets as `(bucket_index, count)` pairs, where bucket
+/// `i > 0` covers values in `[2^(i-1), 2^i)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Non-empty `(log2 bucket, count)` pairs, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A metric handle held by the registry.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Registry key: metric name plus an optional label (kernel/variant).
+type Key = (&'static str, Option<String>);
+
+/// The process-wide metrics registry.
+///
+/// Lookups lock a `BTreeMap`; recording through the returned `Arc`
+/// handles is lock-free. Call sites that record per-event cache the
+/// handle (once per run), so the lock is cold.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<Key, Metric>>,
+}
+
+impl Registry {
+    /// Counter handle for `name` with no label.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        self.counter_with(name, None)
+    }
+
+    /// Counter handle for `name` labeled `label` (e.g. a kernel name).
+    pub fn counter_with(&self, name: &'static str, label: Option<&str>) -> Arc<Counter> {
+        let mut m = self.metrics.lock().expect("metrics registry");
+        match m
+            .entry((name, label.map(str::to_string)))
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Gauge handle for `name`.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().expect("metrics registry");
+        match m.entry((name, None)).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default()))) {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Histogram handle for `name`.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().expect("metrics registry");
+        match m
+            .entry((name, None))
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Value of a counter, summed across all labels (0 if absent).
+    pub fn counter_total(&self, name: &'static str) -> u64 {
+        let m = self.metrics.lock().expect("metrics registry");
+        m.iter()
+            .filter(|((n, _), _)| *n == name)
+            .map(|(_, v)| match v {
+                Metric::Counter(c) => c.get(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Snapshot of a histogram (empty if absent).
+    pub fn histogram_snapshot(&self, name: &'static str) -> HistogramSnapshot {
+        let m = self.metrics.lock().expect("metrics registry");
+        match m.get(&(name, None)) {
+            Some(Metric::Histogram(h)) => h.snapshot(),
+            _ => HistogramSnapshot::default(),
+        }
+    }
+
+    /// Render the human `--stats` summary table: one row per metric
+    /// (and label), sorted by name.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let m = self.metrics.lock().expect("metrics registry");
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<36} {:<16} {:>14}  detail", "metric", "label", "value");
+        let _ = writeln!(out, "{}", "-".repeat(86));
+        for ((name, label), metric) in m.iter() {
+            let label = label.as_deref().unwrap_or("-");
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{:<36} {:<16} {:>14}", name, label, c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<36} {:<16} {:>14}  high-water {}",
+                        name,
+                        label,
+                        g.get(),
+                        g.high_water()
+                    );
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    let _ = writeln!(
+                        out,
+                        "{:<36} {:<16} {:>14}  mean {:.0}, max {}",
+                        name,
+                        label,
+                        s.count,
+                        s.mean(),
+                        s.max
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let r = Registry::default();
+        let c = r.counter("a");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("a").get(), 5);
+        assert_eq!(r.counter_total("a"), 5);
+    }
+
+    #[test]
+    fn labeled_counters_are_distinct_but_total() {
+        let r = Registry::default();
+        r.counter_with("runs", Some("k1")).add(2);
+        r.counter_with("runs", Some("k2")).add(3);
+        assert_eq!(r.counter_with("runs", Some("k1")).get(), 2);
+        assert_eq!(r.counter_total("runs"), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let r = Registry::default();
+        let g = r.gauge("depth");
+        g.set(3);
+        g.add(4);
+        g.add(-6);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.high_water(), 7);
+    }
+
+    #[test]
+    fn histogram_log2_buckets() {
+        let h = Histogram::default();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        h.record(1024); // bucket 11
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1030);
+        assert_eq!(s.max, 1024);
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 2), (11, 1)]);
+        assert!((s.mean() - 206.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_snapshot_serializes() {
+        let h = Histogram::default();
+        h.record(7);
+        let json = serde_json::to_string(&h.snapshot()).expect("serialize");
+        assert!(json.contains("\"buckets\":[[3,1]]"), "{json}");
+        let back: HistogramSnapshot = serde_json::from_str(&json).expect("roundtrip");
+        assert_eq!(back, h.snapshot());
+    }
+
+    #[test]
+    fn table_renders_all_kinds() {
+        let r = Registry::default();
+        r.counter("c").add(9);
+        r.gauge("g").set(2);
+        r.histogram("h").record(100);
+        let t = r.render_table();
+        assert!(t.contains("c"), "{t}");
+        assert!(t.contains("high-water"), "{t}");
+        assert!(t.contains("mean"), "{t}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Opt-in JSONL event export.
+//!
+//! When `GOAT_TELEMETRY=path` is set (or a sink is installed
+//! programmatically with [`init_path`]), every [`emit`] call appends
+//! one JSON object per line to the file. The writer is buffered; it is
+//! flushed explicitly at run/campaign teardown and from a chained
+//! panic hook, so a crashing campaign still leaves a parseable stream
+//! on disk.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+
+/// The installed sink, if any. `None` inside the `OnceLock` means
+/// "initialization ran and telemetry export is off".
+static SINK: OnceLock<Option<Mutex<BufWriter<File>>>> = OnceLock::new();
+
+/// Environment variable naming the JSONL output path.
+pub const TELEMETRY_ENV: &str = "GOAT_TELEMETRY";
+
+fn open(path: &Path) -> Option<Mutex<BufWriter<File>>> {
+    match File::create(path) {
+        Ok(f) => Some(Mutex::new(BufWriter::new(f))),
+        Err(e) => {
+            eprintln!("goat-metrics: cannot open {} for telemetry: {e}", path.display());
+            None
+        }
+    }
+}
+
+fn install_panic_flush() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        flush();
+        prev(info);
+    }));
+}
+
+/// Lazily resolve the sink from the environment on first use.
+fn sink() -> &'static Option<Mutex<BufWriter<File>>> {
+    SINK.get_or_init(|| {
+        let path = std::env::var_os(TELEMETRY_ENV)?;
+        if path.is_empty() {
+            return None;
+        }
+        let s = open(Path::new(&path));
+        if s.is_some() {
+            crate::set_enabled(true);
+            install_panic_flush();
+        }
+        s
+    })
+}
+
+/// Install a JSONL sink at `path` explicitly (e.g. from a `--telemetry`
+/// flag), overriding the environment. Returns false if a sink decision
+/// was already made for this process, or the file cannot be created.
+pub fn init_path(path: &Path) -> bool {
+    let mut installed = false;
+    let r = SINK.get_or_init(|| {
+        let s = open(path);
+        installed = s.is_some();
+        s
+    });
+    if installed {
+        crate::set_enabled(true);
+        install_panic_flush();
+    }
+    installed && r.is_some()
+}
+
+/// Whether a JSONL sink is active for this process.
+pub fn active() -> bool {
+    sink().is_some()
+}
+
+/// Serialize `event` as one JSON line into the sink. No-op when no
+/// sink is installed; serialization cost is only paid when active.
+pub fn emit<T: serde::Serialize>(event: &T) {
+    let Some(s) = sink() else { return };
+    let Ok(line) = serde_json::to_string(event) else { return };
+    let mut w = s.lock().expect("telemetry sink");
+    let _ = w.write_all(line.as_bytes());
+    let _ = w.write_all(b"\n");
+}
+
+/// Flush buffered telemetry to disk. Called at run/campaign teardown
+/// and from the panic hook; safe to call any number of times.
+pub fn flush() {
+    if let Some(Some(s)) = SINK.get() {
+        if let Ok(mut w) = s.lock() {
+            let _ = w.flush();
+        }
+    }
+}

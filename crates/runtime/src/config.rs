@@ -218,6 +218,49 @@ impl fmt::Display for RunOutcome {
     }
 }
 
+/// Deterministic per-run scheduler counters.
+///
+/// Maintained as plain fields inside the scheduler (which is already
+/// behind the run lock), so they cost one integer increment per event
+/// regardless of whether telemetry export is enabled — the run result
+/// always carries them, and campaign-level telemetry aggregates them
+/// without touching the global registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedCounters {
+    /// Run-token handoffs (run-queue pops).
+    pub picks: u64,
+    /// Handoffs where the scheduler deviated from FIFO (uniform-random
+    /// policy or native preemption noise ε).
+    pub random_picks: u64,
+    /// Goroutine block transitions (channel, lock, timer, …).
+    pub blocks: u64,
+    /// Goroutine unblock transitions (wakes).
+    pub unblocks: u64,
+    /// Preemption yields taken (injected perturbation + native ε noise).
+    pub yields_preempt: u64,
+    /// Program-requested `gosched()` yields.
+    pub yields_gosched: u64,
+    /// Timers fired.
+    pub timer_fires: u64,
+    /// Select-case choices made.
+    pub select_choices: u64,
+}
+
+impl SchedCounters {
+    /// Fold another run's counters into this accumulator (used by
+    /// campaign-level telemetry totals).
+    pub fn accumulate(&mut self, other: &SchedCounters) {
+        self.picks += other.picks;
+        self.random_picks += other.random_picks;
+        self.blocks += other.blocks;
+        self.unblocks += other.unblocks;
+        self.yields_preempt += other.yields_preempt;
+        self.yields_gosched += other.yields_gosched;
+        self.timer_fires += other.timer_fires;
+        self.select_choices += other.select_choices;
+    }
+}
+
 /// Information about a goroutine still alive when the run ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AliveGoroutine {
@@ -257,6 +300,8 @@ pub struct RunResult {
     /// True when a replay run diverged from its log and fell back to
     /// native scheduling.
     pub replay_diverged: bool,
+    /// Deterministic scheduler counters for this run.
+    pub sched: SchedCounters,
 }
 
 impl RunResult {

@@ -56,7 +56,9 @@ mod sync;
 pub mod time;
 
 pub use chan::{Chan, RangeIter};
-pub use config::{AliveGoroutine, Config, Decision, ReplayLog, RunOutcome, RunResult, SchedPolicy};
+pub use config::{
+    AliveGoroutine, Config, Decision, ReplayLog, RunOutcome, RunResult, SchedCounters, SchedPolicy,
+};
 pub use monitor::{Monitor, NullMonitor};
 pub use rt::{gid, go, go_internal, go_named, gosched, Runtime};
 pub use select::Select;

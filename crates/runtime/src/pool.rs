@@ -46,6 +46,8 @@ pub(crate) struct WorkerPool {
     max_idle: usize,
     threads_spawned: AtomicU64,
     jobs_reused: AtomicU64,
+    workers_retired: AtomicU64,
+    abandoned: AtomicU64,
 }
 
 static POOL: OnceLock<WorkerPool> = OnceLock::new();
@@ -62,14 +64,25 @@ pub(crate) fn global() -> &'static WorkerPool {
             max_idle,
             threads_spawned: AtomicU64::new(0),
             jobs_reused: AtomicU64::new(0),
+            workers_retired: AtomicU64::new(0),
+            abandoned: AtomicU64::new(0),
         }
     })
+}
+
+/// Account `n` goroutine jobs abandoned at a runtime teardown deadline:
+/// their host worker threads will never return to the idle stack.
+pub(crate) fn note_abandoned(n: u64) {
+    global().abandoned.fetch_add(n, Ordering::Relaxed);
 }
 
 impl WorkerPool {
     /// Run `job` on a pooled worker: check out an idle worker if one is
     /// parked, otherwise spawn a new one. Never blocks on pool state.
     pub(crate) fn execute(&'static self, job: Job) {
+        // Checkout latency is only measured when telemetry is on; the
+        // disabled cost is one relaxed atomic load.
+        let t0 = goat_metrics::enabled().then(std::time::Instant::now);
         let mut job = job;
         loop {
             let worker = self.idle.lock().expect("pool lock").pop();
@@ -77,7 +90,7 @@ impl WorkerPool {
                 Some(w) => match w.job_tx.send(job) {
                     Ok(()) => {
                         self.jobs_reused.fetch_add(1, Ordering::Relaxed);
-                        return;
+                        break;
                     }
                     // The worker died between parking and checkout
                     // (its channel is closed); take the job back and
@@ -86,9 +99,12 @@ impl WorkerPool {
                 },
                 None => {
                     self.spawn_worker(job);
-                    return;
+                    break;
                 }
             }
+        }
+        if let Some(t0) = t0 {
+            checkout_histogram().record(t0.elapsed().as_nanos() as u64);
         }
     }
 
@@ -113,6 +129,7 @@ impl WorkerPool {
             {
                 let mut idle = self.idle.lock().expect("pool lock");
                 if idle.len() >= self.max_idle {
+                    self.workers_retired.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
                 idle.push(IdleWorker { job_tx: job_tx.clone() });
@@ -128,8 +145,15 @@ impl WorkerPool {
     }
 }
 
+/// The pool-checkout latency histogram in the global metrics registry
+/// (handle cached so the registry lock is taken once per process).
+fn checkout_histogram() -> &'static goat_metrics::Histogram {
+    static H: OnceLock<std::sync::Arc<goat_metrics::Histogram>> = OnceLock::new();
+    H.get_or_init(|| goat_metrics::histogram("pool.checkout_ns"))
+}
+
 /// Point-in-time pool counters, for benchmarks and tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct PoolStats {
     /// OS threads created by the pool since process start.
     pub threads_spawned: u64,
@@ -137,6 +161,11 @@ pub struct PoolStats {
     pub jobs_reused: u64,
     /// Workers currently parked awaiting checkout.
     pub idle_now: usize,
+    /// Workers that exited because the idle stack was full.
+    pub workers_retired: u64,
+    /// Goroutine jobs abandoned at a runtime teardown deadline (their
+    /// worker threads were never returned to the pool).
+    pub abandoned: u64,
 }
 
 /// Snapshot the global pool's counters.
@@ -146,6 +175,8 @@ pub fn stats() -> PoolStats {
         threads_spawned: pool.threads_spawned.load(Ordering::Relaxed),
         jobs_reused: pool.jobs_reused.load(Ordering::Relaxed),
         idle_now: pool.idle.lock().expect("pool lock").len(),
+        workers_retired: pool.workers_retired.load(Ordering::Relaxed),
+        abandoned: pool.abandoned.load(Ordering::Relaxed),
     }
 }
 

@@ -21,7 +21,7 @@
 //! interleavings rare.
 
 use crate::config::{
-    AliveGoroutine, Config, Decision, ReplayLog, RunOutcome, RunResult, SchedPolicy,
+    AliveGoroutine, Config, Decision, ReplayLog, RunOutcome, RunResult, SchedCounters, SchedPolicy,
 };
 use crate::monitor::Monitor;
 use goat_model::{Cu, CuKind, Istr};
@@ -235,6 +235,10 @@ pub(crate) struct Sched {
     replay_cursor: usize,
     /// The replayed program diverged from its log.
     replay_diverged: bool,
+    /// Per-run scheduler counters (plain increments under the run lock;
+    /// exported through [`RunResult::sched`] and, when telemetry is
+    /// enabled, the global registry at teardown).
+    counters: SchedCounters,
 }
 
 impl Sched {
@@ -261,6 +265,7 @@ impl Sched {
             decision_log: Vec::new(),
             replay_cursor: 0,
             replay_diverged: false,
+            counters: SchedCounters::default(),
         }
     }
 
@@ -314,6 +319,7 @@ impl Sched {
             None
         };
         let i = replayed.unwrap_or_else(|| self.rng.gen_range(0..n));
+        self.counters.select_choices += 1;
         self.decision_log.push(Decision::SelectChoice(i));
         i
     }
@@ -387,6 +393,7 @@ impl Sched {
         debug_assert!(matches!(slot.state, GState::Blocked(_)), "waking non-blocked goroutine {g}");
         slot.state = GState::Runnable;
         self.runq.push_back(g);
+        self.counters.unblocks += 1;
         self.emit(by, EventKind::GoUnblock { g }, cu);
     }
 
@@ -424,6 +431,7 @@ impl Sched {
                 _ => return,
             }
             let Reverse(t) = self.timers.pop().expect("peeked");
+            self.counters.timer_fires += 1;
             self.emit(Gid::RUNTIME, EventKind::TimerFire { timer: t.id }, None);
             match t.action {
                 TimerAction::Wake(g) => {
@@ -491,23 +499,30 @@ impl Sched {
         } else {
             None
         };
-        let idx = replayed.unwrap_or_else(|| match self.cfg.policy {
-            SchedPolicy::UniformRandom if self.runq.len() > 1 => {
-                self.rng.gen_range(0..self.runq.len())
-            }
-            _ => {
-                if self.runq.len() > 1
-                    && self.cfg.native_preempt_prob > 0.0
-                    && self.rng.gen_bool(self.cfg.native_preempt_prob)
-                {
-                    self.rng.gen_range(0..self.runq.len())
-                } else {
-                    0
+        let (idx, random) = match replayed {
+            Some(i) => (i, false),
+            None => match self.cfg.policy {
+                SchedPolicy::UniformRandom if self.runq.len() > 1 => {
+                    (self.rng.gen_range(0..self.runq.len()), true)
                 }
-            }
-        });
+                _ => {
+                    if self.runq.len() > 1
+                        && self.cfg.native_preempt_prob > 0.0
+                        && self.rng.gen_bool(self.cfg.native_preempt_prob)
+                    {
+                        (self.rng.gen_range(0..self.runq.len()), true)
+                    } else {
+                        (0, false)
+                    }
+                }
+            },
+        };
         let g = self.runq.remove(idx);
         if let Some(g) = g {
+            self.counters.picks += 1;
+            if random {
+                self.counters.random_picks += 1;
+            }
             self.decision_log.push(Decision::Pick(g));
         }
         g
@@ -669,6 +684,7 @@ pub(crate) fn block_current(
     let parker = {
         let mut s = ctx.rt.state.lock();
         s.slot_mut(ctx.gid).state = GState::Blocked(reason);
+        s.counters.blocks += 1;
         let (holder_g, holder_cu) = match holder {
             Some((g, c)) => (Some(g), c),
             None => (None, None),
@@ -696,6 +712,11 @@ pub(crate) fn yield_current(ctx: &Ctx, preempt: bool, cu: Option<Cu>) {
         let mut s = ctx.rt.state.lock();
         s.slot_mut(ctx.gid).state = GState::Runnable;
         s.runq.push_back(ctx.gid);
+        if preempt {
+            s.counters.yields_preempt += 1;
+        } else {
+            s.counters.yields_gosched += 1;
+        }
         let kind =
             if preempt { EventKind::GoPreempt } else { EventKind::GoSched { trace_stop: false } };
         s.emit(ctx.gid, kind, cu);
@@ -976,6 +997,12 @@ impl Runtime {
             while *n > 0 {
                 let now = Instant::now();
                 if now >= deadline {
+                    // Deadline expired with goroutine jobs still running:
+                    // they are abandoned (their host threads are never
+                    // returned to the pool).
+                    if pooled {
+                        crate::pool::note_abandoned(*n);
+                    }
                     break;
                 }
                 rt.threads_cv.wait_for(&mut n, deadline - now);
@@ -995,7 +1022,7 @@ impl Runtime {
             .filter(|a| !a.internal)
             .collect();
         let schedule = ReplayLog { decisions: std::mem::take(&mut s.decision_log) };
-        RunResult {
+        let result = RunResult {
             outcome,
             ect,
             steps: s.steps,
@@ -1005,8 +1032,89 @@ impl Runtime {
             alive_at_end,
             schedule,
             replay_diverged: s.replay_diverged,
+            sched: s.counters,
+        };
+        let seed = s.cfg.seed;
+        drop(s);
+        if goat_metrics::enabled() {
+            report_run_telemetry(seed, &result);
         }
+        result
     }
+}
+
+/// Per-run scheduler summary exported to the JSONL telemetry stream.
+#[derive(serde::Serialize)]
+struct SchedulerEvent {
+    kind: &'static str,
+    seed: u64,
+    outcome: String,
+    steps: u64,
+    vclock_ns: u64,
+    goroutines: u64,
+    yields_injected: u32,
+    picks: u64,
+    random_picks: u64,
+    blocks: u64,
+    unblocks: u64,
+    yields_preempt: u64,
+    yields_gosched: u64,
+    timer_fires: u64,
+    select_choices: u64,
+}
+
+/// Per-run worker-pool snapshot exported to the JSONL telemetry stream.
+#[derive(serde::Serialize)]
+struct PoolEvent {
+    kind: &'static str,
+    threads_spawned: u64,
+    jobs_reused: u64,
+    idle_now: usize,
+    workers_retired: u64,
+    abandoned: u64,
+}
+
+/// Report one finished run into the global registry and the JSONL sink.
+/// Off the hot path: called once per run teardown, and only when
+/// [`goat_metrics::enabled`].
+#[cold]
+fn report_run_telemetry(seed: u64, r: &RunResult) {
+    let label = goat_metrics::context();
+    let reg = goat_metrics::global();
+    reg.counter_with("runtime.runs", label.as_deref()).inc();
+    reg.counter_with("sched.picks", label.as_deref()).add(r.sched.picks);
+    reg.counter_with("sched.random_picks", label.as_deref()).add(r.sched.random_picks);
+    reg.counter_with("sched.blocks", label.as_deref()).add(r.sched.blocks);
+    reg.counter_with("sched.unblocks", label.as_deref()).add(r.sched.unblocks);
+    reg.counter_with("sched.yields_injected", label.as_deref()).add(r.yields_injected as u64);
+    reg.histogram("run.steps").record(r.steps);
+    goat_metrics::emit(&SchedulerEvent {
+        kind: "scheduler",
+        seed,
+        outcome: r.outcome.to_string(),
+        steps: r.steps,
+        vclock_ns: r.vclock.0,
+        goroutines: r.goroutines,
+        yields_injected: r.yields_injected,
+        picks: r.sched.picks,
+        random_picks: r.sched.random_picks,
+        blocks: r.sched.blocks,
+        unblocks: r.sched.unblocks,
+        yields_preempt: r.sched.yields_preempt,
+        yields_gosched: r.sched.yields_gosched,
+        timer_fires: r.sched.timer_fires,
+        select_choices: r.sched.select_choices,
+    });
+    let p = crate::pool::stats();
+    goat_metrics::emit(&PoolEvent {
+        kind: "pool",
+        threads_spawned: p.threads_spawned,
+        jobs_reused: p.jobs_reused,
+        idle_now: p.idle_now,
+        workers_retired: p.workers_retired,
+        abandoned: p.abandoned,
+    });
+    goat_metrics::flush();
 }
 
 #[cfg(test)]

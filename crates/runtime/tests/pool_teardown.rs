@@ -1,0 +1,87 @@
+//! Worker-pool regression tests that need their own process: the pool
+//! is a process-global created on first use, and these tests pin its
+//! environment knobs (`GOAT_POOL_MAX_IDLE`, `GOAT_TEARDOWN_TIMEOUT_MS`)
+//! before that first use. Everything lives in ONE `#[test]` so the env
+//! is set exactly once, ahead of any pool activity.
+
+use goat_runtime::{go, go_named, pool, Chan, Config, Runtime, WaitGroup};
+use std::panic::{self, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+const MAX_IDLE: usize = 4;
+const TEARDOWN_MS: u64 = 300;
+
+fn settle(cond: impl Fn() -> bool) {
+    for _ in 0..200 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("pool did not settle");
+}
+
+#[test]
+fn idle_bound_holds_and_wedged_workers_are_abandoned() {
+    // Must precede the first pool checkout anywhere in this process.
+    std::env::set_var("GOAT_POOL_MAX_IDLE", MAX_IDLE.to_string());
+    std::env::set_var("GOAT_TEARDOWN_TIMEOUT_MS", TEARDOWN_MS.to_string());
+
+    // -- no idle-thread leak past GOAT_POOL_MAX_IDLE ------------------
+    // 12 goroutines (3× the idle cap) all complete; after the runtime
+    // is torn down, at most MAX_IDLE workers may stay parked and the
+    // surplus must have retired.
+    let r = Runtime::run(Config::new(1), || {
+        let wg = WaitGroup::new();
+        for _ in 0..(3 * MAX_IDLE) {
+            wg.add(1);
+            let wg = wg.clone();
+            go(move || wg.done());
+        }
+        wg.wait();
+    });
+    assert!(r.clean(), "{:?}", r.outcome);
+
+    // Workers re-park just after the run's join loop observes them
+    // done, so poll briefly for the stack to settle.
+    settle(|| pool::stats().idle_now <= MAX_IDLE);
+    let s = pool::stats();
+    assert!(
+        s.idle_now <= MAX_IDLE,
+        "idle stack leaked past GOAT_POOL_MAX_IDLE: {} > {MAX_IDLE}",
+        s.idle_now
+    );
+    assert!(s.threads_spawned > MAX_IDLE as u64, "scenario must oversubscribe the cap");
+    assert!(s.workers_retired >= 1, "surplus workers must retire, stats: {s:?}");
+
+    // -- wedged worker abandoned at the teardown deadline -------------
+    // The goroutine swallows the shutdown unwind and then stalls
+    // outside all runtime primitives — the historical hang. Teardown
+    // must give up on it after GOAT_TEARDOWN_TIMEOUT_MS and its worker
+    // must be written off, not returned to the idle stack.
+    let abandoned_before = pool::stats().abandoned;
+    let t0 = Instant::now();
+    let r = Runtime::run(Config::new(2), || {
+        let ch: Chan<u8> = Chan::new(0);
+        go_named("wedger", move || {
+            let _ = panic::catch_unwind(AssertUnwindSafe(|| {
+                ch.recv(); // parks forever; unwound at shutdown
+            }));
+            // Wedged: off the scheduler, invisible to the parker.
+            std::thread::sleep(Duration::from_secs(10));
+        });
+        goat_runtime::gosched();
+    });
+    let elapsed = t0.elapsed();
+    assert!(r.outcome.is_completed(), "{:?}", r.outcome);
+    assert_eq!(r.alive_at_end.len(), 1, "the wedger must be reported leaked");
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "teardown must abandon the wedged worker within the deadline, took {elapsed:?}"
+    );
+    let s = pool::stats();
+    assert!(
+        s.abandoned > abandoned_before,
+        "abandoned counter must record the written-off worker, stats: {s:?}"
+    );
+}

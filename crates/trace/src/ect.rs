@@ -176,6 +176,12 @@ impl FromIterator<Event> for Ect {
         for ev in iter {
             ect.push(ev);
         }
+        // Collecting a full trace is the once-per-run assembly point, so
+        // it doubles as the trace-size telemetry probe (one relaxed
+        // atomic load when telemetry is off).
+        if goat_metrics::enabled() {
+            goat_metrics::histogram("ect.events").record(ect.len() as u64);
+        }
         ect
     }
 }

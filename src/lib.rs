@@ -10,12 +10,14 @@
 //! * [`core`] — the GoAT tool proper: test runner, deadlock detection,
 //!   coverage measurement, reports
 //! * [`goker`] — the 68-kernel GoKer-style blocking-bug benchmark
+//! * [`metrics`] — campaign telemetry: metrics registry and JSONL export
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
 pub use goat_core as core;
 pub use goat_detectors as detectors;
 pub use goat_goker as goker;
+pub use goat_metrics as metrics;
 pub use goat_model as model;
 pub use goat_runtime as runtime;
 pub use goat_trace as trace;

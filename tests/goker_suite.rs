@@ -59,20 +59,11 @@ fn symptom_matches(expected: ExpectedSymptom, verdict: &GoatVerdict) -> bool {
     }
 }
 
-fn budget_for(rarity: Rarity) -> usize {
-    match rarity {
-        Rarity::Common => 10,
-        Rarity::Uncommon => 120,
-        Rarity::Rare => 400,
-        Rarity::VeryRare => 800,
-    }
-}
-
 #[test]
 fn goat_exposes_all_68_kernels_with_expected_symptoms() {
     let mut failures = Vec::new();
     for kernel in all_kernels() {
-        match expose(kernel, budget_for(kernel.rarity)) {
+        match expose(kernel, kernel.rarity.iteration_budget()) {
             Some((d, iter, verdict)) => {
                 if !symptom_matches(kernel.expected, &verdict) {
                     failures.push(format!(

@@ -5,7 +5,7 @@
 //! seed, as many times as desired.
 
 use goat::core::{Goat, GoatConfig, Program};
-use goat::goker::{all_kernels, BugKernel, Rarity};
+use goat::goker::{all_kernels, BugKernel};
 use std::sync::Arc;
 
 struct KernelProgram(&'static BugKernel);
@@ -34,12 +34,7 @@ fn every_exposed_bug_replays_deterministically() {
     let mut failures = Vec::new();
     for kernel in all_kernels() {
         // Find the bug with whichever variant works fastest.
-        let budget = match kernel.rarity {
-            Rarity::Common => 5,
-            Rarity::Uncommon => 80,
-            Rarity::Rare => 300,
-            Rarity::VeryRare => 500,
-        };
+        let budget = kernel.rarity.iteration_budget();
         let mut exposed = None;
         for d in [0u32, 2, 3, 4] {
             let goat = Goat::new(

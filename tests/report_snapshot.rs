@@ -1,0 +1,78 @@
+//! Golden-snapshot guard over the campaign report JSON.
+//!
+//! Two fixed (kernel, seed) campaigns have their `CampaignSummary` JSON
+//! committed byte-for-byte under `tests/snapshots/`. Any schema change —
+//! a renamed field, a reordered field, a new always-present field —
+//! fails this test and must be made deliberately by re-blessing:
+//!
+//! ```text
+//! GOAT_BLESS=1 cargo test --test report_snapshot
+//! ```
+//!
+//! The snapshots were generated *before* the telemetry layer landed, so
+//! they also prove that a telemetry-off run serializes byte-identically
+//! to the pre-telemetry output (the optional `telemetry` field must not
+//! appear at all when disabled).
+
+use goat::core::{Goat, GoatConfig, Program};
+use goat::goker::{by_name, BugKernel};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct KernelProgram(&'static BugKernel);
+
+impl Program for KernelProgram {
+    fn name(&self) -> &str {
+        Program::name(self.0)
+    }
+    fn main(&self) {
+        Program::main(self.0)
+    }
+}
+
+/// The pinned campaigns: name, seed0, delay bound. 20 iterations each,
+/// keep-running, sequential — small, fast, and fully deterministic.
+const CASES: [(&str, u64, u32); 2] = [("etcd6708", 11, 2), ("moby28462", 17, 2)];
+
+fn snapshot_path(kernel: &str, seed0: u64) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(format!("{kernel}_s{seed0}.json"))
+}
+
+fn render(kernel: &'static BugKernel, seed0: u64, delay_bound: u32) -> String {
+    let goat = Goat::new(
+        GoatConfig::default()
+            .with_iterations(20)
+            .with_seed0(seed0)
+            .with_delay_bound(delay_bound)
+            .with_parallelism(1)
+            .keep_running(),
+    );
+    let result = goat.test(Arc::new(KernelProgram(kernel)));
+    let mut json = result.to_json_summary().expect("serializable");
+    json.push('\n');
+    json
+}
+
+#[test]
+fn campaign_report_json_matches_committed_snapshots() {
+    let bless = std::env::var("GOAT_BLESS").is_ok();
+    for (name, seed0, d) in CASES {
+        let kernel = by_name(name).expect("pinned kernel exists");
+        let got = render(kernel, seed0, d);
+        let path = snapshot_path(name, seed0);
+        if bless {
+            std::fs::write(&path, &got).expect("write snapshot");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing snapshot {}: {e}", path.display()));
+        assert_eq!(
+            got, want,
+            "campaign report JSON for {name} (seed0={seed0}) drifted from its committed \
+             snapshot; if the schema change is deliberate, re-bless with \
+             GOAT_BLESS=1 cargo test --test report_snapshot"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! End-to-end test of the opt-in JSONL telemetry stream: run a real
+//! campaign with `GOAT_TELEMETRY` pointed at a file, then parse the
+//! stream line by line and check every event kind the pipeline is
+//! supposed to emit actually showed up.
+//!
+//! Lives in its own integration-test binary (= its own process) because
+//! the telemetry enable flag and the sink resolve the environment once,
+//! lazily, on first use — the variable must be set before any other
+//! test touches the metrics crate.
+
+use goat::core::{Goat, GoatConfig, Program};
+use goat::goker::{by_name, BugKernel};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+struct KernelProgram(&'static BugKernel);
+
+impl Program for KernelProgram {
+    fn name(&self) -> &str {
+        Program::name(self.0)
+    }
+    fn main(&self) {
+        Program::main(self.0)
+    }
+}
+
+/// Just enough of an event to classify it; extra fields are ignored by
+/// the derive, so this parses every kind the stream carries.
+#[derive(serde::Deserialize)]
+struct EventProbe {
+    kind: String,
+}
+
+#[test]
+fn campaign_streams_parseable_jsonl_with_all_event_kinds() {
+    let path = std::env::temp_dir().join(format!("goat_telemetry_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    std::env::set_var(goat::metrics::TELEMETRY_ENV, &path);
+
+    let kernel = by_name("etcd6708").expect("kernel in suite");
+    let goat = Goat::new(
+        GoatConfig::default().with_iterations(20).with_seed0(11).with_delay_bound(2).keep_running(),
+    );
+    let result = goat.test(Arc::new(KernelProgram(kernel)));
+    assert_eq!(result.records.len(), 20, "keep_running must run the full budget");
+
+    // The in-report surface must be populated when telemetry is on.
+    let telemetry = result.telemetry.as_ref().expect("telemetry embedded in campaign result");
+    assert_eq!(telemetry.iterations, 20);
+    assert!(telemetry.sched.picks > 0, "{:?}", telemetry.sched);
+
+    // Stream must exist, parse line-by-line, and cover every kind.
+    let raw = std::fs::read_to_string(&path).expect("JSONL stream written");
+    let mut kinds: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, line) in raw.lines().enumerate() {
+        let event: EventProbe = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("line {} is not valid JSON: {e}\n{line}", i + 1));
+        *kinds.entry(event.kind).or_default() += 1;
+    }
+    for kind in ["scheduler", "pool", "coverage", "campaign"] {
+        assert!(kinds.contains_key(kind), "no `{kind}` events in stream, saw: {kinds:?}");
+    }
+    // One scheduler event and one coverage event per iteration, one
+    // campaign event for the whole run.
+    assert!(kinds["scheduler"] >= 20, "expected ≥20 scheduler events: {kinds:?}");
+    assert!(kinds["coverage"] >= 20, "expected ≥20 coverage events: {kinds:?}");
+    assert_eq!(kinds["campaign"], 1, "{kinds:?}");
+
+    let _ = std::fs::remove_file(&path);
+}
