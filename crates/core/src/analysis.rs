@@ -105,7 +105,15 @@ pub fn deadlock_check(tree: &GTree) -> GoatVerdict {
 pub fn analyze_run(result: &RunResult) -> GoatVerdict {
     match &result.outcome {
         RunOutcome::Panicked { msg, .. } => GoatVerdict::Crash { msg: msg.clone() },
-        RunOutcome::StepLimit => GoatVerdict::Hang,
+        // Both watchdogs — step-bound and wall-clock — flag a suspected
+        // hang, exactly like the paper's run timeout.
+        RunOutcome::StepLimit | RunOutcome::TimedOut { .. } => GoatVerdict::Hang,
+        // The harness failed to host the run; nothing was observed about
+        // the program. The campaign layer retries these before analysis —
+        // reaching this mapping means retries were exhausted.
+        RunOutcome::InfraFailure { reason } => {
+            GoatVerdict::Crash { msg: format!("infra failure: {reason}") }
+        }
         RunOutcome::GlobalDeadlock { .. } | RunOutcome::Completed => match &result.ect {
             Some(ect) => deadlock_check(&GTree::from_ect(ect)),
             // Tracing off: fall back to runtime ground truth.
@@ -129,7 +137,13 @@ pub fn crosscheck(result: &RunResult) -> Result<(), String> {
     let Some(ect) = &result.ect else { return Ok(()) };
     // Crashes and watchdog aborts truncate the trace mid-operation;
     // there is no leak ground truth to compare against.
-    if matches!(result.outcome, RunOutcome::Panicked { .. } | RunOutcome::StepLimit) {
+    if matches!(
+        result.outcome,
+        RunOutcome::Panicked { .. }
+            | RunOutcome::StepLimit
+            | RunOutcome::TimedOut { .. }
+            | RunOutcome::InfraFailure { .. }
+    ) {
         return Ok(());
     }
     let verdict = deadlock_check(&GTree::from_ect(ect));

@@ -123,6 +123,53 @@ impl GlobalGTree {
     }
 }
 
+// Hand-written (de)serialization for campaign checkpoints: `children`
+// is keyed by `(Istr, u32)` tuples, which the vendored serde's map
+// impl cannot stringify — flatten each entry to a `(file, line, index)`
+// triple instead.
+impl serde::Serialize for GlobalNode {
+    fn to_content(&self) -> serde::Content {
+        let children: Vec<(Istr, u32, usize)> =
+            self.children.iter().map(|(&(file, line), &idx)| (file, line, idx)).collect();
+        serde::Content::Map(vec![
+            ("name".to_string(), self.name.to_content()),
+            ("children".to_string(), children.to_content()),
+            ("covered".to_string(), self.covered.to_content()),
+            ("occurrences".to_string(), self.occurrences.to_content()),
+        ])
+    }
+}
+
+impl serde::Deserialize for GlobalNode {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::DeError> {
+        let fields = c.as_map().ok_or_else(|| serde::DeError::custom("expected object"))?;
+        let children: Vec<(Istr, u32, usize)> = serde::de_field(fields, "children")?;
+        Ok(GlobalNode {
+            name: serde::de_field(fields, "name")?,
+            children: children.into_iter().map(|(file, line, idx)| ((file, line), idx)).collect(),
+            covered: serde::de_field(fields, "covered")?,
+            occurrences: serde::de_field(fields, "occurrences")?,
+        })
+    }
+}
+
+impl serde::Serialize for GlobalGTree {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![("nodes".to_string(), self.nodes.to_content())])
+    }
+}
+
+impl serde::Deserialize for GlobalGTree {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::DeError> {
+        let fields = c.as_map().ok_or_else(|| serde::DeError::custom("expected object"))?;
+        let nodes: Vec<GlobalNode> = serde::de_field(fields, "nodes")?;
+        if nodes.is_empty() {
+            return Err(serde::DeError::custom("global tree must have a root node"));
+        }
+        Ok(GlobalGTree { nodes })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +217,17 @@ mod tests {
         assert_eq!(gt.node(1).occurrences, 6);
         assert!(gt.node(1).covered.len() >= before, "coverage only grows");
         assert_eq!(gt.node(0).occurrences, 2, "main merged twice");
+    }
+
+    #[test]
+    fn checkpoint_serde_roundtrips() {
+        let mut gt = GlobalGTree::new();
+        let (t, c) = run_once(0);
+        gt.merge_run(&t, &c);
+        let json = serde_json::to_string(&gt).expect("serializable");
+        let back: GlobalGTree = serde_json::from_str(&json).expect("parses");
+        assert_eq!(gt.render(), back.render());
+        assert_eq!(serde_json::to_string(&back).expect("re-serializable"), json);
     }
 
     #[test]

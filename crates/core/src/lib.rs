@@ -38,6 +38,8 @@
 #![warn(missing_docs)]
 
 mod analysis;
+/// Campaign checkpoint/resume (`GOAT_CHECKPOINT`) persistence.
+pub mod checkpoint;
 mod coverage;
 mod globaltree;
 mod program;
@@ -48,6 +50,7 @@ pub mod rootcause;
 mod runner;
 
 pub use analysis::{analyze_run, crosscheck, deadlock_check, GoatVerdict};
+pub use checkpoint::{CampaignCheckpoint, CHECKPOINT_ENV};
 pub use coverage::{extract_coverage, extract_sync_pairs, RunCoverage};
 pub use globaltree::{GlobalGTree, GlobalNode};
 pub use program::{program_fn, FnProgram, Program};

@@ -210,6 +210,13 @@ pub fn campaign_report(program: &str, result: &crate::CampaignResult) -> String 
             .unwrap_or_else(|| "no".to_string()),
         result.coverage_percent()
     );
+    if let Some(reason) = &result.quarantined {
+        let _ = writeln!(
+            out,
+            "QUARANTINED: {reason} — {} budgeted iteration(s) skipped",
+            result.skipped
+        );
+    }
     let _ = writeln!(out);
     if let (Some(verdict), Some(ect)) = (&result.bug, &result.bug_ect) {
         out.push_str(&bug_report(program, verdict, ect));

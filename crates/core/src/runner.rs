@@ -3,6 +3,7 @@
 //! "Offline Analysis" loop).
 
 use crate::analysis::{analyze_run, GoatVerdict};
+use crate::checkpoint::{self, CampaignCheckpoint};
 use crate::coverage::extract_coverage;
 use crate::globaltree::GlobalGTree;
 use crate::program::Program;
@@ -10,11 +11,12 @@ use goat_detectors::{Detector, ProgramFn, ToolVerdict};
 use goat_metrics::{Histogram, HistogramSnapshot};
 use goat_model::{scan_sources, CoverageSet, CuTable, RequirementUniverse};
 use goat_runtime::pool::PoolStats;
-use goat_runtime::{go_internal, Chan, Config, Runtime, SchedCounters};
+use goat_runtime::{go_internal, Chan, Config, RunOutcome, Runtime, SchedCounters};
 use goat_trace::{Ect, GTree};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::{mpsc, Arc, Condvar, Mutex as StdMutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Campaign configuration (the tool's command-line knobs: `-d`, `-freq`,
 /// `-cov`, …).
@@ -45,6 +47,33 @@ pub struct GoatConfig {
     /// [`goat_runtime::Config::pool`]); scheduling is identical either
     /// way, the pool only removes thread-creation cost.
     pub pool: bool,
+    /// Wall-clock watchdog per iteration, milliseconds (see
+    /// [`goat_runtime::Config::iter_timeout_ms`]). Defaults to the
+    /// `GOAT_ITER_TIMEOUT_MS` environment variable (off when unset).
+    pub iter_timeout_ms: Option<u64>,
+    /// Retries (with bounded exponential backoff) for *infra*-classified
+    /// failures — pool checkout or thread-spawn errors, never kernel
+    /// verdicts. Defaults to `GOAT_MAX_RETRIES` (2 when unset).
+    pub max_retries: u32,
+    /// Quarantine the kernel after this many *consecutive* iterations
+    /// whose infra retries were exhausted: the campaign stops and the
+    /// remaining budget is reported as skipped-with-reason instead of
+    /// grinding a broken environment. Defaults to
+    /// `GOAT_QUARANTINE_AFTER` (3 when unset); 0 disables.
+    pub quarantine_after: u32,
+    /// Quarantine after this many consecutive *crashed* iterations
+    /// (kernel panics). Defaults to `GOAT_QUARANTINE_CRASHES`; 0 (the
+    /// default) disables, so repeat-crashing kernels keep recording
+    /// `Crashed` verdicts unless explicitly opted in.
+    pub quarantine_crashes: u32,
+    /// Checkpoint sidecar path: the streaming runner periodically
+    /// persists completed-seed ranges plus merged coverage there, and
+    /// resumes from it byte-identically. Defaults to the
+    /// `GOAT_CHECKPOINT` environment variable (off when unset).
+    pub checkpoint: Option<PathBuf>,
+    /// Merged iterations between checkpoint writes. Defaults to
+    /// `GOAT_CHECKPOINT_EVERY` (8 when unset).
+    pub checkpoint_every: usize,
 }
 
 impl Default for GoatConfig {
@@ -63,8 +92,28 @@ impl Default for GoatConfig {
                 .filter(|n| *n >= 1)
                 .unwrap_or(1),
             pool: true,
+            iter_timeout_ms: std::env::var("GOAT_ITER_TIMEOUT_MS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|ms| *ms > 0),
+            max_retries: env_u32("GOAT_MAX_RETRIES", 2),
+            quarantine_after: env_u32("GOAT_QUARANTINE_AFTER", 3),
+            quarantine_crashes: env_u32("GOAT_QUARANTINE_CRASHES", 0),
+            checkpoint: std::env::var(checkpoint::CHECKPOINT_ENV)
+                .ok()
+                .filter(|p| !p.is_empty())
+                .map(PathBuf::from),
+            checkpoint_every: std::env::var(checkpoint::CHECKPOINT_EVERY_ENV)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|n| *n >= 1)
+                .unwrap_or(8),
         }
     }
+}
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name).ok().and_then(|v| v.parse::<u32>().ok()).unwrap_or(default)
 }
 
 impl GoatConfig {
@@ -105,18 +154,57 @@ impl GoatConfig {
         self
     }
 
+    /// Set (or clear) the per-iteration wall-clock watchdog.
+    pub fn with_iter_timeout_ms(mut self, ms: Option<u64>) -> Self {
+        self.iter_timeout_ms = ms.filter(|v| *v > 0);
+        self
+    }
+
+    /// Set the infra-failure retry budget.
+    pub fn with_max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Quarantine after `n` consecutive infra-exhausted iterations
+    /// (0 disables).
+    pub fn with_quarantine_after(mut self, n: u32) -> Self {
+        self.quarantine_after = n;
+        self
+    }
+
+    /// Quarantine after `n` consecutive crashed iterations (0 disables).
+    pub fn with_quarantine_crashes(mut self, n: u32) -> Self {
+        self.quarantine_crashes = n;
+        self
+    }
+
+    /// Persist/resume campaign state at `path`.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Set the checkpoint cadence (merged iterations between writes).
+    pub fn with_checkpoint_every(mut self, n: usize) -> Self {
+        assert!(n >= 1, "checkpoint cadence must be at least 1");
+        self.checkpoint_every = n;
+        self
+    }
+
     fn runtime_config(&self, iter: usize) -> Config {
         Config::new(self.seed0 + iter as u64)
             .with_delay_bound(self.delay_bound)
             .with_native_preempt_prob(self.native_preempt_prob)
             .with_max_steps(self.max_steps)
+            .with_iter_timeout_ms(self.iter_timeout_ms)
             .with_trace(true)
             .with_pool(self.pool)
     }
 }
 
 /// Record of one testing iteration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct IterationRecord {
     /// 1-based iteration number.
     pub iter: usize,
@@ -187,6 +275,11 @@ pub struct CampaignResult {
     pub covered: CoverageSet,
     /// The global goroutine tree.
     pub global_tree: GlobalGTree,
+    /// Quarantine reason, when the campaign gave up on a kernel that
+    /// kept failing (consecutive infra failures or crashes).
+    pub quarantined: Option<String>,
+    /// Budgeted iterations skipped because of quarantine.
+    pub skipped: usize,
     /// Campaign telemetry; `Some` only when collection was enabled.
     pub telemetry: Option<CampaignTelemetry>,
 }
@@ -206,6 +299,10 @@ pub struct CampaignSummary {
     pub covered: usize,
     /// Total requirement instances discovered.
     pub universe: usize,
+    /// Quarantine reason, when the campaign was quarantined.
+    pub quarantined: Option<String>,
+    /// Budgeted iterations skipped because of quarantine.
+    pub skipped: usize,
     /// Campaign telemetry; `Some` only when collection was enabled.
     pub telemetry: Option<CampaignTelemetry>,
 }
@@ -214,7 +311,9 @@ pub struct CampaignSummary {
 // emits `"telemetry": null`, which would change the report JSON for
 // every telemetry-off run. The summary's schema is pinned byte-for-byte
 // by tests/report_snapshot.rs, so the `telemetry` key must be *absent*
-// when disabled, not null.
+// when disabled, not null. Same for the supervision fields: they only
+// appear when a campaign was actually quarantined, keeping healthy
+// campaigns' reports byte-identical to historical output.
 impl serde::Serialize for CampaignSummary {
     fn to_content(&self) -> serde::Content {
         let mut fields = vec![
@@ -225,6 +324,12 @@ impl serde::Serialize for CampaignSummary {
             ("covered".to_string(), self.covered.to_content()),
             ("universe".to_string(), self.universe.to_content()),
         ];
+        if let Some(q) = &self.quarantined {
+            fields.push(("quarantined".to_string(), q.to_content()));
+        }
+        if self.skipped > 0 {
+            fields.push(("skipped".to_string(), self.skipped.to_content()));
+        }
         if let Some(t) = &self.telemetry {
             fields.push(("telemetry".to_string(), t.to_content()));
         }
@@ -242,6 +347,8 @@ impl serde::Deserialize for CampaignSummary {
             final_coverage_percent: serde::de_field(fields, "final_coverage_percent")?,
             covered: serde::de_field(fields, "covered")?,
             universe: serde::de_field(fields, "universe")?,
+            quarantined: serde::de_field(fields, "quarantined")?,
+            skipped: serde::de_field::<Option<usize>>(fields, "skipped")?.unwrap_or(0),
             telemetry: serde::de_field(fields, "telemetry")?,
         })
     }
@@ -271,6 +378,8 @@ impl CampaignResult {
             final_coverage_percent: self.coverage_percent(),
             covered: self.covered.len(),
             universe: self.universe.len(),
+            quarantined: self.quarantined.clone(),
+            skipped: self.skipped,
             telemetry: self.telemetry.clone(),
         }
     }
@@ -307,6 +416,12 @@ struct MergeState {
     yields_total: u64,
     /// Distribution of newly covered requirements per iteration.
     coverage_delta: Histogram,
+    /// Consecutive iterations whose infra retries were exhausted.
+    infra_streak: usize,
+    /// Consecutive iterations that crashed (kernel panics).
+    crash_streak: usize,
+    /// Quarantine reason; `Some` stops the campaign.
+    quarantined: Option<String>,
 }
 
 /// Campaign summary exported to the JSONL telemetry stream.
@@ -317,6 +432,99 @@ struct CampaignEvent {
     first_detection: Option<usize>,
     final_coverage_percent: f64,
     telemetry: CampaignTelemetry,
+}
+
+/// Supervision decision (retry, quarantine, checkpoint) exported to the
+/// JSONL telemetry stream.
+#[derive(serde::Serialize)]
+struct SupervisionEvent {
+    kind: &'static str,
+    op: &'static str,
+    iter: usize,
+    seed: u64,
+    detail: String,
+}
+
+/// Backoff before retrying an infra-failed iteration: bounded
+/// exponential (10 ms · 2^attempt, capped at 250 ms) plus deterministic
+/// jitter derived from the iteration seed, so two campaigns never
+/// produce different *results* from different sleep patterns — only
+/// different wall-clock.
+fn retry_backoff(seed: u64, attempt: u32) -> Duration {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let base_ms: u64 = (10u64 << attempt.min(5)).min(250);
+    let mut rng =
+        SmallRng::seed_from_u64(seed ^ u64::from(attempt + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let jitter = rng.gen_range(0..base_ms / 2 + 1);
+    Duration::from_millis(base_ms + jitter)
+}
+
+/// Periodic checkpoint writer for one campaign; `None`-free wrapper
+/// around the optional `GOAT_CHECKPOINT` sidecar.
+struct Checkpointer {
+    path: PathBuf,
+    fingerprint: String,
+    every: usize,
+    since_write: usize,
+}
+
+impl Checkpointer {
+    fn new(cfg: &GoatConfig, program_name: &str) -> Option<Self> {
+        let path = cfg.checkpoint.clone()?;
+        Some(Checkpointer {
+            fingerprint: checkpoint::fingerprint(program_name, cfg),
+            path,
+            every: cfg.checkpoint_every.max(1),
+            since_write: 0,
+        })
+    }
+
+    /// Load an existing checkpoint into the merge state, returning the
+    /// iteration index to resume from (0 for a fresh campaign). An
+    /// unusable sidecar is reported and ignored — starting over is
+    /// always sound, silently corrupting results never is.
+    fn resume(&self, m: &mut MergeState) -> usize {
+        match CampaignCheckpoint::load(&self.path, &self.fingerprint) {
+            Ok(Some(cp)) => {
+                let completed = cp.completed;
+                m.restore(cp);
+                goat_metrics::global().counter("supervision.checkpoint_resumes").inc();
+                completed
+            }
+            Ok(None) => 0,
+            Err(e) => {
+                eprintln!(
+                    "goat: ignoring unusable checkpoint {}: {e}; starting over",
+                    self.path.display()
+                );
+                0
+            }
+        }
+    }
+
+    fn note_merged(&mut self, m: &MergeState) {
+        self.since_write += 1;
+        if self.since_write >= self.every {
+            self.write(m);
+        }
+    }
+
+    fn finalize(&mut self, m: &MergeState) {
+        self.write(m);
+    }
+
+    fn write(&mut self, m: &MergeState) {
+        self.since_write = 0;
+        match m.snapshot(self.fingerprint.clone()).store(&self.path) {
+            Ok(()) => {
+                goat_metrics::global().counter("supervision.checkpoint_writes").inc();
+            }
+            // A failed write costs durability, not correctness — the
+            // campaign must keep running.
+            Err(e) => eprintln!("goat: checkpoint write failed ({e}); campaign continues"),
+        }
+    }
 }
 
 /// Per-iteration coverage-growth record exported to the JSONL
@@ -346,7 +554,51 @@ impl MergeState {
             sched_totals: SchedCounters::default(),
             yields_total: 0,
             coverage_delta: Histogram::default(),
+            infra_streak: 0,
+            crash_streak: 0,
+            quarantined: None,
         }
+    }
+
+    /// Serialize the accumulated state for the checkpoint sidecar.
+    fn snapshot(&self, fingerprint: String) -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            version: checkpoint::CHECKPOINT_VERSION,
+            fingerprint,
+            completed: self.records.len(),
+            records: self.records.clone(),
+            first_detection: self.first_detection,
+            bug: self.bug.clone(),
+            bug_ect: self.bug_ect.clone(),
+            bug_schedule: self.bug_schedule.clone(),
+            universe: self.universe.clone(),
+            covered: self.covered.clone(),
+            global_tree: self.global_tree.clone(),
+            sched_totals: self.sched_totals,
+            yields_total: self.yields_total,
+            infra_streak: self.infra_streak,
+            crash_streak: self.crash_streak,
+            quarantined: self.quarantined.clone(),
+        }
+    }
+
+    /// Adopt a loaded checkpoint as the merge state; the campaign then
+    /// continues from iteration index `completed`. The coverage-delta
+    /// histogram is telemetry-only and intentionally not persisted.
+    fn restore(&mut self, cp: CampaignCheckpoint) {
+        self.universe = cp.universe;
+        self.covered = cp.covered;
+        self.global_tree = cp.global_tree;
+        self.records = cp.records;
+        self.first_detection = cp.first_detection;
+        self.bug = cp.bug;
+        self.bug_ect = cp.bug_ect;
+        self.bug_schedule = cp.bug_schedule;
+        self.sched_totals = cp.sched_totals;
+        self.yields_total = cp.yields_total;
+        self.infra_streak = cp.infra_streak;
+        self.crash_streak = cp.crash_streak;
+        self.quarantined = cp.quarantined;
     }
 
     /// Fold iteration `iter_no`'s result into the campaign; returns
@@ -359,6 +611,34 @@ impl MergeState {
         result: goat_runtime::RunResult,
     ) -> bool {
         let verdict = analyze_run(&result);
+        // Supervision accounting: consecutive failures degrade a
+        // repeatedly-failing kernel to skipped-with-reason instead of
+        // grinding the remaining budget. Infra failures reach this point
+        // only after `run_supervised` exhausted its retries.
+        if let RunOutcome::InfraFailure { reason } = &result.outcome {
+            self.infra_streak += 1;
+            if cfg.quarantine_after > 0 && self.infra_streak >= cfg.quarantine_after as usize {
+                self.quarantined = Some(format!(
+                    "{} consecutive infra failures (last: {reason})",
+                    self.infra_streak
+                ));
+            }
+        } else {
+            self.infra_streak = 0;
+            if matches!(verdict, GoatVerdict::Crash { .. }) {
+                self.crash_streak += 1;
+                if cfg.quarantine_crashes > 0
+                    && self.crash_streak >= cfg.quarantine_crashes as usize
+                {
+                    self.quarantined = Some(format!(
+                        "{} consecutive crashed iterations ({verdict})",
+                        self.crash_streak
+                    ));
+                }
+            } else {
+                self.crash_streak = 0;
+            }
+        }
         let covered_before = self.covered.len();
         if let Some(ect) = &result.ect {
             let cov = extract_coverage(ect, &mut self.universe);
@@ -406,10 +686,23 @@ impl MergeState {
                 return true;
             }
         }
+        if let Some(reason) = &self.quarantined {
+            goat_metrics::global().counter("supervision.quarantines").inc();
+            if goat_metrics::enabled() {
+                goat_metrics::emit(&SupervisionEvent {
+                    kind: "supervision",
+                    op: "quarantine",
+                    iter: iter_no + 1,
+                    seed: cfg.seed0 + iter_no as u64,
+                    detail: reason.clone(),
+                });
+            }
+            return true;
+        }
         false
     }
 
-    fn finish(self, telemetry: Option<CampaignTelemetry>) -> CampaignResult {
+    fn finish(self, skipped: usize, telemetry: Option<CampaignTelemetry>) -> CampaignResult {
         CampaignResult {
             records: self.records,
             first_detection: self.first_detection,
@@ -419,6 +712,8 @@ impl MergeState {
             universe: self.universe,
             covered: self.covered,
             global_tree: self.global_tree,
+            quarantined: self.quarantined,
+            skipped,
             telemetry,
         }
     }
@@ -445,9 +740,9 @@ struct ClaimState {
 }
 
 impl ClaimQueue {
-    fn new(iterations: usize, window: usize) -> Self {
+    fn new(start: usize, iterations: usize, window: usize) -> Self {
         ClaimQueue {
-            state: StdMutex::new(ClaimState { next: 0, merged: 0, cutoff: iterations }),
+            state: StdMutex::new(ClaimState { next: start, merged: start, cutoff: iterations }),
             cv: Condvar::new(),
             window: window.max(1),
         }
@@ -565,20 +860,40 @@ impl Goat {
 
         let table = Self::static_model(program.as_ref());
         let mut m = MergeState::new(table);
+        let mut ckpt = Checkpointer::new(&self.cfg, program.name());
+        let start = match &ckpt {
+            Some(c) => c.resume(&mut m).min(self.cfg.iterations),
+            None => 0,
+        };
+        // A resumed campaign may already be over (bug with stop_on_bug,
+        // threshold reached, or quarantined): re-running nothing is what
+        // keeps resume byte-identical to the uninterrupted campaign.
+        let resumed_stopped = m.quarantined.is_some()
+            || (self.cfg.stop_on_bug && m.bug.is_some())
+            || self
+                .cfg
+                .coverage_threshold
+                .is_some_and(|th| start > 0 && m.covered.percent(&m.universe) >= th);
 
         if self.cfg.parallelism <= 1 {
-            for i in 0..self.cfg.iterations {
-                let t_iter = telemetry_on.then(Instant::now);
-                let result = Runtime::run(
-                    self.cfg.runtime_config(i),
-                    Self::instrumented(Arc::clone(&program)),
-                );
-                if let Some(t) = t_iter {
-                    iter_wall.record(t.elapsed().as_nanos() as u64);
+            if !resumed_stopped {
+                for i in start..self.cfg.iterations {
+                    let t_iter = telemetry_on.then(Instant::now);
+                    let result = self.run_supervised(i, &program);
+                    if let Some(t) = t_iter {
+                        iter_wall.record(t.elapsed().as_nanos() as u64);
+                    }
+                    let stop = m.merge_one(&self.cfg, i, result);
+                    if let Some(c) = ckpt.as_mut() {
+                        c.note_merged(&m);
+                    }
+                    if stop {
+                        break;
+                    }
                 }
-                if m.merge_one(&self.cfg, i, result) {
-                    break;
-                }
+            }
+            if let Some(c) = ckpt.as_mut() {
+                c.finalize(&m);
             }
             return self.finish_campaign(
                 m,
@@ -590,57 +905,64 @@ impl Goat {
             );
         }
 
-        let queue = ClaimQueue::new(self.cfg.iterations, self.cfg.parallelism * 4);
-        let (tx, rx) = mpsc::channel::<(usize, goat_runtime::RunResult)>();
-        std::thread::scope(|scope| {
-            for _ in 0..self.cfg.parallelism {
-                let tx = tx.clone();
-                let queue = &queue;
-                let program = &program;
-                let goat = &self;
-                let (iter_wall, claim_wait) = (&iter_wall, &claim_wait);
-                scope.spawn(move || loop {
-                    let t_claim = telemetry_on.then(Instant::now);
-                    let Some(i) = queue.claim() else { return };
-                    if let Some(t) = t_claim {
-                        claim_wait.record(t.elapsed().as_nanos() as u64);
-                    }
-                    let t_iter = telemetry_on.then(Instant::now);
-                    let result = Runtime::run(
-                        goat.cfg.runtime_config(i),
-                        Self::instrumented(Arc::clone(program)),
-                    );
-                    if let Some(t) = t_iter {
-                        iter_wall.record(t.elapsed().as_nanos() as u64);
-                    }
-                    if tx.send((i, result)).is_err() {
-                        return;
-                    }
-                });
-            }
-            // Only workers hold senders: the channel closes (ending the
-            // merge loop) exactly when the last worker exits.
-            drop(tx);
-
-            let mut reorder: BTreeMap<usize, goat_runtime::RunResult> = BTreeMap::new();
-            let mut expect = 0usize;
-            let mut stopped = false;
-            for (idx, result) in rx {
-                reorder.insert(idx, result);
-                reorder_depth_max = reorder_depth_max.max(reorder.len());
-                while let Some(next) = reorder.remove(&expect) {
-                    if stopped {
-                        // Speculative runs past the cutoff: discard.
-                    } else if m.merge_one(&self.cfg, expect, next) {
-                        stopped = true;
-                        queue.stop();
-                    } else {
-                        queue.advance_merged();
-                    }
-                    expect += 1;
+        if !resumed_stopped && start < self.cfg.iterations {
+            let queue = ClaimQueue::new(start, self.cfg.iterations, self.cfg.parallelism * 4);
+            let (tx, rx) = mpsc::channel::<(usize, goat_runtime::RunResult)>();
+            std::thread::scope(|scope| {
+                for _ in 0..self.cfg.parallelism {
+                    let tx = tx.clone();
+                    let queue = &queue;
+                    let program = &program;
+                    let goat = &self;
+                    let (iter_wall, claim_wait) = (&iter_wall, &claim_wait);
+                    scope.spawn(move || loop {
+                        let t_claim = telemetry_on.then(Instant::now);
+                        let Some(i) = queue.claim() else { return };
+                        if let Some(t) = t_claim {
+                            claim_wait.record(t.elapsed().as_nanos() as u64);
+                        }
+                        let t_iter = telemetry_on.then(Instant::now);
+                        let result = goat.run_supervised(i, program);
+                        if let Some(t) = t_iter {
+                            iter_wall.record(t.elapsed().as_nanos() as u64);
+                        }
+                        if tx.send((i, result)).is_err() {
+                            return;
+                        }
+                    });
                 }
-            }
-        });
+                // Only workers hold senders: the channel closes (ending
+                // the merge loop) exactly when the last worker exits.
+                drop(tx);
+
+                let mut reorder: BTreeMap<usize, goat_runtime::RunResult> = BTreeMap::new();
+                let mut expect = start;
+                let mut stopped = false;
+                for (idx, result) in rx {
+                    reorder.insert(idx, result);
+                    reorder_depth_max = reorder_depth_max.max(reorder.len());
+                    while let Some(next) = reorder.remove(&expect) {
+                        if stopped {
+                            // Speculative runs past the cutoff: discard.
+                        } else {
+                            if m.merge_one(&self.cfg, expect, next) {
+                                stopped = true;
+                                queue.stop();
+                            } else {
+                                queue.advance_merged();
+                            }
+                            if let Some(c) = ckpt.as_mut() {
+                                c.note_merged(&m);
+                            }
+                        }
+                        expect += 1;
+                    }
+                }
+            });
+        }
+        if let Some(c) = ckpt.as_mut() {
+            c.finalize(&m);
+        }
         self.finish_campaign(
             m,
             program.as_ref(),
@@ -649,6 +971,39 @@ impl Goat {
             &claim_wait,
             reorder_depth_max,
         )
+    }
+
+    /// One supervised iteration: run it, and when the *infrastructure*
+    /// (not the kernel) failed — pool checkout, thread spawn — retry up
+    /// to [`GoatConfig::max_retries`] times with bounded backoff. Kernel
+    /// verdicts (crash, hang, timeout) are results, never retried.
+    fn run_supervised(&self, i: usize, program: &Arc<dyn Program>) -> goat_runtime::RunResult {
+        let mut attempt: u32 = 0;
+        loop {
+            let result =
+                Runtime::run(self.cfg.runtime_config(i), Self::instrumented(Arc::clone(program)));
+            let RunOutcome::InfraFailure { reason } = &result.outcome else { return result };
+            if attempt >= self.cfg.max_retries {
+                return result;
+            }
+            let backoff = retry_backoff(self.cfg.seed0 + i as u64, attempt);
+            goat_metrics::global().counter("supervision.retries").inc();
+            if goat_metrics::enabled() {
+                goat_metrics::emit(&SupervisionEvent {
+                    kind: "supervision",
+                    op: "retry",
+                    iter: i + 1,
+                    seed: self.cfg.seed0 + i as u64,
+                    detail: format!(
+                        "attempt {} failed ({reason}); backing off {} ms",
+                        attempt + 1,
+                        backoff.as_millis()
+                    ),
+                });
+            }
+            std::thread::sleep(backoff);
+            attempt += 1;
+        }
     }
 
     /// Package the merge state into a [`CampaignResult`]; when telemetry
@@ -664,7 +1019,14 @@ impl Goat {
         claim_wait: &Histogram,
         reorder_depth_max: usize,
     ) -> CampaignResult {
-        let Some(t0) = t_campaign else { return m.finish(None) };
+        // Quarantine is the only way budgeted iterations are *skipped*
+        // (early exits on bug/threshold are successes, not skips).
+        let skipped = if m.quarantined.is_some() {
+            self.cfg.iterations.saturating_sub(m.records.len())
+        } else {
+            0
+        };
+        let Some(t0) = t_campaign else { return m.finish(skipped, None) };
         let telemetry = CampaignTelemetry {
             parallelism: self.cfg.parallelism,
             iterations: m.records.len(),
@@ -682,7 +1044,7 @@ impl Goat {
         reg.counter_with("campaign.iterations", Some(program.name()))
             .add(telemetry.iterations as u64);
         reg.gauge("campaign.reorder_depth_max").set(reorder_depth_max as i64);
-        let result = m.finish(Some(telemetry.clone()));
+        let result = m.finish(skipped, Some(telemetry.clone()));
         goat_metrics::emit(&CampaignEvent {
             kind: "campaign",
             program: program.name().to_string(),
@@ -967,6 +1329,144 @@ mod tests {
         assert_eq!(parsed.iterations.len(), 4);
         assert_eq!(parsed.first_detection, None);
         assert!(parsed.universe >= parsed.covered);
+    }
+
+    fn crashing_program() -> Arc<dyn Program> {
+        Arc::new(FnProgram::new("crashy", || {
+            let ch: Chan<u8> = Chan::new(0);
+            ch.close();
+            ch.send(1); // send on closed channel panics every run
+        }))
+    }
+
+    #[test]
+    fn repeated_crashes_quarantine_the_kernel() {
+        let goat = Goat::new(
+            GoatConfig::default().with_iterations(10).keep_running().with_quarantine_crashes(2),
+        );
+        let r = goat.test(crashing_program());
+        assert_eq!(r.records.len(), 2, "stopped at the crash streak");
+        assert!(r.records.iter().all(|rec| matches!(rec.verdict, GoatVerdict::Crash { .. })));
+        let reason = r.quarantined.as_deref().expect("quarantined");
+        assert!(reason.contains("2 consecutive crashed iterations"), "{reason}");
+        assert_eq!(r.skipped, 8, "remaining budget reported as skipped");
+        let json = r.to_json_summary().expect("serializable");
+        assert!(json.contains("\"quarantined\""), "{json}");
+        assert!(json.contains("\"skipped\""), "{json}");
+        let parsed: CampaignSummary = serde_json::from_str(&json).expect("roundtrip");
+        assert_eq!(parsed.skipped, 8);
+        assert!(parsed.quarantined.is_some());
+    }
+
+    #[test]
+    fn crash_quarantine_off_by_default() {
+        let goat = Goat::new(GoatConfig::default().with_iterations(4).keep_running());
+        let r = goat.test(crashing_program());
+        assert_eq!(r.records.len(), 4, "crashes are recorded, not skipped");
+        assert!(r.quarantined.is_none());
+        assert_eq!(r.skipped, 0);
+        let json = r.to_json_summary().expect("serializable");
+        assert!(!json.contains("quarantined"), "healthy schema unchanged: {json}");
+        assert!(!json.contains("skipped"), "healthy schema unchanged: {json}");
+    }
+
+    #[test]
+    fn parallel_quarantine_matches_sequential() {
+        let cfg =
+            GoatConfig::default().with_iterations(12).keep_running().with_quarantine_crashes(3);
+        let seq = Goat::new(cfg.clone()).test(crashing_program());
+        let par = Goat::new(cfg.with_parallelism(4)).test(crashing_program());
+        assert_eq!(seq.records.len(), par.records.len());
+        assert_eq!(seq.quarantined, par.quarantined);
+        assert_eq!(seq.skipped, par.skipped);
+    }
+
+    fn checkpoint_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("goat-runner-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        dir.join(format!("{tag}.json"))
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical() {
+        let path = checkpoint_path("resume");
+        let _ = std::fs::remove_file(&path);
+        let base = GoatConfig::default().with_iterations(20).with_seed0(5).keep_running();
+
+        let full = Goat::new(base.clone()).test(clean_program());
+
+        // Interrupted campaign: only 7 of the 20 iterations ran before
+        // "the kill" (the checkpoint fingerprint deliberately ignores
+        // the iteration budget, so a shortened budget models a mid-
+        // flight kill whose last checkpoint landed after iteration 7).
+        Goat::new(base.clone().with_iterations(7).with_checkpoint(&path).with_checkpoint_every(1))
+            .test(clean_program());
+        let resumed = Goat::new(base.with_checkpoint(&path)).test(clean_program());
+
+        assert_eq!(
+            full.to_json_summary().expect("full"),
+            resumed.to_json_summary().expect("resumed"),
+            "resumed campaign must be byte-identical to the uninterrupted one"
+        );
+        assert_eq!(full.records.len(), resumed.records.len());
+        for (a, b) in full.records.iter().zip(resumed.records.iter()) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.verdict, b.verdict);
+            assert_eq!(a.coverage_percent.to_bits(), b.coverage_percent.to_bits());
+        }
+        assert_eq!(full.global_tree.render(), resumed.global_tree.render());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_completed_campaign() {
+        let path = checkpoint_path("completed");
+        let _ = std::fs::remove_file(&path);
+        let cfg = GoatConfig::default().with_iterations(5).keep_running().with_checkpoint(&path);
+        let first = Goat::new(cfg.clone()).test(clean_program());
+        // Same budget again: everything is restored, nothing re-runs.
+        let again = Goat::new(cfg).test(clean_program());
+        assert_eq!(
+            first.to_json_summary().expect("first"),
+            again.to_json_summary().expect("again")
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_resume_preserves_stop_on_bug() {
+        let path = checkpoint_path("stop-on-bug");
+        let _ = std::fs::remove_file(&path);
+        let cfg = GoatConfig::default().with_iterations(10).with_checkpoint(&path);
+        let first = Goat::new(cfg.clone()).test(leaky_program());
+        assert_eq!(first.first_detection, Some(1));
+        let resumed = Goat::new(cfg).test(leaky_program());
+        assert_eq!(resumed.first_detection, Some(1));
+        assert_eq!(resumed.records.len(), first.records.len(), "no extra iterations ran");
+        assert_eq!(resumed.bug, first.bug);
+        assert!(resumed.bug_schedule.is_some(), "replay evidence survives the roundtrip");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_checkpoint_is_ignored() {
+        let path = checkpoint_path("stale");
+        let _ = std::fs::remove_file(&path);
+        // Checkpoint written by a campaign with a different seed…
+        Goat::new(GoatConfig::default().with_iterations(3).with_seed0(42).with_checkpoint(&path))
+            .test(clean_program());
+        // …must not poison a campaign with different parameters.
+        let r = Goat::new(
+            GoatConfig::default()
+                .with_iterations(4)
+                .with_seed0(7)
+                .keep_running()
+                .with_checkpoint(&path),
+        )
+        .test(clean_program());
+        assert_eq!(r.records.len(), 4, "fresh campaign, stale sidecar ignored");
+        assert_eq!(r.records[0].seed, 7);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -70,10 +70,15 @@ impl GoleakDetector {
                 symptom: Symptom::GlobalDeadlock,
                 detail: "main never finished (TO/GDL)".to_string(),
             },
-            RunOutcome::StepLimit => ToolVerdict {
+            RunOutcome::StepLimit | RunOutcome::TimedOut { .. } => ToolVerdict {
                 detected: true,
                 symptom: Symptom::Hang,
                 detail: "main never finished (hang)".to_string(),
+            },
+            RunOutcome::InfraFailure { reason } => ToolVerdict {
+                detected: false,
+                symptom: Symptom::None,
+                detail: format!("infra failure: {reason}"),
             },
             RunOutcome::Panicked { g, msg } => ToolVerdict {
                 detected: true,

@@ -73,6 +73,18 @@ impl Detector for BuiltinDetector {
                 symptom: Symptom::Hang,
                 detail: "program hung (watchdog)".to_string(),
             },
+            RunOutcome::TimedOut { phase, elapsed_ms } => ToolVerdict {
+                detected: true,
+                symptom: Symptom::Hang,
+                detail: format!("program hung (wall-clock watchdog, {phase}, {elapsed_ms} ms)"),
+            },
+            // An infra failure is the harness's problem, not evidence
+            // about the program: no detection.
+            RunOutcome::InfraFailure { reason } => ToolVerdict {
+                detected: false,
+                symptom: Symptom::None,
+                detail: format!("infra failure: {reason}"),
+            },
             RunOutcome::Completed => ToolVerdict {
                 detected: false,
                 symptom: Symptom::None,

@@ -181,10 +181,15 @@ impl LockdlDetector {
                 symptom: Symptom::GlobalDeadlock,
                 detail: "timeout: program made no progress (TO/GDL)".to_string(),
             },
-            RunOutcome::StepLimit => ToolVerdict {
+            RunOutcome::StepLimit | RunOutcome::TimedOut { .. } => ToolVerdict {
                 detected: true,
                 symptom: Symptom::Hang,
                 detail: "watchdog timeout".to_string(),
+            },
+            RunOutcome::InfraFailure { ref reason } => ToolVerdict {
+                detected: false,
+                symptom: Symptom::None,
+                detail: format!("infra failure: {reason}"),
             },
             RunOutcome::Panicked { g, msg } => ToolVerdict {
                 detected: true,

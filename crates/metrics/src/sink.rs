@@ -6,22 +6,67 @@
 //! flushed explicitly at run/campaign teardown and from a chained
 //! panic hook, so a crashing campaign still leaves a parseable stream
 //! on disk.
+//!
+//! The sink is **non-fatal**: any I/O error (full disk, revoked file
+//! descriptor, injected fault) permanently degrades it to a disabled
+//! writer. The campaign keeps running, subsequent events are counted
+//! in the registry's `telemetry.events_dropped` counter, and the
+//! panic-hook flush path stays safe — losing observability must never
+//! cost the observation campaign itself.
+//!
+//! Fault injection: a `sink:err[:after=N]` spec in the `GOAT_FAULT`
+//! environment variable (the grammar of `goat-runtime`'s faultpoint
+//! module, honoured here because this crate sits below the runtime)
+//! makes the Nth write fail deliberately, so tests and CI can exercise
+//! the degrade path on a healthy disk.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+/// The sink writer; `None` inside the mutex means the sink degraded
+/// after an I/O error and now drops (and counts) every event.
+struct Sink {
+    w: Mutex<Option<BufWriter<File>>>,
+    /// Writes remaining until an injected failure: negative = no fault
+    /// planned, 0 = fail the next write.
+    fail_countdown: AtomicI64,
+}
 
 /// The installed sink, if any. `None` inside the `OnceLock` means
 /// "initialization ran and telemetry export is off".
-static SINK: OnceLock<Option<Mutex<BufWriter<File>>>> = OnceLock::new();
+static SINK: OnceLock<Option<Sink>> = OnceLock::new();
 
 /// Environment variable naming the JSONL output path.
 pub const TELEMETRY_ENV: &str = "GOAT_TELEMETRY";
 
-fn open(path: &Path) -> Option<Mutex<BufWriter<File>>> {
+/// Parse a `sink:err[:after=N]` spec out of `GOAT_FAULT`, if present.
+/// (Full grammar lives in `goat-runtime`'s faultpoint module; this
+/// crate is beneath the runtime so it reads its own site directly.)
+fn injected_fail_after() -> Option<i64> {
+    let raw = std::env::var("GOAT_FAULT").ok()?;
+    for one in raw.split(',').map(str::trim) {
+        let mut parts = one.splitn(3, ':');
+        if parts.next() != Some("sink") || parts.next() != Some("err") {
+            continue;
+        }
+        let after = match parts.next() {
+            None => 0,
+            Some(p) => p.strip_prefix("after=").unwrap_or(p).parse::<i64>().ok()?,
+        };
+        return Some(after.max(0));
+    }
+    None
+}
+
+fn open(path: &Path) -> Option<Sink> {
     match File::create(path) {
-        Ok(f) => Some(Mutex::new(BufWriter::new(f))),
+        Ok(f) => Some(Sink {
+            w: Mutex::new(Some(BufWriter::new(f))),
+            fail_countdown: AtomicI64::new(injected_fail_after().unwrap_or(-1)),
+        }),
         Err(e) => {
             eprintln!("goat-metrics: cannot open {} for telemetry: {e}", path.display());
             None
@@ -38,7 +83,7 @@ fn install_panic_flush() {
 }
 
 /// Lazily resolve the sink from the environment on first use.
-fn sink() -> &'static Option<Mutex<BufWriter<File>>> {
+fn sink() -> &'static Option<Sink> {
     SINK.get_or_init(|| {
         let path = std::env::var_os(TELEMETRY_ENV)?;
         if path.is_empty() {
@@ -70,27 +115,68 @@ pub fn init_path(path: &Path) -> bool {
     installed && r.is_some()
 }
 
-/// Whether a JSONL sink is active for this process.
+/// Whether a JSONL sink is installed *and still healthy* (a degraded
+/// sink counts as inactive: its events are dropped).
 pub fn active() -> bool {
-    sink().is_some()
+    match sink() {
+        Some(s) => s.w.lock().map(|w| w.is_some()).unwrap_or(false),
+        None => false,
+    }
+}
+
+/// Events dropped because the sink degraded after an I/O error.
+pub fn events_dropped() -> u64 {
+    dropped_counter().get()
+}
+
+fn dropped_counter() -> std::sync::Arc<crate::Counter> {
+    crate::global().counter_with("telemetry.events_dropped", None)
+}
+
+impl Sink {
+    /// Degrade permanently after a write failure: drop the writer,
+    /// count the event, and keep the campaign running.
+    fn degrade(&self, w: &mut Option<BufWriter<File>>, why: &str) {
+        *w = None;
+        dropped_counter().inc();
+        eprintln!("goat-metrics: telemetry sink write failed ({why}); disabling sink and counting dropped events — the campaign continues");
+    }
 }
 
 /// Serialize `event` as one JSON line into the sink. No-op when no
-/// sink is installed; serialization cost is only paid when active.
+/// sink is installed; serialization cost is only paid when active. An
+/// I/O failure degrades the sink (see module docs) instead of
+/// propagating.
 pub fn emit<T: serde::Serialize>(event: &T) {
     let Some(s) = sink() else { return };
     let Ok(line) = serde_json::to_string(event) else { return };
-    let mut w = s.lock().expect("telemetry sink");
-    let _ = w.write_all(line.as_bytes());
-    let _ = w.write_all(b"\n");
+    let Ok(mut w) = s.w.lock() else { return };
+    let Some(writer) = w.as_mut() else {
+        dropped_counter().inc();
+        return;
+    };
+    if s.fail_countdown.load(Ordering::Relaxed) >= 0
+        && s.fail_countdown.fetch_sub(1, Ordering::Relaxed) == 0
+    {
+        s.degrade(&mut w, "injected fault: sink:err");
+        return;
+    }
+    if let Err(e) = writer.write_all(line.as_bytes()).and_then(|()| writer.write_all(b"\n")) {
+        s.degrade(&mut w, &e.to_string());
+    }
 }
 
 /// Flush buffered telemetry to disk. Called at run/campaign teardown
-/// and from the panic hook; safe to call any number of times.
+/// and from the panic hook; safe to call any number of times, even
+/// after the sink degraded.
 pub fn flush() {
     if let Some(Some(s)) = SINK.get() {
-        if let Ok(mut w) = s.lock() {
-            let _ = w.flush();
+        if let Ok(mut w) = s.w.lock() {
+            if let Some(writer) = w.as_mut() {
+                if let Err(e) = writer.flush() {
+                    s.degrade(&mut w, &e.to_string());
+                }
+            }
         }
     }
 }

@@ -215,6 +215,13 @@ impl RequirementUniverse {
         &self.table
     }
 
+    /// Rebuild the CU table's lookup index (needed after
+    /// deserialization — the index is `#[serde(skip)]`; without it every
+    /// dynamically discovered CU would re-insert as a fresh site).
+    pub fn reindex(&mut self) {
+        self.table.reindex();
+    }
+
     /// Register a CU discovered dynamically (returns its id). New sites
     /// contribute their op-level requirements immediately.
     pub fn discover_cu(&mut self, cu: Cu) -> CuId {

@@ -99,6 +99,15 @@ pub struct Config {
     /// thread-creation cost. The pool's idle-retention size is set by
     /// the `GOAT_POOL_MAX_IDLE` environment variable.
     pub pool: bool,
+    /// Wall-clock watchdog bound per run, in milliseconds (defaults from
+    /// the `GOAT_ITER_TIMEOUT_MS` environment variable; `None` disables
+    /// the watchdog). Complements [`Config::max_steps`], which cannot
+    /// fire while a goroutine stalls *outside* the scheduler: at the
+    /// soft deadline the driver requests a cooperative abort through the
+    /// scheduler gate, and at the hard deadline (soft + grace) it
+    /// abandons the run with [`RunOutcome::TimedOut`] even if no
+    /// goroutine ever re-enters the runtime.
+    pub iter_timeout_ms: Option<u64>,
 }
 
 impl Config {
@@ -155,6 +164,12 @@ impl Config {
         self.pool = on;
         self
     }
+
+    /// Set (or clear) the per-run wall-clock watchdog.
+    pub fn with_iter_timeout_ms(mut self, ms: Option<u64>) -> Self {
+        self.iter_timeout_ms = ms.filter(|&ms| ms > 0);
+        self
+    }
 }
 
 impl Default for Config {
@@ -170,6 +185,32 @@ impl Default for Config {
             max_trace_events: 1_000_000,
             policy: SchedPolicy::Native,
             pool: true,
+            iter_timeout_ms: std::env::var("GOAT_ITER_TIMEOUT_MS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&ms| ms > 0),
+        }
+    }
+}
+
+/// Which watchdog escalation stage ended a [`RunOutcome::TimedOut`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutPhase {
+    /// The run blew its soft deadline but a goroutine still reached the
+    /// scheduler gate, so the runtime unwound it cooperatively — clean
+    /// teardown, threads reclaimed.
+    Cooperative,
+    /// No goroutine re-entered the runtime before the hard deadline; the
+    /// run was abandoned with its host threads wedged (they are written
+    /// off through the pool's abandoned-worker path).
+    Wedged,
+}
+
+impl fmt::Display for TimeoutPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeoutPhase::Cooperative => write!(f, "cooperative"),
+            TimeoutPhase::Wedged => write!(f, "wedged"),
         }
     }
 }
@@ -196,6 +237,21 @@ pub enum RunOutcome {
     },
     /// The watchdog step bound was exceeded (livelock / infinite loop).
     StepLimit,
+    /// The wall-clock watchdog fired ([`Config::iter_timeout_ms`]) —
+    /// the paper's timeout flag for a suspected hang.
+    TimedOut {
+        /// Which escalation stage ended the run.
+        phase: TimeoutPhase,
+        /// Wall-clock milliseconds elapsed when the watchdog fired.
+        elapsed_ms: u64,
+    },
+    /// The harness itself failed to host the run (worker checkout or
+    /// thread spawn failed) — says nothing about the program under
+    /// test. The campaign supervision layer retries these.
+    InfraFailure {
+        /// What broke.
+        reason: String,
+    },
 }
 
 impl RunOutcome {
@@ -214,6 +270,10 @@ impl fmt::Display for RunOutcome {
             }
             RunOutcome::Panicked { g, msg } => write!(f, "panic in {g}: {msg}"),
             RunOutcome::StepLimit => write!(f, "watchdog step limit exceeded"),
+            RunOutcome::TimedOut { phase, elapsed_ms } => {
+                write!(f, "wall-clock watchdog fired ({phase}, {elapsed_ms} ms)")
+            }
+            RunOutcome::InfraFailure { reason } => write!(f, "infra failure: {reason}"),
         }
     }
 }

@@ -1,0 +1,323 @@
+//! Deterministic fault injection for supervision testing.
+//!
+//! The campaign supervision layer (watchdog, retry, quarantine,
+//! checkpoint) exists to survive faults that are rare in healthy runs:
+//! a wedged OS thread, a failed worker checkout, a full disk under the
+//! telemetry sink. This module makes every one of those paths
+//! exercisable *on demand and deterministically*, so tests and CI can
+//! prove the supervision machinery works without waiting for real
+//! infrastructure to misbehave.
+//!
+//! A fault plan is a comma-separated list of `site:action[:param]`
+//! specs, read from the `GOAT_FAULT` environment variable (or installed
+//! programmatically by tests via [`scoped`]):
+//!
+//! ```text
+//! GOAT_FAULT=pool_checkout:err:0.3,iter:wedge:seed=17
+//! ```
+//!
+//! Sites and actions understood by the runtime:
+//!
+//! | site            | action  | param       | effect                                        |
+//! |-----------------|---------|-------------|-----------------------------------------------|
+//! | `pool_checkout` | `err`   | probability | worker checkout fails → `InfraFailure` outcome |
+//! | `iter`          | `wedge` | `seed=N`    | run N's main stalls **outside** runtime primitives (hard watchdog path) |
+//! | `iter`          | `spin`  | `seed=N`    | run N's main yields forever **inside** the scheduler (cooperative watchdog path) |
+//! | `iter`          | `panic` | `seed=N`    | run N's main panics (kernel-crash path)       |
+//!
+//! (`sink:err[:after=N]` is honoured by `goat-metrics`' JSONL sink,
+//! which sits below this crate; the grammar is shared.)
+//!
+//! Probability draws come from a dedicated RNG seeded by
+//! `GOAT_FAULT_SEED` (default 0), so a fault profile replays exactly.
+//! When no plan is installed the per-call cost is one relaxed atomic
+//! load, mirroring `goat_metrics::enabled`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Environment variable naming the fault plan.
+pub const FAULT_ENV: &str = "GOAT_FAULT";
+
+/// Environment variable seeding the probability-draw RNG.
+pub const FAULT_SEED_ENV: &str = "GOAT_FAULT_SEED";
+
+/// A seed-keyed fault fired at the start of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedFault {
+    /// Stall the main goroutine outside all runtime primitives — the
+    /// watchdog's hard-abandonment path.
+    Wedge,
+    /// Yield forever inside the scheduler — the watchdog's cooperative
+    /// abort path.
+    Spin,
+    /// Panic — the kernel-crash path.
+    Panic,
+}
+
+#[derive(Debug, Clone)]
+enum Action {
+    /// Fail with the given probability per draw.
+    Err { prob: f64 },
+    /// Fire a [`SeedFault`] on the run whose seed matches.
+    OnSeed { fault: SeedFault, seed: Option<u64> },
+}
+
+#[derive(Debug, Clone)]
+struct Spec {
+    site: String,
+    action: Action,
+}
+
+struct Plan {
+    specs: Vec<Spec>,
+    rng: Mutex<SmallRng>,
+}
+
+/// Tri-state mirror of the install state so the disabled fast path is
+/// one relaxed load: 0 = unresolved, 1 = no plan, 2 = plan installed.
+static STATE: AtomicU8 = AtomicU8::new(0);
+static PLAN: Mutex<Option<&'static Plan>> = Mutex::new(None);
+static INJECTED: AtomicU64 = AtomicU64::new(0);
+
+fn parse_spec(one: &str) -> Option<Spec> {
+    let mut parts = one.splitn(3, ':');
+    let site = parts.next()?.trim();
+    let action = parts.next()?.trim();
+    let param = parts.next().map(str::trim);
+    if site.is_empty() {
+        return None;
+    }
+    let action = match action {
+        "err" => {
+            let prob = match param {
+                None => 1.0,
+                Some(p) => p.strip_prefix("after=").map_or_else(
+                    // `after=N` is the sink's grammar; treat it as
+                    // always-on here so shared profiles stay valid.
+                    || p.parse::<f64>().ok().filter(|p| (0.0..=1.0).contains(p)).unwrap_or(-1.0),
+                    |_| 1.0,
+                ),
+            };
+            if prob < 0.0 {
+                return None;
+            }
+            Action::Err { prob }
+        }
+        "wedge" | "spin" | "panic" => {
+            let fault = match action {
+                "wedge" => SeedFault::Wedge,
+                "spin" => SeedFault::Spin,
+                _ => SeedFault::Panic,
+            };
+            let seed = match param {
+                None => None,
+                Some(p) => Some(p.strip_prefix("seed=").unwrap_or(p).parse::<u64>().ok()?),
+            };
+            Action::OnSeed { fault, seed }
+        }
+        _ => return None,
+    };
+    Some(Spec { site: site.to_string(), action })
+}
+
+fn parse_plan(raw: &str) -> Plan {
+    let mut specs = Vec::new();
+    for one in raw.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match parse_spec(one) {
+            Some(s) => specs.push(s),
+            None => eprintln!("goat-runtime: ignoring malformed {FAULT_ENV} spec {one:?}"),
+        }
+    }
+    let seed = std::env::var(FAULT_SEED_ENV).ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+    Plan { specs, rng: Mutex::new(SmallRng::seed_from_u64(seed)) }
+}
+
+fn install_plan(plan: Option<Plan>) {
+    let leaked = plan.filter(|p| !p.specs.is_empty()).map(|p| &*Box::leak(Box::new(p)));
+    *PLAN.lock().expect("fault plan") = leaked;
+    STATE.store(if leaked.is_some() { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+#[cold]
+fn resolve() -> bool {
+    // Racy double-resolution is harmless: both racers parse the same
+    // environment and install equivalent plans.
+    let plan = std::env::var(FAULT_ENV).ok().filter(|v| !v.is_empty()).map(|v| parse_plan(&v));
+    install_plan(plan);
+    STATE.load(Ordering::Relaxed) == 2
+}
+
+/// Is any fault plan installed for this process?
+#[inline]
+pub fn active() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        0 => resolve(),
+        1 => false,
+        _ => true,
+    }
+}
+
+fn with_plan<R>(f: impl FnOnce(&'static Plan) -> R) -> Option<R> {
+    if !active() {
+        return None;
+    }
+    let plan = (*PLAN.lock().expect("fault plan"))?;
+    Some(f(plan))
+}
+
+/// Account one injected fault: bump the process counter and, when
+/// telemetry is enabled, the `supervision.faults_injected` registry
+/// counter plus a JSONL supervision event.
+fn note_injected(site: &str, detail: &str) {
+    INJECTED.fetch_add(1, Ordering::Relaxed);
+    if goat_metrics::enabled() {
+        goat_metrics::counter("supervision.faults_injected").inc();
+        goat_metrics::emit(&FaultEvent {
+            kind: "supervision",
+            op: "fault_injected",
+            site: site.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+}
+
+/// JSONL record of one injected fault (kind `supervision`).
+#[derive(serde::Serialize)]
+struct FaultEvent {
+    kind: &'static str,
+    op: &'static str,
+    site: String,
+    detail: String,
+}
+
+/// Total faults injected by this process since start (all sites).
+pub fn injected() -> u64 {
+    INJECTED.load(Ordering::Relaxed)
+}
+
+/// Probability-keyed fault draw for `site`; `Some(reason)` when the
+/// fault fires this time.
+pub fn should_fail(site: &str) -> Option<String> {
+    with_plan(|plan| {
+        for spec in &plan.specs {
+            if spec.site != site {
+                continue;
+            }
+            if let Action::Err { prob } = spec.action {
+                let hit = prob >= 1.0
+                    || (prob > 0.0 && plan.rng.lock().expect("fault rng").gen_bool(prob));
+                if hit {
+                    let reason = format!("injected fault: {site}:err");
+                    note_injected(site, &reason);
+                    return Some(reason);
+                }
+            }
+        }
+        None
+    })
+    .flatten()
+}
+
+/// Seed-keyed fault for `site` (a spec without `seed=` fires on every
+/// run); `Some` when the run with this seed must misbehave.
+pub fn seed_fault(site: &str, seed: u64) -> Option<SeedFault> {
+    with_plan(|plan| {
+        for spec in &plan.specs {
+            if spec.site != site {
+                continue;
+            }
+            if let Action::OnSeed { fault, seed: want } = spec.action {
+                if want.is_none_or(|w| w == seed) {
+                    note_injected(site, &format!("injected fault: {site}:{fault:?} seed={seed}"));
+                    return Some(fault);
+                }
+            }
+        }
+        None
+    })
+    .flatten()
+}
+
+/// Serializes scoped fault installations so concurrently running tests
+/// cannot see each other's plans.
+static SCOPE: Mutex<()> = Mutex::new(());
+
+/// Clears the scoped fault plan on drop.
+pub struct FaultGuard {
+    _scope: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        install_plan(None);
+    }
+}
+
+/// Install a fault plan for the lifetime of the returned guard (test
+/// hook). Guards serialize on a process-wide lock, so parallel tests
+/// using faults do not interleave; code that never calls [`scoped`] is
+/// unaffected.
+pub fn scoped(spec: &str) -> FaultGuard {
+    let scope = SCOPE.lock().unwrap_or_else(|e| e.into_inner());
+    install_plan(Some(parse_plan(spec)));
+    FaultGuard { _scope: scope }
+}
+
+/// One-time leak sink for scoped plans: `install_plan` leaks each plan
+/// (they are tiny and tests install a handful); keep clippy honest.
+static _LEAK_NOTE: OnceLock<()> = OnceLock::new();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_example() {
+        let plan = parse_plan("pool_checkout:err:0.3,iter:wedge:seed=17");
+        assert_eq!(plan.specs.len(), 2);
+        assert!(matches!(plan.specs[0].action, Action::Err { prob } if (prob - 0.3).abs() < 1e-9));
+        assert!(matches!(
+            plan.specs[1].action,
+            Action::OnSeed { fault: SeedFault::Wedge, seed: Some(17) }
+        ));
+    }
+
+    #[test]
+    fn malformed_specs_are_dropped() {
+        let plan = parse_plan("nonsense,iter:frobnicate:9,:err,iter:panic:seed=3");
+        assert_eq!(plan.specs.len(), 1);
+        assert!(matches!(
+            plan.specs[0].action,
+            Action::OnSeed { fault: SeedFault::Panic, seed: Some(3) }
+        ));
+    }
+
+    #[test]
+    fn scoped_plan_fires_and_clears() {
+        {
+            let _g = scoped("pool_checkout:err:1.0,iter:spin:seed=5");
+            assert!(active());
+            assert!(should_fail("pool_checkout").is_some());
+            assert!(should_fail("other_site").is_none());
+            assert_eq!(seed_fault("iter", 5), Some(SeedFault::Spin));
+            assert_eq!(seed_fault("iter", 6), None);
+        }
+        assert!(should_fail("pool_checkout").is_none());
+        assert_eq!(seed_fault("iter", 5), None);
+    }
+
+    #[test]
+    fn probability_draws_are_deterministic() {
+        let hits = |spec: &str| {
+            let _g = scoped(spec);
+            (0..64).filter(|_| should_fail("pool_checkout").is_some()).count()
+        };
+        let a = hits("pool_checkout:err:0.5");
+        let b = hits("pool_checkout:err:0.5");
+        assert_eq!(a, b, "same plan + same seed must draw identically");
+        assert!(a > 0 && a < 64);
+    }
+}

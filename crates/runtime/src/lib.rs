@@ -46,6 +46,8 @@ mod chan;
 mod config;
 /// Go-style cancellation contexts.
 pub mod context;
+/// Deterministic fault injection (`GOAT_FAULT`) for supervision tests.
+pub mod faultpoint;
 mod monitor;
 /// Shared goroutine worker-thread pool (statistics surface).
 pub mod pool;
@@ -58,6 +60,7 @@ pub mod time;
 pub use chan::{Chan, RangeIter};
 pub use config::{
     AliveGoroutine, Config, Decision, ReplayLog, RunOutcome, RunResult, SchedCounters, SchedPolicy,
+    TimeoutPhase,
 };
 pub use monitor::{Monitor, NullMonitor};
 pub use rt::{gid, go, go_internal, go_named, gosched, Runtime};

@@ -6,7 +6,7 @@
 //! trait so each baseline can be implemented faithfully without touching
 //! the scheduler.
 
-use crate::config::AliveGoroutine;
+use crate::config::{AliveGoroutine, TimeoutPhase};
 use goat_model::Cu;
 use goat_trace::{Gid, RId};
 
@@ -32,6 +32,11 @@ pub trait Monitor: Send + Sync {
     /// Called once per scheduler step with the step count and virtual
     /// clock in nanoseconds (lets timeout-based detectors keep time).
     fn on_step(&self, steps: u64, vclock_ns: u64) {}
+
+    /// The wall-clock watchdog ended the run (the paper's timeout flag
+    /// for a suspected hang). `phase` says whether the abort was
+    /// cooperative or the run was abandoned wedged.
+    fn on_timeout(&self, phase: TimeoutPhase, elapsed_ms: u64) {}
 }
 
 /// A monitor that observes nothing (useful default).

@@ -48,6 +48,7 @@ pub(crate) struct WorkerPool {
     jobs_reused: AtomicU64,
     workers_retired: AtomicU64,
     abandoned: AtomicU64,
+    workers_replaced: AtomicU64,
 }
 
 static POOL: OnceLock<WorkerPool> = OnceLock::new();
@@ -66,20 +67,38 @@ pub(crate) fn global() -> &'static WorkerPool {
             jobs_reused: AtomicU64::new(0),
             workers_retired: AtomicU64::new(0),
             abandoned: AtomicU64::new(0),
+            workers_replaced: AtomicU64::new(0),
         }
     })
 }
 
 /// Account `n` goroutine jobs abandoned at a runtime teardown deadline:
-/// their host worker threads will never return to the idle stack.
+/// their host worker threads will never return to the idle stack. Each
+/// abandoned worker is replaced by a freshly parked one (up to the idle
+/// cap), so effective parallelism does not decay over a long campaign
+/// of wedged runs.
 pub(crate) fn note_abandoned(n: u64) {
-    global().abandoned.fetch_add(n, Ordering::Relaxed);
+    let pool = global();
+    pool.abandoned.fetch_add(n, Ordering::Relaxed);
+    for _ in 0..n {
+        if !pool.spawn_parked_replacement() {
+            break;
+        }
+    }
 }
 
 impl WorkerPool {
     /// Run `job` on a pooled worker: check out an idle worker if one is
     /// parked, otherwise spawn a new one. Never blocks on pool state.
-    pub(crate) fn execute(&'static self, job: Job) {
+    ///
+    /// Checkout can fail — the OS refuses a thread, or the
+    /// `pool_checkout` faultpoint fires — in which case the job is
+    /// dropped (releasing whatever it captured) and the reason is
+    /// returned for the caller to surface as an infra failure.
+    pub(crate) fn execute(&'static self, job: Job) -> Result<(), String> {
+        if let Some(reason) = crate::faultpoint::should_fail("pool_checkout") {
+            return Err(reason);
+        }
         // Checkout latency is only measured when telemetry is on; the
         // disabled cost is one relaxed atomic load.
         let t0 = goat_metrics::enabled().then(std::time::Instant::now);
@@ -98,7 +117,7 @@ impl WorkerPool {
                     Err(mpsc::SendError(returned)) => job = returned,
                 },
                 None => {
-                    self.spawn_worker(job);
+                    self.spawn_worker(job)?;
                     break;
                 }
             }
@@ -106,15 +125,32 @@ impl WorkerPool {
         if let Some(t0) = t0 {
             checkout_histogram().record(t0.elapsed().as_nanos() as u64);
         }
+        Ok(())
     }
 
-    fn spawn_worker(&'static self, first_job: Job) {
-        self.threads_spawned.fetch_add(1, Ordering::Relaxed);
+    fn spawn_worker(&'static self, first_job: Job) -> Result<(), String> {
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         std::thread::Builder::new()
             .name("goat-worker".to_string())
             .spawn(move || self.worker_loop(first_job, job_tx, job_rx))
-            .expect("failed to spawn pool worker thread");
+            .map(|_| {
+                self.threads_spawned.fetch_add(1, Ordering::Relaxed);
+            })
+            .map_err(|e| format!("failed to spawn pool worker thread: {e}"))
+    }
+
+    /// Spawn a worker that goes straight to the idle stack, replacing
+    /// one lost to abandonment. Returns false when the stack is already
+    /// at capacity or the spawn failed (both mean: stop replacing).
+    fn spawn_parked_replacement(&'static self) -> bool {
+        if self.idle.lock().expect("pool lock").len() >= self.max_idle {
+            return false;
+        }
+        let spawned = self.spawn_worker(Box::new(|| {})).is_ok();
+        if spawned {
+            self.workers_replaced.fetch_add(1, Ordering::Relaxed);
+        }
+        spawned
     }
 
     fn worker_loop(&'static self, first_job: Job, job_tx: Sender<Job>, job_rx: Receiver<Job>) {
@@ -166,6 +202,8 @@ pub struct PoolStats {
     /// Goroutine jobs abandoned at a runtime teardown deadline (their
     /// worker threads were never returned to the pool).
     pub abandoned: u64,
+    /// Replacement workers spawned to cover abandoned ones.
+    pub workers_replaced: u64,
 }
 
 /// Snapshot the global pool's counters.
@@ -177,6 +215,7 @@ pub fn stats() -> PoolStats {
         idle_now: pool.idle.lock().expect("pool lock").len(),
         workers_retired: pool.workers_retired.load(Ordering::Relaxed),
         abandoned: pool.abandoned.load(Ordering::Relaxed),
+        workers_replaced: pool.workers_replaced.load(Ordering::Relaxed),
     }
 }
 
@@ -204,9 +243,11 @@ mod tests {
         for _ in 0..10 {
             let inner = Arc::clone(&ran);
             let target = ran.load(Ordering::SeqCst) + 1;
-            global().execute(Box::new(move || {
-                inner.fetch_add(1, Ordering::SeqCst);
-            }));
+            global()
+                .execute(Box::new(move || {
+                    inner.fetch_add(1, Ordering::SeqCst);
+                }))
+                .expect("checkout");
             // Serialize jobs so each finds the previous worker idle.
             drain_until(|| ran.load(Ordering::SeqCst) >= target);
         }
@@ -223,11 +264,13 @@ mod tests {
     #[test]
     fn panicking_job_does_not_poison_the_pool() {
         let ran = Arc::new(AtomicUsize::new(0));
-        global().execute(Box::new(|| panic!("deliberate test panic")));
+        global().execute(Box::new(|| panic!("deliberate test panic"))).expect("checkout");
         let ran2 = Arc::clone(&ran);
-        global().execute(Box::new(move || {
-            ran2.fetch_add(1, Ordering::SeqCst);
-        }));
+        global()
+            .execute(Box::new(move || {
+                ran2.fetch_add(1, Ordering::SeqCst);
+            }))
+            .expect("checkout");
         drain_until(|| ran.load(Ordering::SeqCst) == 1);
     }
 }

@@ -22,7 +22,9 @@
 
 use crate::config::{
     AliveGoroutine, Config, Decision, ReplayLog, RunOutcome, RunResult, SchedCounters, SchedPolicy,
+    TimeoutPhase,
 };
+use crate::faultpoint::{self, SeedFault};
 use crate::monitor::Monitor;
 use goat_model::{Cu, CuKind, Istr};
 use goat_trace::{BlockReason, Ect, Event, EventKind, Gid, RId, VTime};
@@ -239,6 +241,11 @@ pub(crate) struct Sched {
     /// exported through [`RunResult::sched`] and, when telemetry is
     /// enabled, the global registry at teardown).
     counters: SchedCounters,
+    /// Wall-clock start of the run, for the watchdog.
+    started: Instant,
+    /// The driver's soft watchdog deadline passed; the next goroutine to
+    /// reach the scheduler gate aborts the run cooperatively.
+    timeout_requested: bool,
 }
 
 impl Sched {
@@ -266,6 +273,8 @@ impl Sched {
             replay_cursor: 0,
             replay_diverged: false,
             counters: SchedCounters::default(),
+            started: Instant::now(),
+            timeout_requested: false,
         }
     }
 
@@ -462,6 +471,17 @@ impl Sched {
             self.emit(Gid::RUNTIME, EventKind::GcDone, None);
         }
         self.fire_due_timers();
+        if self.timeout_requested && self.outcome.is_none() {
+            // Cooperative watchdog abort: the driver's soft deadline
+            // passed and this goroutine reached the scheduler gate, so
+            // the run can be unwound cleanly (threads reclaimed).
+            let elapsed_ms = self.started.elapsed().as_millis() as u64;
+            if let Some(m) = self.monitor.clone() {
+                m.on_timeout(TimeoutPhase::Cooperative, elapsed_ms);
+            }
+            self.set_outcome(RunOutcome::TimedOut { phase: TimeoutPhase::Cooperative, elapsed_ms });
+            return false;
+        }
         if self.steps > self.cfg.max_steps && self.outcome.is_none() {
             self.set_outcome(RunOutcome::StepLimit);
             return false;
@@ -780,19 +800,33 @@ fn spawn_goroutine(rt: &Arc<RtShared>, gid: Gid, body: Box<dyn FnOnce() + Send +
     let rt2 = Arc::clone(rt);
     *rt.threads.lock() += 1;
     let guard = ThreadCountGuard { rt: Arc::clone(rt) };
-    let job = Box::new(move || {
+    let job: Job = Box::new(move || {
         let _guard = guard;
         goroutine_main(rt2, gid, body);
     });
-    if rt.pooled {
-        crate::pool::global().execute(job);
+    let hosted = if rt.pooled {
+        crate::pool::global().execute(job)
     } else {
-        std::thread::Builder::new()
-            .name("goat-g".to_string())
-            .spawn(job)
-            .expect("failed to spawn goroutine thread");
+        match faultpoint::should_fail("pool_checkout") {
+            Some(reason) => Err(reason),
+            None => std::thread::Builder::new()
+                .name("goat-g".to_string())
+                .spawn(job)
+                .map(|_| ())
+                .map_err(|e| format!("failed to spawn goroutine thread: {e}")),
+        }
+    };
+    if let Err(reason) = hosted {
+        // The job was dropped without running (its ThreadCountGuard has
+        // already rolled the live-thread count back). The harness — not
+        // the program under test — failed; surface that as an
+        // infra-failure outcome so the campaign layer can retry the run.
+        let mut s = rt.state.lock();
+        rt.finish(&mut s, RunOutcome::InfraFailure { reason });
     }
 }
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(gp) = payload.downcast_ref::<GoPanic>() {
@@ -945,6 +979,8 @@ impl Runtime {
     ) -> RunResult {
         install_panic_hook();
         let pooled = cfg.pool;
+        let seed = cfg.seed;
+        let iter_timeout_ms = cfg.iter_timeout_ms;
         let rt = Arc::new(RtShared {
             state: Mutex::new(Sched::new(cfg, monitor)),
             done_cv: Condvar::new(),
@@ -961,7 +997,23 @@ impl Runtime {
             let gid = s.new_goroutine(Istr::new("main"), false);
             debug_assert_eq!(gid, Gid::MAIN);
         }
-        spawn_goroutine(&rt, Gid::MAIN, Box::new(f));
+        // Seed-keyed `iter` faults replace the program body wholesale,
+        // exercising each watchdog escalation path deterministically.
+        let body: Box<dyn FnOnce() + Send + 'static> = match faultpoint::seed_fault("iter", seed) {
+            // Stall outside every runtime primitive: no scheduler gate is
+            // ever reached, so only the hard watchdog deadline (and the
+            // teardown abandonment path) can reclaim this run.
+            Some(SeedFault::Wedge) => Box::new(|| std::thread::sleep(Duration::from_secs(3600))),
+            // Yield forever: every gosched passes the scheduler gate, so
+            // the soft deadline aborts cooperatively (or the step limit
+            // fires first when no watchdog is configured).
+            Some(SeedFault::Spin) => Box::new(|| loop {
+                gosched();
+            }),
+            Some(SeedFault::Panic) => Box::new(|| gopanic("injected fault: iter:panic")),
+            None => Box::new(f),
+        };
+        spawn_goroutine(&rt, Gid::MAIN, body);
         {
             let mut s = rt.state.lock();
             s.schedule_next();
@@ -970,11 +1022,45 @@ impl Runtime {
             }
         }
 
-        // Wait for an outcome, then tear everything down.
+        // Wait for an outcome, then tear everything down. With a
+        // wall-clock watchdog configured the wait escalates twice: at
+        // the soft deadline it requests a cooperative abort through the
+        // scheduler gate, and at the hard deadline (soft + grace) it
+        // abandons the run outright — the only way out when every
+        // goroutine is stuck outside runtime primitives.
         {
             let mut s = rt.state.lock();
-            while s.outcome.is_none() {
-                rt.done_cv.wait(&mut s);
+            match iter_timeout_ms {
+                None => {
+                    while s.outcome.is_none() {
+                        rt.done_cv.wait(&mut s);
+                    }
+                }
+                Some(timeout_ms) => {
+                    let started = s.started;
+                    let soft = started + Duration::from_millis(timeout_ms);
+                    let hard = soft + Duration::from_millis((timeout_ms / 4).clamp(10, 1_000));
+                    while s.outcome.is_none() {
+                        let now = Instant::now();
+                        if now >= hard {
+                            let elapsed_ms = started.elapsed().as_millis() as u64;
+                            if let Some(m) = s.monitor() {
+                                m.on_timeout(TimeoutPhase::Wedged, elapsed_ms);
+                            }
+                            s.set_outcome(RunOutcome::TimedOut {
+                                phase: TimeoutPhase::Wedged,
+                                elapsed_ms,
+                            });
+                            break;
+                        }
+                        if now >= soft {
+                            s.timeout_requested = true;
+                            rt.done_cv.wait_for(&mut s, hard - now);
+                        } else {
+                            rt.done_cv.wait_for(&mut s, soft - now);
+                        }
+                    }
+                }
             }
             s.shutdown = true;
             for slot in &s.slots {
@@ -1072,6 +1158,7 @@ struct PoolEvent {
     idle_now: usize,
     workers_retired: u64,
     abandoned: u64,
+    workers_replaced: u64,
 }
 
 /// Report one finished run into the global registry and the JSONL sink.
@@ -1087,6 +1174,15 @@ fn report_run_telemetry(seed: u64, r: &RunResult) {
     reg.counter_with("sched.blocks", label.as_deref()).add(r.sched.blocks);
     reg.counter_with("sched.unblocks", label.as_deref()).add(r.sched.unblocks);
     reg.counter_with("sched.yields_injected", label.as_deref()).add(r.yields_injected as u64);
+    match &r.outcome {
+        RunOutcome::TimedOut { .. } => {
+            reg.counter_with("supervision.timeouts", label.as_deref()).inc()
+        }
+        RunOutcome::InfraFailure { .. } => {
+            reg.counter_with("supervision.infra_failures", label.as_deref()).inc()
+        }
+        _ => {}
+    }
     reg.histogram("run.steps").record(r.steps);
     goat_metrics::emit(&SchedulerEvent {
         kind: "scheduler",
@@ -1113,6 +1209,7 @@ fn report_run_telemetry(seed: u64, r: &RunResult) {
         idle_now: p.idle_now,
         workers_retired: p.workers_retired,
         abandoned: p.abandoned,
+        workers_replaced: p.workers_replaced,
     });
     goat_metrics::flush();
 }

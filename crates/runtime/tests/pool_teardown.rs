@@ -84,4 +84,24 @@ fn idle_bound_holds_and_wedged_workers_are_abandoned() {
         s.abandoned > abandoned_before,
         "abandoned counter must record the written-off worker, stats: {s:?}"
     );
+
+    // -- abandoned workers are replaced -------------------------------
+    // The pool must not bleed capacity: writing off a wedged worker
+    // spawns a parked replacement (up to the idle cap), so the next
+    // checkout still finds a warm thread.
+    assert!(s.workers_replaced >= 1, "pool must replace the abandoned worker, stats: {s:?}");
+    assert!(
+        (1..=MAX_IDLE).contains(&s.idle_now),
+        "replacement must land on the idle stack within the cap, stats: {s:?}"
+    );
+    // And the replacement is actually usable: a fresh run checks out
+    // workers without spawning beyond what the scenario needs.
+    let r = Runtime::run(Config::new(3), || {
+        let wg = WaitGroup::new();
+        wg.add(1);
+        let wg2 = wg.clone();
+        go(move || wg2.done());
+        wg.wait();
+    });
+    assert!(r.clean(), "{:?}", r.outcome);
 }

@@ -22,23 +22,60 @@ struct Cli {
     freq: usize,
     cov: bool,
     seed: u64,
+    keep_running: bool,
+    // Supervision knobs: `None` keeps the env-derived default from
+    // `GoatConfig::default()` (GOAT_ITER_TIMEOUT_MS & friends).
+    iter_timeout_ms: Option<u64>,
+    checkpoint: Option<String>,
+    max_retries: Option<u32>,
+    quarantine_after: Option<u32>,
+    quarantine_crashes: Option<u32>,
 }
 
 fn parse_args() -> Result<Cli, String> {
-    let mut cli = Cli { target: String::new(), d: 0, freq: 100, cov: false, seed: 1 };
+    let mut cli = Cli {
+        target: String::new(),
+        d: 0,
+        freq: 100,
+        cov: false,
+        seed: 1,
+        keep_running: false,
+        iter_timeout_ms: None,
+        checkpoint: None,
+        max_retries: None,
+        quarantine_after: None,
+        quarantine_crashes: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| args.next().ok_or_else(|| format!("missing value for {name}"));
+        fn num<T: std::str::FromStr>(name: &str, v: String) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            v.parse().map_err(|e| format!("{name}: {e}"))
+        }
         match arg.as_str() {
             "-target" | "--target" => cli.target = take("-target")?,
-            "-d" | "--d" => cli.d = take("-d")?.parse().map_err(|e| format!("-d: {e}"))?,
-            "-freq" | "--freq" => {
-                cli.freq = take("-freq")?.parse().map_err(|e| format!("-freq: {e}"))?
-            }
-            "-seed" | "--seed" => {
-                cli.seed = take("-seed")?.parse().map_err(|e| format!("-seed: {e}"))?
-            }
+            "-d" | "--d" => cli.d = num("-d", take("-d")?)?,
+            "-freq" | "--freq" => cli.freq = num("-freq", take("-freq")?)?,
+            "-seed" | "--seed" => cli.seed = num("-seed", take("-seed")?)?,
             "-cov" | "--cov" => cli.cov = true,
+            "-keep-running" | "--keep-running" => cli.keep_running = true,
+            "-iter-timeout-ms" | "--iter-timeout-ms" => {
+                cli.iter_timeout_ms = Some(num("-iter-timeout-ms", take("-iter-timeout-ms")?)?)
+            }
+            "-checkpoint" | "--checkpoint" => cli.checkpoint = Some(take("-checkpoint")?),
+            "-max-retries" | "--max-retries" => {
+                cli.max_retries = Some(num("-max-retries", take("-max-retries")?)?)
+            }
+            "-quarantine-after" | "--quarantine-after" => {
+                cli.quarantine_after = Some(num("-quarantine-after", take("-quarantine-after")?)?)
+            }
+            "-quarantine-crashes" | "--quarantine-crashes" => {
+                cli.quarantine_crashes =
+                    Some(num("-quarantine-crashes", take("-quarantine-crashes")?)?)
+            }
             "-h" | "--help" => {
                 print_help();
                 std::process::exit(0);
@@ -52,6 +89,34 @@ fn parse_args() -> Result<Cli, String> {
     Ok(cli)
 }
 
+/// Base campaign config for this invocation: the common flags plus the
+/// supervision overrides (flags win over the `GOAT_*` env defaults).
+fn campaign_config(cli: &Cli) -> GoatConfig {
+    let mut cfg = GoatConfig::default()
+        .with_delay_bound(cli.d)
+        .with_iterations(cli.freq)
+        .with_seed0(cli.seed);
+    if cli.keep_running {
+        cfg = cfg.keep_running();
+    }
+    if let Some(ms) = cli.iter_timeout_ms {
+        cfg = cfg.with_iter_timeout_ms((ms > 0).then_some(ms));
+    }
+    if let Some(path) = &cli.checkpoint {
+        cfg = cfg.with_checkpoint(path.clone());
+    }
+    if let Some(n) = cli.max_retries {
+        cfg = cfg.with_max_retries(n);
+    }
+    if let Some(n) = cli.quarantine_after {
+        cfg = cfg.with_quarantine_after(n);
+    }
+    if let Some(n) = cli.quarantine_crashes {
+        cfg = cfg.with_quarantine_crashes(n);
+    }
+    cfg
+}
+
 fn print_help() {
     println!(
         "goat — automated concurrency analysis and debugging (GoAT reproduction)\n\n\
@@ -60,7 +125,15 @@ fn print_help() {
          \x20 -d <int>        delay bound D: max injected yields per execution (default 0)\n\
          \x20 -freq <int>     maximum testing iterations (default 100)\n\
          \x20 -cov            print the coverage report after the campaign\n\
-         \x20 -seed <int>     base seed (default 1)"
+         \x20 -seed <int>     base seed (default 1)\n\n\
+         supervision (flags override the matching GOAT_* env knobs):\n\
+         \x20 -keep-running             run the full budget even after a detection\n\
+         \x20 -iter-timeout-ms <int>    per-iteration watchdog; 0 disables (GOAT_ITER_TIMEOUT_MS)\n\
+         \x20 -checkpoint <path>        persist/resume campaign progress (GOAT_CHECKPOINT)\n\
+         \x20 -max-retries <int>        retries for infra failures (GOAT_MAX_RETRIES)\n\
+         \x20 -quarantine-after <int>   quarantine after N infra failures (GOAT_QUARANTINE_AFTER)\n\
+         \x20 -quarantine-crashes <int> quarantine after N crashed iterations, 0 = off\n\
+         \x20                           (GOAT_QUARANTINE_CRASHES)"
     );
 }
 
@@ -103,13 +176,15 @@ fn main() -> ExitCode {
         // The paper's `-eval_conf … -freq` whole-benchmark run.
         let mut detected = 0usize;
         for kernel in goat::goker::all_kernels() {
-            let goat = Goat::new(
-                GoatConfig::default()
-                    .with_delay_bound(cli.d)
-                    .with_iterations(cli.freq)
-                    .with_seed0(cli.seed),
-            );
+            let goat = Goat::new(campaign_config(&cli));
             let result = goat.test(Arc::new(KernelProgram(kernel)));
+            if let Some(reason) = &result.quarantined {
+                println!(
+                    "{:<18} QUARANTINED ({reason}; {} iteration(s) skipped)",
+                    kernel.name, result.skipped
+                );
+                continue;
+            }
             match result.first_detection {
                 Some(iter) => {
                     detected += 1;
@@ -145,14 +220,16 @@ detected {detected}/68 at D={} within {} iterations",
         "testing {} (D={}, freq={}, seed0={}) — {}",
         kernel.name, cli.d, cli.freq, cli.seed, kernel.description
     );
-    let goat = Goat::new(
-        GoatConfig::default()
-            .with_delay_bound(cli.d)
-            .with_iterations(cli.freq)
-            .with_seed0(cli.seed),
-    );
+    let goat = Goat::new(campaign_config(&cli));
     let result = goat.test(Arc::new(KernelProgram(kernel)));
 
+    if let Some(reason) = &result.quarantined {
+        println!(
+            "\nkernel quarantined after {} iteration(s): {reason} ({} skipped)",
+            result.records.len(),
+            result.skipped
+        );
+    }
     match (&result.bug, &result.bug_ect) {
         (Some(verdict), Some(ect)) => {
             println!(

@@ -124,6 +124,80 @@ fn stop_on_bug_early_exit_matches_across_executors() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Checkpoint/resume crash safety: a campaign SIGKILLed mid-flight and
+// resumed from its `GOAT_CHECKPOINT` sidecar must produce a report
+// byte-identical to the uninterrupted campaign, no matter where the
+// kill landed (before the first checkpoint, mid-write, or after the
+// last iteration).
+// ---------------------------------------------------------------------
+
+// A budget big enough that the per-iteration checkpoint writes keep
+// the child busy well past the kill point: the SIGKILL lands mid-flight
+// (typically with a few hundred iterations persisted), not after the
+// child already finished.
+const KILL_KERNEL: &str = "etcd6708";
+const KILL_ITERATIONS: usize = 2_000;
+const KILL_SEED0: u64 = 9;
+
+fn kill_resume_campaign(checkpoint: Option<&std::path::Path>) -> String {
+    let kernel = goat::goker::by_name(KILL_KERNEL).expect("kernel");
+    let mut cfg = GoatConfig::default()
+        .with_delay_bound(1)
+        .with_iterations(KILL_ITERATIONS)
+        .with_seed0(KILL_SEED0)
+        .keep_running()
+        .with_checkpoint_every(1);
+    if let Some(path) = checkpoint {
+        cfg = cfg.with_checkpoint(path);
+    }
+    Goat::new(cfg)
+        .test(Arc::new(KernelProgram(kernel)))
+        .to_json_summary()
+        .expect("summary serializes")
+}
+
+#[test]
+fn sigkilled_campaign_resumes_byte_identically() {
+    // Child mode: run the checkpointing campaign until the parent kills
+    // us (or to completion, if the kill is late — both must resume
+    // correctly).
+    if std::env::var("GOAT_DETERMINISM_CHILD").is_ok() {
+        let path = std::env::var("GOAT_DETERMINISM_CKPT").expect("checkpoint path");
+        kill_resume_campaign(Some(std::path::Path::new(&path)));
+        return;
+    }
+
+    let dir = std::env::temp_dir().join(format!("goat-kill-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let ckpt = dir.join("campaign.json");
+    let _ = std::fs::remove_file(&ckpt);
+
+    // Reference: the identical campaign, uninterrupted, no checkpoint.
+    let reference = kill_resume_campaign(None);
+
+    let exe = std::env::current_exe().expect("test binary");
+    let mut child = std::process::Command::new(exe)
+        .args(["sigkilled_campaign_resumes_byte_identically", "--exact", "--nocapture"])
+        .env("GOAT_DETERMINISM_CHILD", "1")
+        .env("GOAT_DETERMINISM_CKPT", &ckpt)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child campaign");
+    std::thread::sleep(std::time::Duration::from_millis(250));
+    child.kill().expect("SIGKILL the campaign"); // SIGKILL on unix
+    let _ = child.wait();
+
+    // Resume from whatever the child managed to persist.
+    let resumed = kill_resume_campaign(Some(&ckpt));
+    assert_eq!(
+        reference, resumed,
+        "campaign resumed after SIGKILL must be byte-identical to the uninterrupted one"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn traces_are_well_formed_across_the_suite() {
     for kernel in goat::goker::all_kernels() {

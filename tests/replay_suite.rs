@@ -33,8 +33,10 @@ fn every_exposed_bug_replays_deterministically() {
     let mut replayed = 0usize;
     let mut failures = Vec::new();
     for kernel in all_kernels() {
-        // Find the bug with whichever variant works fastest.
-        let budget = kernel.rarity.iteration_budget();
+        // Find the bug with whichever variant works fastest. The budget
+        // is clamped against GOAT_ITER_TIMEOUT_MS so a tight watchdog
+        // cannot turn the search into minutes of timed-out iterations.
+        let budget = kernel.rarity.clamped_iteration_budget();
         let mut exposed = None;
         for d in [0u32, 2, 3, 4] {
             let goat = Goat::new(

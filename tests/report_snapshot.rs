@@ -16,8 +16,15 @@
 
 use goat::core::{Goat, GoatConfig, Program};
 use goat::goker::{by_name, BugKernel};
+use goat::runtime::faultpoint;
 use std::path::PathBuf;
 use std::sync::Arc;
+
+/// A fault plan that can never fire (no pinned campaign uses this
+/// seed): both tests hold a scoped-fault guard so the panic injection
+/// below can never leak into the healthy campaigns running in a
+/// parallel test thread.
+const INERT: &str = "iter:panic:seed=999999999";
 
 struct KernelProgram(&'static BugKernel);
 
@@ -55,24 +62,45 @@ fn render(kernel: &'static BugKernel, seed0: u64, delay_bound: u32) -> String {
     json
 }
 
+fn check_or_bless(got: &str, path: &PathBuf, label: &str) {
+    if std::env::var("GOAT_BLESS").is_ok() {
+        std::fs::write(path, got).expect("write snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing snapshot {}: {e}", path.display()));
+    assert_eq!(
+        got, want,
+        "campaign report JSON for {label} drifted from its committed snapshot; if the \
+         schema change is deliberate, re-bless with \
+         GOAT_BLESS=1 cargo test --test report_snapshot"
+    );
+}
+
 #[test]
 fn campaign_report_json_matches_committed_snapshots() {
-    let bless = std::env::var("GOAT_BLESS").is_ok();
+    let _g = faultpoint::scoped(INERT);
     for (name, seed0, d) in CASES {
         let kernel = by_name(name).expect("pinned kernel exists");
         let got = render(kernel, seed0, d);
-        let path = snapshot_path(name, seed0);
-        if bless {
-            std::fs::write(&path, &got).expect("write snapshot");
-            continue;
-        }
-        let want = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("missing snapshot {}: {e}", path.display()));
-        assert_eq!(
-            got, want,
-            "campaign report JSON for {name} (seed0={seed0}) drifted from its committed \
-             snapshot; if the schema change is deliberate, re-bless with \
-             GOAT_BLESS=1 cargo test --test report_snapshot"
-        );
+        check_or_bless(&got, &snapshot_path(name, seed0), name);
     }
+}
+
+/// A campaign whose *first* iteration crashes (an injected kernel panic
+/// at seed 11) while the remaining 19 run normally: pins the report
+/// schema of a mid-campaign crash — `"bug": "CRASH"` at iteration 1,
+/// a full-length iteration series, and no supervision fields (a crash
+/// is a recorded verdict, not a quarantine).
+#[test]
+fn crashed_iteration_campaign_matches_committed_snapshot() {
+    let _g = faultpoint::scoped("iter:panic:seed=11");
+    let (name, seed0, d) = CASES[0];
+    let kernel = by_name(name).expect("pinned kernel exists");
+    let got = render(kernel, seed0, d);
+    assert!(got.contains("\"bug\": \"CRASH\""), "{got}");
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(format!("{name}_s{seed0}_crash.json"));
+    check_or_bless(&got, &path, "crashed-iteration campaign");
 }

@@ -1,0 +1,134 @@
+//! End-to-end campaign supervision: a single campaign survives an
+//! injected wedged iteration, an injected telemetry-sink write error,
+//! and an injected kernel panic — completing with correct TimedOut /
+//! Crashed / dropped-event accounting — and a repeatedly crashing
+//! kernel is quarantined instead of burning its budget.
+//!
+//! Lives in its own integration-test binary (= its own process) because
+//! `GOAT_FAULT`, `GOAT_TELEMETRY`, and the teardown deadline resolve
+//! the environment once, lazily, on first use; everything runs in ONE
+//! `#[test]` so the env is pinned before any of it is touched.
+
+use goat::core::{FnProgram, Goat, GoatConfig, GoatVerdict, Program};
+use goat::runtime::Chan;
+use std::sync::Arc;
+
+fn clean_program() -> Arc<dyn Program> {
+    Arc::new(FnProgram::new("handshake", || {
+        let ch: Chan<u8> = Chan::new(0);
+        let tx = ch.clone();
+        goat::runtime::go(move || tx.send(1));
+        ch.recv();
+    }))
+}
+
+fn crashing_program() -> Arc<dyn Program> {
+    Arc::new(FnProgram::new("crashy", || {
+        let ch: Chan<u8> = Chan::new(0);
+        ch.close();
+        ch.send(1); // send on closed channel panics every run
+    }))
+}
+
+#[test]
+fn faulted_campaign_completes_with_correct_accounting() {
+    // Must precede the first touch of the metrics crate / faultpoint.
+    let stream =
+        std::env::temp_dir().join(format!("goat_supervision_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&stream);
+    std::env::set_var(goat::metrics::TELEMETRY_ENV, &stream);
+    // Iteration seeds run 101..=120 below: wedge seed 105, panic seed
+    // 112, and fail the telemetry sink after 30 successful writes.
+    std::env::set_var(
+        goat::runtime::faultpoint::FAULT_ENV,
+        "iter:wedge:seed=105,iter:panic:seed=112,sink:err:after=30",
+    );
+    // A wedged iteration stalls teardown until this deadline.
+    std::env::set_var("GOAT_TEARDOWN_TIMEOUT_MS", "150");
+
+    // -- one campaign through all three faults ------------------------
+    let goat = Goat::new(
+        GoatConfig::default()
+            .with_iterations(20)
+            .with_seed0(101)
+            .keep_running()
+            .with_iter_timeout_ms(Some(80)),
+    );
+    let result = goat.test(clean_program());
+
+    assert_eq!(result.records.len(), 20, "campaign must complete the full budget");
+    assert!(result.quarantined.is_none());
+    for rec in &result.records {
+        match rec.seed {
+            105 => assert!(
+                matches!(rec.verdict, GoatVerdict::Hang),
+                "wedged iteration must be recorded as a suspected hang, got {}",
+                rec.verdict
+            ),
+            112 => match &rec.verdict {
+                GoatVerdict::Crash { msg } => {
+                    assert!(msg.contains("injected fault"), "{msg}")
+                }
+                other => panic!("panic seed must record Crash, got {other}"),
+            },
+            _ => assert!(
+                !matches!(rec.verdict, GoatVerdict::Hang | GoatVerdict::Crash { .. }),
+                "seed {} unexpectedly failed: {}",
+                rec.seed,
+                rec.verdict
+            ),
+        }
+    }
+
+    // Supervision counters: exactly the injected faults were counted.
+    assert!(goat::runtime::faultpoint::injected() >= 2, "both iter faults must fire");
+    let reg = goat::metrics::global();
+    assert_eq!(reg.counter_total("supervision.timeouts"), 1);
+    assert_eq!(reg.counter_total("supervision.quarantines"), 0);
+
+    // The sink died mid-campaign (write 31) and degraded instead of
+    // killing the run: events after that point are counted, not written.
+    assert!(!goat::metrics::sink::active(), "sink must be degraded");
+    assert!(goat::metrics::sink::events_dropped() > 0);
+    assert_eq!(
+        reg.counter_total("telemetry.events_dropped"),
+        goat::metrics::sink::events_dropped()
+    );
+    // Every surviving line parses (the vendored serde ignores unknown
+    // fields, so one probe struct covers every event kind).
+    #[derive(serde::Deserialize)]
+    struct EventProbe {
+        kind: String,
+    }
+    let raw = std::fs::read_to_string(&stream).expect("stream partially written");
+    assert_eq!(raw.lines().count(), 30, "exactly the pre-fault writes reach the file");
+    for line in raw.lines() {
+        let probe: EventProbe = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("degraded sink left a torn line: {e}\n{line}"));
+        assert!(!probe.kind.is_empty());
+    }
+    assert!(
+        raw.lines().any(|l| l.contains("\"fault_injected\"")),
+        "the wedge injection (iteration 5) must be in the stream prefix"
+    );
+
+    // Telemetry block survives sink degradation (it is independent).
+    assert!(result.telemetry.is_some());
+
+    // -- quarantine accounting ----------------------------------------
+    let goat = Goat::new(
+        GoatConfig::default()
+            .with_iterations(10)
+            .with_seed0(200)
+            .keep_running()
+            .with_quarantine_crashes(3),
+    );
+    let r = goat.test(crashing_program());
+    assert_eq!(r.records.len(), 3, "quarantined after the crash streak");
+    assert_eq!(r.skipped, 7);
+    let reason = r.quarantined.as_deref().expect("quarantine reason");
+    assert!(reason.contains("3 consecutive crashed iterations"), "{reason}");
+    assert_eq!(reg.counter_total("supervision.quarantines"), 1);
+
+    let _ = std::fs::remove_file(&stream);
+}
