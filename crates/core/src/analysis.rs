@@ -36,12 +36,20 @@ pub enum GoatVerdict {
     },
     /// The watchdog aborted a non-terminating run.
     Hang,
+    /// The harness failed to host the run (pool checkout, thread
+    /// spawn); nothing was observed about the program. Never a bug —
+    /// the quarantine path is the sole response to infra faults.
+    InfraFailure {
+        /// What part of the harness failed.
+        reason: String,
+    },
 }
 
 impl GoatVerdict {
-    /// Did GoAT flag a bug?
+    /// Did GoAT flag a bug? Infra failures are the harness's problem,
+    /// not evidence about the program, so they never count.
     pub fn is_bug(&self) -> bool {
-        !matches!(self, GoatVerdict::Pass)
+        !matches!(self, GoatVerdict::Pass | GoatVerdict::InfraFailure { .. })
     }
 
     /// The Table IV symptom code for this verdict.
@@ -54,6 +62,7 @@ impl GoatVerdict {
             GoatVerdict::GlobalDeadlock => Symptom::GlobalDeadlock,
             GoatVerdict::Crash { .. } => Symptom::Crash,
             GoatVerdict::Hang => Symptom::Hang,
+            GoatVerdict::InfraFailure { .. } => Symptom::None,
         }
     }
 }
@@ -62,6 +71,7 @@ impl fmt::Display for GoatVerdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GoatVerdict::Crash { msg } => write!(f, "CRASH({msg})"),
+            GoatVerdict::InfraFailure { reason } => write!(f, "INFRA({reason})"),
             other => write!(f, "{}", other.symptom()),
         }
     }
@@ -110,10 +120,11 @@ pub fn analyze_run(result: &RunResult) -> GoatVerdict {
         RunOutcome::StepLimit | RunOutcome::TimedOut { .. } => GoatVerdict::Hang,
         // The harness failed to host the run; nothing was observed about
         // the program. The campaign layer retries these before analysis —
-        // reaching this mapping means retries were exhausted.
-        RunOutcome::InfraFailure { reason } => {
-            GoatVerdict::Crash { msg: format!("infra failure: {reason}") }
-        }
+        // reaching this mapping means retries were exhausted. Still not
+        // bug evidence: the non-bug verdict keeps a transient harness
+        // fault from setting first_detection/stopping the campaign, and
+        // leaves the infra_streak/quarantine path as the sole response.
+        RunOutcome::InfraFailure { reason } => GoatVerdict::InfraFailure { reason: reason.clone() },
         RunOutcome::GlobalDeadlock { .. } | RunOutcome::Completed => match &result.ect {
             Some(ect) => deadlock_check(&GTree::from_ect(ect)),
             // Tracing off: fall back to runtime ground truth.
@@ -252,6 +263,20 @@ mod tests {
             GoatVerdict::PartialDeadlock { leaked: vec![Gid(2)] }.symptom(),
             Symptom::PartialDeadlock { leaked: 1 }
         );
+    }
+
+    #[test]
+    fn infra_failure_is_never_bug_evidence() {
+        // An exhausted-retries harness fault must not be forged into a
+        // kernel crash: no detection, no symptom, distinct display.
+        let mut r = Runtime::run(cfg(0), || {});
+        r.outcome = goat_runtime::RunOutcome::InfraFailure { reason: "pool checkout".into() };
+        let v = analyze_run(&r);
+        assert_eq!(v, GoatVerdict::InfraFailure { reason: "pool checkout".into() });
+        assert!(!v.is_bug(), "infra failure must not count as a detection");
+        assert_eq!(v.symptom(), Symptom::None);
+        assert_eq!(v.to_string(), "INFRA(pool checkout)");
+        crosscheck(&r).unwrap();
     }
 
     #[test]

@@ -47,13 +47,17 @@ pub const CHECKPOINT_VERSION: u32 = 1;
 /// iteration budget is excluded on purpose (resume may extend it).
 pub fn fingerprint(program_name: &str, cfg: &GoatConfig) -> String {
     format!(
-        "v{CHECKPOINT_VERSION}:{program_name}:seed0={}:d={}:stop={}:cov={}:eps={:x}:steps={}",
+        "v{CHECKPOINT_VERSION}:{program_name}:seed0={}:d={}:stop={}:cov={}:eps={:x}:steps={}:wd={}",
         cfg.seed0,
         cfg.delay_bound,
         cfg.stop_on_bug,
         cfg.coverage_threshold.map_or("none".to_string(), |t| format!("{:x}", t.to_bits())),
         cfg.native_preempt_prob.to_bits(),
         cfg.max_steps,
+        // The wall-clock watchdog changes per-iteration outcomes
+        // (TimedOut vs Completed), so records written under a different
+        // GOAT_ITER_TIMEOUT_MS cannot be mixed into this campaign.
+        cfg.iter_timeout_ms.map_or("off".to_string(), |ms| ms.to_string()),
     )
 }
 
@@ -230,5 +234,17 @@ mod tests {
         assert_eq!(fingerprint("p", &a), fingerprint("p", &b));
         let c = GoatConfig::default().with_delay_bound(2);
         assert_ne!(fingerprint("p", &a), fingerprint("p", &c));
+    }
+
+    #[test]
+    fn fingerprint_covers_the_watchdog() {
+        // Records written under a different (or absent) wall-clock
+        // watchdog have different TimedOut/Completed semantics; the
+        // fingerprint must keep them from being mixed on resume.
+        let off = GoatConfig::default().with_iter_timeout_ms(None);
+        let tight = GoatConfig::default().with_iter_timeout_ms(Some(50));
+        let loose = GoatConfig::default().with_iter_timeout_ms(Some(5000));
+        assert_ne!(fingerprint("p", &off), fingerprint("p", &tight));
+        assert_ne!(fingerprint("p", &tight), fingerprint("p", &loose));
     }
 }

@@ -617,6 +617,10 @@ impl MergeState {
         // only after `run_supervised` exhausted its retries.
         if let RunOutcome::InfraFailure { reason } = &result.outcome {
             self.infra_streak += 1;
+            // An infra-failed iteration did not crash, so it breaks a
+            // crash streak: "consecutive crashed iterations" means
+            // literally consecutive.
+            self.crash_streak = 0;
             if cfg.quarantine_after > 0 && self.infra_streak >= cfg.quarantine_after as usize {
                 self.quarantined = Some(format!(
                     "{} consecutive infra failures (last: {reason})",
@@ -1467,6 +1471,40 @@ mod tests {
         assert_eq!(r.records.len(), 4, "fresh campaign, stale sidecar ignored");
         assert_eq!(r.records[0].seed, 7);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn exhausted_infra_failure_is_not_a_detection() {
+        let base = Runtime::run(Config::new(0).with_trace(false), || {});
+        let with = |outcome: RunOutcome| {
+            let mut r = base.clone();
+            r.outcome = outcome;
+            r.ect = None;
+            r
+        };
+        let crash =
+            || with(RunOutcome::Panicked { g: goat_trace::Gid(9), msg: "boom".to_string() });
+        let infra = || with(RunOutcome::InfraFailure { reason: "pool checkout".to_string() });
+
+        // A post-retry infra failure must not be forged into bug
+        // evidence: no detection, no stop under stop_on_bug.
+        let cfg = GoatConfig::default();
+        let mut m = MergeState::new(CuTable::new());
+        assert!(!m.merge_one(&cfg, 0, infra()), "infra failure must not stop the campaign");
+        assert!(m.first_detection.is_none());
+        assert!(m.bug.is_none());
+        assert!(matches!(m.records[0].verdict, GoatVerdict::InfraFailure { .. }));
+
+        // crash → infra → crash is not two *consecutive* crashes…
+        let cfg = GoatConfig::default().keep_running().with_quarantine_crashes(2);
+        let mut m = MergeState::new(CuTable::new());
+        m.merge_one(&cfg, 0, crash());
+        m.merge_one(&cfg, 1, infra());
+        m.merge_one(&cfg, 2, crash());
+        assert!(m.quarantined.is_none(), "infra failure must break the crash streak");
+        // …while two actually consecutive ones still quarantine.
+        assert!(m.merge_one(&cfg, 3, crash()));
+        assert!(m.quarantined.is_some());
     }
 
     #[test]

@@ -135,18 +135,29 @@ fn parse_plan(raw: &str) -> Plan {
     Plan { specs, rng: Mutex::new(SmallRng::seed_from_u64(seed)) }
 }
 
-fn install_plan(plan: Option<Plan>) {
+fn install_locked(slot: &mut Option<&'static Plan>, plan: Option<Plan>) {
     let leaked = plan.filter(|p| !p.specs.is_empty()).map(|p| &*Box::leak(Box::new(p)));
-    *PLAN.lock().expect("fault plan") = leaked;
+    *slot = leaked;
     STATE.store(if leaked.is_some() { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+fn install_plan(plan: Option<Plan>) {
+    install_locked(&mut PLAN.lock().expect("fault plan"), plan);
 }
 
 #[cold]
 fn resolve() -> bool {
-    // Racy double-resolution is harmless: both racers parse the same
-    // environment and install equivalent plans.
-    let plan = std::env::var(FAULT_ENV).ok().filter(|v| !v.is_empty()).map(|v| parse_plan(&v));
-    install_plan(plan);
+    // Re-check the state under the plan lock: a scoped plan installed
+    // concurrently with this first-ever active() call (STATE 0 → 2)
+    // must not be overwritten by the lazy environment resolution, or
+    // the injected faults would silently vanish while the FaultGuard
+    // is still alive. Losing the race the other way is harmless: the
+    // loser sees STATE != 0 and leaves the installed plan untouched.
+    let mut slot = PLAN.lock().expect("fault plan");
+    if STATE.load(Ordering::Relaxed) == 0 {
+        let plan = std::env::var(FAULT_ENV).ok().filter(|v| !v.is_empty()).map(|v| parse_plan(&v));
+        install_locked(&mut slot, plan);
+    }
     STATE.load(Ordering::Relaxed) == 2
 }
 

@@ -117,6 +117,16 @@ fn campaign_config(cli: &Cli) -> GoatConfig {
     cfg
 }
 
+/// Derive a kernel-specific checkpoint sidecar from the base path the
+/// user supplied: `cp.json` → `cp.<kernel>.json` (no extension:
+/// `cp` → `cp.<kernel>`).
+fn per_kernel_checkpoint(base: &std::path::Path, kernel: &str) -> std::path::PathBuf {
+    match base.extension().and_then(|e| e.to_str()) {
+        Some(ext) => base.with_extension(format!("{kernel}.{ext}")),
+        None => base.with_extension(kernel),
+    }
+}
+
 fn print_help() {
     println!(
         "goat — automated concurrency analysis and debugging (GoAT reproduction)\n\n\
@@ -176,7 +186,16 @@ fn main() -> ExitCode {
         // The paper's `-eval_conf … -freq` whole-benchmark run.
         let mut detected = 0usize;
         for kernel in goat::goker::all_kernels() {
-            let goat = Goat::new(campaign_config(&cli));
+            let mut cfg = campaign_config(&cli);
+            // One shared sidecar across 68 kernels would fingerprint-
+            // mismatch on every kernel (program name differs) and each
+            // campaign would overwrite the previous kernel's state;
+            // give every kernel its own sidecar so suite-mode resume
+            // actually resumes.
+            if let Some(base) = cfg.checkpoint.take() {
+                cfg = cfg.with_checkpoint(per_kernel_checkpoint(&base, kernel.name));
+            }
+            let goat = Goat::new(cfg);
             let result = goat.test(Arc::new(KernelProgram(kernel)));
             if let Some(reason) = &result.quarantined {
                 println!(
@@ -254,5 +273,28 @@ detected {detected}/68 at D={} within {} iterations",
         ExitCode::FAILURE // bug found: nonzero, like a failing test
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_kernel_checkpoint_paths_are_distinct() {
+        let base = std::path::Path::new("/tmp/cp.json");
+        assert_eq!(
+            per_kernel_checkpoint(base, "moby28462"),
+            std::path::Path::new("/tmp/cp.moby28462.json")
+        );
+        let bare = std::path::Path::new("/tmp/cp");
+        assert_eq!(
+            per_kernel_checkpoint(bare, "etcd6873"),
+            std::path::Path::new("/tmp/cp.etcd6873")
+        );
+        assert_ne!(
+            per_kernel_checkpoint(base, "moby28462"),
+            per_kernel_checkpoint(base, "etcd6873")
+        );
     }
 }

@@ -130,5 +130,32 @@ fn faulted_campaign_completes_with_correct_accounting() {
     assert!(reason.contains("3 consecutive crashed iterations"), "{reason}");
     assert_eq!(reg.counter_total("supervision.quarantines"), 1);
 
+    // -- infra failures are never bug evidence -------------------------
+    // Every checkout fails, so every iteration exhausts its retries and
+    // surfaces InfraFailure: the campaign must not claim a detection
+    // (stop_on_bug stays armed and never fires) — quarantine is the
+    // sole response.
+    {
+        let _g = goat::runtime::faultpoint::scoped("pool_checkout:err:1.0");
+        let goat = Goat::new(
+            GoatConfig::default()
+                .with_iterations(8)
+                .with_seed0(300)
+                .with_max_retries(0)
+                .with_quarantine_after(3),
+        );
+        let r = goat.test(clean_program());
+        assert_eq!(r.first_detection, None, "harness fault forged into a detection");
+        assert!(r.bug.is_none());
+        assert!(r
+            .records
+            .iter()
+            .all(|rec| matches!(rec.verdict, GoatVerdict::InfraFailure { .. })));
+        let reason = r.quarantined.as_deref().expect("infra quarantine");
+        assert!(reason.contains("3 consecutive infra failures"), "{reason}");
+        assert_eq!(r.records.len(), 3);
+        assert_eq!(r.skipped, 5);
+    }
+
     let _ = std::fs::remove_file(&stream);
 }
