@@ -1,0 +1,159 @@
+//! The analysis data plane, old vs new: legacy multi-pass analysis
+//! (separate gtree / coverage / sync-pair walks over the ECT, BTree
+//! side tables, `BTreeSet<ReqKey>` coverage) against the fused
+//! dense-ID single-pass driver (`EctBuffers::analyze`: one sweep,
+//! flat goroutine slot tables, bitset coverage, recycled scratch) —
+//! at 1k, 10k and 100k trace events. Plus the coverage-merge
+//! micro-comparison: ordered-set union vs bitwise OR.
+//!
+//! Results are committed in `BENCH_analysis.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goat_core::coverage::{extract_sync_pairs, reference};
+use goat_core::{deadlock_check, EctBuffers};
+use goat_model::{CoverageSet, ReqKey, RequirementUniverse};
+use goat_runtime::{go, Chan, Config, Mutex, Runtime, WaitGroup};
+use goat_trace::{Ect, GTree};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// A representative mixed workload (channels + mutex + wait-group over
+/// several goroutines); `rounds` scales the trace length linearly at
+/// roughly 8 events per worker round.
+fn trace_of(rounds: u64) -> Ect {
+    let r = Runtime::run(Config::new(1).with_native_preempt_prob(0.0), move || {
+        let queue: Chan<u64> = Chan::new(4);
+        let mu = Mutex::new();
+        let wg = WaitGroup::new();
+        for _ in 0..6 {
+            wg.add(1);
+            let (queue, mu, wg) = (queue.clone(), mu.clone(), wg.clone());
+            go(move || {
+                for i in 0..rounds {
+                    queue.send(i);
+                    mu.lock();
+                    mu.unlock();
+                }
+                wg.done();
+            });
+        }
+        let rx = queue.clone();
+        go(move || while rx.recv().is_some() {});
+        wg.wait();
+        queue.close();
+    });
+    r.ect.expect("traced")
+}
+
+fn bench_plane(c: &mut Criterion) {
+    for (label, rounds, target) in
+        [("1k", 20u64, 1_000usize), ("10k", 200, 10_000), ("100k", 2000, 100_000)]
+    {
+        let ect = trace_of(rounds);
+        assert!(
+            ect.len() >= target / 2 && ect.len() <= target * 2,
+            "{label}: trace has {} events",
+            ect.len()
+        );
+        let mut group = c.benchmark_group(format!("analysis_plane_{label}"));
+        if target >= 100_000 {
+            group.sample_size(10);
+        }
+        // The pre-dense-plane per-iteration pipeline as the campaign
+        // runner drove it (sync pairs are a baseline-phase extra, not
+        // part of the per-iteration merge): separate walks, BTree state,
+        // fresh allocations every iteration.
+        group.bench_function("multi_pass_btree", |b| {
+            b.iter(|| {
+                let mut universe = RequirementUniverse::new();
+                let cov = reference::extract_coverage(&ect, &mut universe);
+                let tree = GTree::from_ect(&ect);
+                let verdict = deadlock_check(&tree);
+                (cov.covered.len(), verdict)
+            })
+        });
+        // The fused plane, buffers recycled across iterations exactly as
+        // the campaign runner drives it.
+        group.bench_function("fused_dense", |b| {
+            let mut bufs = EctBuffers::new();
+            b.iter(|| {
+                let mut universe = RequirementUniverse::new();
+                let analysis = bufs.analyze(&ect, &mut universe, false);
+                let verdict = deadlock_check(&analysis.tree);
+                let out = (analysis.coverage.covered.len(), verdict);
+                bufs.reclaim(analysis.coverage);
+                out
+            })
+        });
+        // Supplementary arms with sync-pair extraction folded in (the
+        // baseline-phase shape).
+        group.bench_function("multi_pass_btree_with_pairs", |b| {
+            b.iter(|| {
+                let mut universe = RequirementUniverse::new();
+                let cov = reference::extract_coverage(&ect, &mut universe);
+                let tree = GTree::from_ect(&ect);
+                let pairs = extract_sync_pairs(&ect);
+                let verdict = deadlock_check(&tree);
+                (cov.covered.len(), pairs.len(), verdict)
+            })
+        });
+        group.bench_function("fused_dense_with_pairs", |b| {
+            let mut bufs = EctBuffers::new();
+            b.iter(|| {
+                let mut universe = RequirementUniverse::new();
+                let analysis = bufs.analyze(&ect, &mut universe, true);
+                let verdict = deadlock_check(&analysis.tree);
+                let out = (
+                    analysis.coverage.covered.len(),
+                    analysis.sync_pairs.as_ref().map_or(0, |p| p.len()),
+                    verdict,
+                );
+                bufs.reclaim(analysis.coverage);
+                out
+            })
+        });
+        group.finish();
+    }
+
+    // Campaign-accumulator merge: 100 per-run set merges, ordered-set
+    // union vs bitwise OR over the same covered requirements.
+    let ect = trace_of(200);
+    let mut universe = RequirementUniverse::new();
+    let cov = goat_core::extract_coverage(&ect, &mut universe);
+    let keys: BTreeSet<ReqKey> = cov.covered.iter().collect();
+    assert!(!keys.is_empty());
+    let mut group = c.benchmark_group("coverage_merge_x100");
+    group.bench_function("btree_union", |b| {
+        b.iter(|| {
+            let mut acc: BTreeSet<ReqKey> = BTreeSet::new();
+            for _ in 0..100 {
+                acc.extend(keys.iter().copied());
+            }
+            acc.len()
+        })
+    });
+    group.bench_function("bitset_or", |b| {
+        b.iter(|| {
+            let mut acc = CoverageSet::new();
+            for _ in 0..100 {
+                acc.merge(&cov.covered);
+            }
+            acc.len()
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_plane
+}
+criterion_main!(benches);

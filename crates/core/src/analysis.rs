@@ -113,6 +113,16 @@ pub fn deadlock_check(tree: &GTree) -> GoatVerdict {
 /// completed and globally deadlocked runs the ECT analysis supplies the
 /// verdict, exactly as GoAT derives everything from the trace.
 pub fn analyze_run(result: &RunResult) -> GoatVerdict {
+    analyze_run_with(result, None)
+}
+
+/// [`analyze_run`] with an optional pre-built goroutine tree.
+///
+/// The campaign loop's fused analysis pass already constructs the run's
+/// `GTree`; passing it here avoids a second trace walk. `tree` must have
+/// been built from `result.ect` — when `None`, the tree is built on
+/// demand.
+pub fn analyze_run_with(result: &RunResult, tree: Option<&GTree>) -> GoatVerdict {
     match &result.outcome {
         RunOutcome::Panicked { msg, .. } => GoatVerdict::Crash { msg: msg.clone() },
         // Both watchdogs — step-bound and wall-clock — flag a suspected
@@ -125,10 +135,11 @@ pub fn analyze_run(result: &RunResult) -> GoatVerdict {
         // fault from setting first_detection/stopping the campaign, and
         // leaves the infra_streak/quarantine path as the sole response.
         RunOutcome::InfraFailure { reason } => GoatVerdict::InfraFailure { reason: reason.clone() },
-        RunOutcome::GlobalDeadlock { .. } | RunOutcome::Completed => match &result.ect {
-            Some(ect) => deadlock_check(&GTree::from_ect(ect)),
+        RunOutcome::GlobalDeadlock { .. } | RunOutcome::Completed => match (tree, &result.ect) {
+            (Some(tree), _) => deadlock_check(tree),
+            (None, Some(ect)) => deadlock_check(&GTree::from_ect(ect)),
             // Tracing off: fall back to runtime ground truth.
-            None => match &result.outcome {
+            (None, None) => match &result.outcome {
                 RunOutcome::GlobalDeadlock { .. } => GoatVerdict::GlobalDeadlock,
                 _ if result.alive_at_end.is_empty() => GoatVerdict::Pass,
                 _ => GoatVerdict::PartialDeadlock {

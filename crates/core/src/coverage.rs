@@ -32,22 +32,15 @@ pub struct RunCoverage {
     pub per_g: BTreeMap<Gid, CoverageSet>,
 }
 
-impl RunCoverage {
-    fn cover(&mut self, g: Gid, key: ReqKey) {
-        self.covered.cover(key);
-        self.per_g.entry(g).or_default().cover(key);
-    }
+pub(crate) struct PendingSelect {
+    pub(crate) cu: Cu,
+    pub(crate) cases: usize,
+    pub(crate) has_default: bool,
+    pub(crate) blocked: bool,
+    pub(crate) woke: bool,
 }
 
-struct PendingSelect {
-    cu: Cu,
-    cases: usize,
-    has_default: bool,
-    blocked: bool,
-    woke: bool,
-}
-
-fn flavor_of(f: SelCaseFlavor) -> CaseFlavor {
+pub(crate) fn flavor_of(f: SelCaseFlavor) -> CaseFlavor {
     match f {
         SelCaseFlavor::Send => CaseFlavor::Send,
         SelCaseFlavor::Recv => CaseFlavor::Recv,
@@ -58,7 +51,7 @@ fn flavor_of(f: SelCaseFlavor) -> CaseFlavor {
 /// Which CU kinds an op-completion event is allowed to bind to. Events
 /// whose CU kind does not match are internal sub-operations (e.g. the
 /// mutex re-acquisition inside `Cond::wait`) and are skipped.
-fn expected_kinds(ev: &EventKind) -> &'static [CuKind] {
+pub(crate) fn expected_kinds(ev: &EventKind) -> &'static [CuKind] {
     match ev {
         EventKind::ChSend { .. } => &[CuKind::Send],
         EventKind::ChRecv { .. } => &[CuKind::Recv, CuKind::Range],
@@ -76,161 +69,201 @@ fn expected_kinds(ev: &EventKind) -> &'static [CuKind] {
 
 /// Extract the coverage of one trace, growing `universe` with newly
 /// discovered CUs and select cases.
+///
+/// This is a convenience wrapper over the fused data plane
+/// ([`crate::plane::EctBuffers`]) that allocates fresh scratch per call;
+/// the campaign runner holds a long-lived `EctBuffers` instead and
+/// recycles the scratch across iterations.
 pub fn extract_coverage(ect: &Ect, universe: &mut RequirementUniverse) -> RunCoverage {
-    let mut cov = RunCoverage::default();
-    // The goroutine's pending block site: set by GoBlock, consumed by the
-    // next op-completion event of the same goroutine.
-    let mut last_block: BTreeMap<Gid, Cu> = BTreeMap::new();
-    // CUs of GoUnblock events emitted since the goroutine's last event.
-    let mut pending_unblocks: BTreeMap<Gid, Vec<Cu>> = BTreeMap::new();
-    let mut select_stack: BTreeMap<Gid, Vec<PendingSelect>> = BTreeMap::new();
-    // Runtime-internal goroutines (GoAT's own watcher/stopper) are not
-    // part of the application: none of their operations count as
-    // coverage, mirroring the application-level filter of §III-E.
-    let mut internal: std::collections::BTreeSet<Gid> = std::iter::once(Gid::RUNTIME).collect();
+    crate::plane::EctBuffers::new().analyze(ect, universe, false).coverage
+}
 
-    for ev in ect.iter() {
-        let g = ev.g;
-        if let EventKind::GoCreate { new_g, internal: true, .. } = &ev.kind {
-            internal.insert(*new_g);
+/// The retained legacy multi-pass extractor: per-goroutine state in
+/// `BTreeMap`s, covered requirements in `BTreeSet<ReqKey>`.
+///
+/// This is *not* used by the campaign loop — it exists as the reference
+/// semantics the fused plane is differentially tested against
+/// (`tests/differential.rs`) and as the baseline the `analysis_plane`
+/// bench measures speedups over. Its event-by-event logic must stay
+/// byte-for-byte what `extract_coverage` shipped before the dense plane
+/// landed; do not "fix" it to match the plane — fix the plane to match
+/// it.
+pub mod reference {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// Coverage produced by one execution, in ordered-set form.
+    #[derive(Debug, Clone, Default, PartialEq)]
+    pub struct RefRunCoverage {
+        /// All requirements covered in this run.
+        pub covered: BTreeSet<ReqKey>,
+        /// Requirements covered per goroutine.
+        pub per_g: BTreeMap<Gid, BTreeSet<ReqKey>>,
+    }
+
+    impl RefRunCoverage {
+        fn cover(&mut self, g: Gid, key: ReqKey) {
+            self.covered.insert(key);
+            self.per_g.entry(g).or_default().insert(key);
         }
-        if internal.contains(&g) {
-            continue;
-        }
-        match &ev.kind {
-            EventKind::GoCreate { internal: false, .. } => {
-                if let Some(cu) = &ev.cu {
-                    let id = universe.discover_cu(*cu);
-                    cov.cover(g, ReqKey::op(id, ReqValue::Nop));
-                }
-                pending_unblocks.remove(&g);
+    }
+
+    /// The pre-dense-plane `extract_coverage`, verbatim.
+    pub fn extract_coverage(ect: &Ect, universe: &mut RequirementUniverse) -> RefRunCoverage {
+        let mut cov = RefRunCoverage::default();
+        // The goroutine's pending block site: set by GoBlock, consumed by
+        // the next op-completion event of the same goroutine.
+        let mut last_block: BTreeMap<Gid, Cu> = BTreeMap::new();
+        // CUs of GoUnblock events emitted since the goroutine's last event.
+        let mut pending_unblocks: BTreeMap<Gid, Vec<Cu>> = BTreeMap::new();
+        let mut select_stack: BTreeMap<Gid, Vec<PendingSelect>> = BTreeMap::new();
+        // Runtime-internal goroutines (GoAT's own watcher/stopper) are not
+        // part of the application: none of their operations count as
+        // coverage, mirroring the application-level filter of §III-E.
+        let mut internal: BTreeSet<Gid> = std::iter::once(Gid::RUNTIME).collect();
+
+        for ev in ect.iter() {
+            let g = ev.g;
+            if let EventKind::GoCreate { new_g, internal: true, .. } = &ev.kind {
+                internal.insert(*new_g);
             }
-            EventKind::GoBlock { reason, holder_cu, holder } => {
-                // Req3 "blocking": credit the holder's acquisition site.
-                if let Some(hcu) = holder_cu {
-                    let id = universe.discover_cu(*hcu);
-                    cov.cover(holder.unwrap_or(g), ReqKey::op(id, ReqValue::Blocking));
-                }
-                if let Some(cu) = &ev.cu {
-                    last_block.insert(g, *cu);
-                    // Discover the blocked op's CU and cover its
-                    // *blocked* requirement right away: a goroutine that
-                    // leaks here never emits a completion event, yet its
-                    // blocking is exactly what Req1/Req3 want observed.
-                    let id = universe.discover_cu(*cu);
-                    if goat_model::op_requirements(cu.kind).contains(&ReqValue::Blocked) {
-                        cov.cover(g, ReqKey::op(id, ReqValue::Blocked));
-                    }
-                    if *reason == BlockReason::Select {
-                        if let Some(stack) = select_stack.get_mut(&g) {
-                            if let Some(top) = stack.last_mut() {
-                                if top.cu.same_site(cu) {
-                                    top.blocked = true;
-                                }
-                            }
-                        }
-                    }
-                }
-                pending_unblocks.remove(&g);
+            if internal.contains(&g) {
+                continue;
             }
-            EventKind::GoUnblock { .. } => {
-                if let Some(cu) = &ev.cu {
-                    pending_unblocks.entry(g).or_default().push(*cu);
-                    if cu.kind == CuKind::Select {
-                        if let Some(stack) = select_stack.get_mut(&g) {
-                            if let Some(top) = stack.last_mut() {
-                                if top.cu.same_site(cu) {
-                                    top.woke = true;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            EventKind::SelectBegin { cases, has_default } => {
-                if let Some(cu) = &ev.cu {
-                    let id = universe.discover_cu(*cu);
-                    for (i, (fl, _)) in cases.iter().enumerate() {
-                        universe.discover_select_case(id, i, flavor_of(*fl), *has_default);
-                    }
-                    if *has_default {
-                        universe.discover_select_case(id, cases.len(), CaseFlavor::Default, true);
-                    }
-                    select_stack.entry(g).or_default().push(PendingSelect {
-                        cu: *cu,
-                        cases: cases.len(),
-                        has_default: *has_default,
-                        blocked: false,
-                        woke: false,
-                    });
-                }
-                pending_unblocks.remove(&g);
-            }
-            EventKind::SelectEnd { chosen, flavor, .. } => {
-                if let Some(cu) = &ev.cu {
-                    let id = universe.discover_cu(*cu);
-                    let entry = select_stack.get_mut(&g).and_then(|st| st.pop());
-                    let (blocked, woke, cases, has_default) = match &entry {
-                        Some(e) if e.cu.same_site(cu) => {
-                            (e.blocked, e.woke, e.cases, e.has_default)
-                        }
-                        _ => (false, false, chosen.wrapping_add(1), false),
-                    };
-                    if *chosen == usize::MAX {
-                        cov.cover(g, ReqKey::case(id, cases, CaseFlavor::Default, ReqValue::Nop));
-                    } else {
-                        let fl = flavor_of(*flavor);
-                        let value = if blocked && !has_default {
-                            ReqValue::Blocked
-                        } else if woke {
-                            ReqValue::Unblocking
-                        } else {
-                            ReqValue::Nop
-                        };
-                        cov.cover(g, ReqKey::case(id, *chosen, fl, value));
-                    }
-                }
-                last_block.remove(&g);
-                pending_unblocks.remove(&g);
-            }
-            kind if kind.is_op_completion() => {
-                let allowed = expected_kinds(kind);
-                if let Some(cu) = &ev.cu {
-                    if allowed.contains(&cu.kind) {
+            match &ev.kind {
+                EventKind::GoCreate { internal: false, .. } => {
+                    if let Some(cu) = &ev.cu {
                         let id = universe.discover_cu(*cu);
-                        let blocked = last_block.get(&g).map(|b| b.same_site(cu)).unwrap_or(false)
-                            || matches!(kind, EventKind::CondWait { .. });
-                        let woke = pending_unblocks
-                            .get(&g)
-                            .map(|v| v.iter().any(|u| u.same_site(cu)))
-                            .unwrap_or(false);
-                        let reqs = goat_model::coverage::op_requirements(cu.kind);
-                        if blocked && reqs.contains(&ReqValue::Blocked) {
+                        cov.cover(g, ReqKey::op(id, ReqValue::Nop));
+                    }
+                    pending_unblocks.remove(&g);
+                }
+                EventKind::GoBlock { reason, holder_cu, holder } => {
+                    // Req3 "blocking": credit the holder's acquisition site.
+                    if let Some(hcu) = holder_cu {
+                        let id = universe.discover_cu(*hcu);
+                        cov.cover(holder.unwrap_or(g), ReqKey::op(id, ReqValue::Blocking));
+                    }
+                    if let Some(cu) = &ev.cu {
+                        last_block.insert(g, *cu);
+                        let id = universe.discover_cu(*cu);
+                        if goat_model::op_requirements(cu.kind).contains(&ReqValue::Blocked) {
                             cov.cover(g, ReqKey::op(id, ReqValue::Blocked));
                         }
-                        if woke && reqs.contains(&ReqValue::Unblocking) {
-                            cov.cover(g, ReqKey::op(id, ReqValue::Unblocking));
+                        if *reason == BlockReason::Select {
+                            if let Some(stack) = select_stack.get_mut(&g) {
+                                if let Some(top) = stack.last_mut() {
+                                    if top.cu.same_site(cu) {
+                                        top.blocked = true;
+                                    }
+                                }
+                            }
                         }
-                        if !blocked && !woke && reqs.contains(&ReqValue::Nop) {
-                            cov.cover(g, ReqKey::op(id, ReqValue::Nop));
+                    }
+                    pending_unblocks.remove(&g);
+                }
+                EventKind::GoUnblock { .. } => {
+                    if let Some(cu) = &ev.cu {
+                        pending_unblocks.entry(g).or_default().push(*cu);
+                        if cu.kind == CuKind::Select {
+                            if let Some(stack) = select_stack.get_mut(&g) {
+                                if let Some(top) = stack.last_mut() {
+                                    if top.cu.same_site(cu) {
+                                        top.woke = true;
+                                    }
+                                }
+                            }
                         }
                     }
                 }
-                last_block.remove(&g);
-                pending_unblocks.remove(&g);
-            }
-            _ => {
-                pending_unblocks.remove(&g);
+                EventKind::SelectBegin { cases, has_default } => {
+                    if let Some(cu) = &ev.cu {
+                        let id = universe.discover_cu(*cu);
+                        for (i, (fl, _)) in cases.iter().enumerate() {
+                            universe.discover_select_case(id, i, flavor_of(*fl), *has_default);
+                        }
+                        if *has_default {
+                            universe.discover_select_case(
+                                id,
+                                cases.len(),
+                                CaseFlavor::Default,
+                                true,
+                            );
+                        }
+                        select_stack.entry(g).or_default().push(PendingSelect {
+                            cu: *cu,
+                            cases: cases.len(),
+                            has_default: *has_default,
+                            blocked: false,
+                            woke: false,
+                        });
+                    }
+                    pending_unblocks.remove(&g);
+                }
+                EventKind::SelectEnd { chosen, flavor, .. } => {
+                    if let Some(cu) = &ev.cu {
+                        let id = universe.discover_cu(*cu);
+                        let entry = select_stack.get_mut(&g).and_then(|st| st.pop());
+                        let (blocked, woke, cases, has_default) = match &entry {
+                            Some(e) if e.cu.same_site(cu) => {
+                                (e.blocked, e.woke, e.cases, e.has_default)
+                            }
+                            _ => (false, false, chosen.wrapping_add(1), false),
+                        };
+                        if *chosen == usize::MAX {
+                            cov.cover(
+                                g,
+                                ReqKey::case(id, cases, CaseFlavor::Default, ReqValue::Nop),
+                            );
+                        } else {
+                            let fl = flavor_of(*flavor);
+                            let value = if blocked && !has_default {
+                                ReqValue::Blocked
+                            } else if woke {
+                                ReqValue::Unblocking
+                            } else {
+                                ReqValue::Nop
+                            };
+                            cov.cover(g, ReqKey::case(id, *chosen, fl, value));
+                        }
+                    }
+                    last_block.remove(&g);
+                    pending_unblocks.remove(&g);
+                }
+                kind if kind.is_op_completion() => {
+                    let allowed = expected_kinds(kind);
+                    if let Some(cu) = &ev.cu {
+                        if allowed.contains(&cu.kind) {
+                            let id = universe.discover_cu(*cu);
+                            let blocked =
+                                last_block.get(&g).map(|b| b.same_site(cu)).unwrap_or(false)
+                                    || matches!(kind, EventKind::CondWait { .. });
+                            let woke = pending_unblocks
+                                .get(&g)
+                                .map(|v| v.iter().any(|u| u.same_site(cu)))
+                                .unwrap_or(false);
+                            let reqs = goat_model::coverage::op_requirements(cu.kind);
+                            if blocked && reqs.contains(&ReqValue::Blocked) {
+                                cov.cover(g, ReqKey::op(id, ReqValue::Blocked));
+                            }
+                            if woke && reqs.contains(&ReqValue::Unblocking) {
+                                cov.cover(g, ReqKey::op(id, ReqValue::Unblocking));
+                            }
+                            if !blocked && !woke && reqs.contains(&ReqValue::Nop) {
+                                cov.cover(g, ReqKey::op(id, ReqValue::Nop));
+                            }
+                        }
+                    }
+                    last_block.remove(&g);
+                    pending_unblocks.remove(&g);
+                }
+                _ => {
+                    pending_unblocks.remove(&g);
+                }
             }
         }
+        cov
     }
-    if goat_metrics::enabled() {
-        let reg = goat_metrics::global();
-        reg.histogram("coverage.trace_events").record(ect.len() as u64);
-        reg.counter_with("coverage.requirements", goat_metrics::context().as_deref())
-            .add(cov.covered.len() as u64);
-    }
-    cov
 }
 
 /// Extract baseline **synchronization-pair** coverage (§II-D's earlier
@@ -380,7 +413,7 @@ mod tests {
             u.iter().filter(|k| matches!(k.target, ReqTarget::Case { .. })).collect();
         assert_eq!(case_reqs.len(), 6, "{case_reqs:?}");
         // the fired case covered a NOP (data was ready; nobody woken)
-        let covered_cases: Vec<&ReqKey> =
+        let covered_cases: Vec<ReqKey> =
             cov.covered.iter().filter(|k| matches!(k.target, ReqTarget::Case { .. })).collect();
         assert_eq!(covered_cases.len(), 1);
         assert_eq!(covered_cases[0].value, ReqValue::Nop);
@@ -409,7 +442,7 @@ mod tests {
             let a: Chan<u8> = Chan::new(0);
             let _ = Select::new().recv(&a, |_| 0).default(|| 1).run();
         });
-        let default_cov: Vec<&ReqKey> = cov
+        let default_cov: Vec<ReqKey> = cov
             .covered
             .iter()
             .filter(|k| matches!(k.target, ReqTarget::Case { flavor: CaseFlavor::Default, .. }))

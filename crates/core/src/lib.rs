@@ -40,8 +40,12 @@
 mod analysis;
 /// Campaign checkpoint/resume (`GOAT_CHECKPOINT`) persistence.
 pub mod checkpoint;
-mod coverage;
+/// Coverage extraction (fused-plane wrapper plus the retained
+/// [`coverage::reference`] multi-pass extractor).
+pub mod coverage;
 mod globaltree;
+/// The fused single-pass analysis data plane.
+pub mod plane;
 mod program;
 mod report;
 /// Root-cause analysis: schedule-divergence diagnosis between failing
@@ -49,10 +53,11 @@ mod report;
 pub mod rootcause;
 mod runner;
 
-pub use analysis::{analyze_run, crosscheck, deadlock_check, GoatVerdict};
+pub use analysis::{analyze_run, analyze_run_with, crosscheck, deadlock_check, GoatVerdict};
 pub use checkpoint::{CampaignCheckpoint, CHECKPOINT_ENV};
 pub use coverage::{extract_coverage, extract_sync_pairs, RunCoverage};
 pub use globaltree::{GlobalGTree, GlobalNode};
+pub use plane::{EctBuffers, TraceAnalysis};
 pub use program::{program_fn, FnProgram, Program};
 pub use report::{
     bug_report, campaign_report, coverage_table, goroutine_tree_dot, interleaving_lanes,

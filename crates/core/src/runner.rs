@@ -2,17 +2,17 @@
 //! a coverage threshold / iteration budget is reached (paper §III-A,
 //! "Offline Analysis" loop).
 
-use crate::analysis::{analyze_run, GoatVerdict};
+use crate::analysis::{analyze_run, analyze_run_with, GoatVerdict};
 use crate::checkpoint::{self, CampaignCheckpoint};
-use crate::coverage::extract_coverage;
 use crate::globaltree::GlobalGTree;
+use crate::plane::EctBuffers;
 use crate::program::Program;
 use goat_detectors::{Detector, ProgramFn, ToolVerdict};
 use goat_metrics::{Histogram, HistogramSnapshot};
 use goat_model::{scan_sources, CoverageSet, CuTable, RequirementUniverse};
 use goat_runtime::pool::PoolStats;
 use goat_runtime::{go_internal, Chan, Config, RunOutcome, Runtime, SchedCounters};
-use goat_trace::{Ect, GTree};
+use goat_trace::{Ect, TracePoolStats};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::{mpsc, Arc, Condvar, Mutex as StdMutex};
@@ -250,8 +250,13 @@ pub struct CampaignTelemetry {
     pub yields_injected: u64,
     /// Newly-covered-requirements-per-iteration distribution.
     pub coverage_delta: HistogramSnapshot,
+    /// Per-iteration fused-analysis (tree + coverage + verdict input)
+    /// wall-time distribution, nanoseconds.
+    pub analysis_ns: HistogramSnapshot,
     /// Worker-pool counters at campaign end (process-wide).
     pub pool: PoolStats,
+    /// Trace-buffer recycling counters at campaign end (process-wide).
+    pub trace_pool: TracePoolStats,
 }
 
 /// The result of a testing campaign.
@@ -422,6 +427,12 @@ struct MergeState {
     crash_streak: usize,
     /// Quarantine reason; `Some` stops the campaign.
     quarantined: Option<String>,
+    /// Recycled analysis scratch (slot tables, coverage sets, tree
+    /// slab) reused by every iteration's fused pass. Ephemeral like the
+    /// histograms: not persisted in checkpoints.
+    bufs: EctBuffers,
+    /// Distribution of per-iteration fused-analysis time, nanoseconds.
+    analysis_ns: Histogram,
 }
 
 /// Campaign summary exported to the JSONL telemetry stream.
@@ -557,6 +568,8 @@ impl MergeState {
             infra_streak: 0,
             crash_streak: 0,
             quarantined: None,
+            bufs: EctBuffers::new(),
+            analysis_ns: Histogram::default(),
         }
     }
 
@@ -608,9 +621,17 @@ impl MergeState {
         &mut self,
         cfg: &GoatConfig,
         iter_no: usize,
-        result: goat_runtime::RunResult,
+        mut result: goat_runtime::RunResult,
     ) -> bool {
-        let verdict = analyze_run(&result);
+        // One fused pass over the trace produces the goroutine tree and
+        // the run's coverage together; the tree then feeds the verdict,
+        // so the ECT is walked exactly once per iteration. The universe
+        // sees CU/case discoveries in the same event order as the legacy
+        // multi-pass pipeline, keeping reports byte-identical.
+        let t_analysis = Instant::now();
+        let analysis =
+            result.ect.as_ref().map(|ect| self.bufs.analyze(ect, &mut self.universe, false));
+        let verdict = analyze_run_with(&result, analysis.as_ref().map(|a| &a.tree));
         // Supervision accounting: consecutive failures degrade a
         // repeatedly-failing kernel to skipped-with-reason instead of
         // grinding the remaining budget. Infra failures reach this point
@@ -644,11 +665,14 @@ impl MergeState {
             }
         }
         let covered_before = self.covered.len();
-        if let Some(ect) = &result.ect {
-            let cov = extract_coverage(ect, &mut self.universe);
-            self.covered.merge(&cov.covered);
-            self.global_tree.merge_run(&GTree::from_ect(ect), &cov);
+        if let Some(a) = analysis {
+            self.covered.merge(&a.coverage.covered);
+            self.global_tree.merge_run(&a.tree, &a.coverage);
+            // Coverage sets flow back into the scratch pool for the
+            // next iteration.
+            self.bufs.reclaim(a.coverage);
         }
+        self.analysis_ns.record(t_analysis.elapsed().as_nanos() as u64);
         self.sched_totals.accumulate(&result.sched);
         self.yields_total += u64::from(result.yields_injected);
         // One percent computation per iteration, shared by the record
@@ -679,11 +703,17 @@ impl MergeState {
         if is_bug && self.first_detection.is_none() {
             self.first_detection = Some(iter_no + 1);
             self.bug = Some(verdict);
-            self.bug_ect = result.ect;
+            self.bug_ect = result.ect.take();
             self.bug_schedule = Some(result.schedule);
             if cfg.stop_on_bug {
                 return true;
             }
+        }
+        // Analysis is done with this trace; its event buffer goes back
+        // to the recycling pool for a future iteration. (Bug traces were
+        // moved into `bug_ect` above and stay alive.)
+        if let Some(ect) = result.ect.take() {
+            goat_trace::recycle_buffer(ect.into_events());
         }
         if let Some(th) = cfg.coverage_threshold {
             if percent >= th {
@@ -1041,7 +1071,9 @@ impl Goat {
             sched: m.sched_totals,
             yields_injected: m.yields_total,
             coverage_delta: m.coverage_delta.snapshot(),
+            analysis_ns: m.analysis_ns.snapshot(),
             pool: goat_runtime::pool::stats(),
+            trace_pool: goat_trace::recycle::stats(),
         };
         let reg = goat_metrics::global();
         reg.counter("campaigns").inc();

@@ -102,7 +102,10 @@ pub enum LockdlReport {
 
 #[derive(Default)]
 struct LockdlState {
-    held: BTreeMap<Gid, Vec<RId>>,
+    /// Held-lock stacks indexed densely by goroutine id (gids are
+    /// runtime-assigned and small, so a flat table beats a tree and the
+    /// slot borrow replaces the per-attempt clone the map forced).
+    held: Vec<Vec<RId>>,
     graph: LockGraph,
     reports: Vec<LockdlReport>,
 }
@@ -113,13 +116,14 @@ struct LockdlMonitor {
 
 impl Monitor for LockdlMonitor {
     fn on_lock_attempt(&self, g: Gid, mu: RId, cu: &Cu) {
-        let mut st = self.st.lock();
-        let held = st.held.get(&g).cloned().unwrap_or_default();
+        let mut guard = self.st.lock();
+        let st = &mut *guard;
+        let held = st.held.get(g.0 as usize).map(Vec::as_slice).unwrap_or(&[]);
         if held.contains(&mu) {
             st.reports.push(LockdlReport::DoubleLock { g, mu, at: *cu });
             return;
         }
-        for h in held {
+        for &h in held {
             if st.graph.would_cycle(h, mu) {
                 st.reports.push(LockdlReport::OrderCycle { g, held: h, acquiring: mu, at: *cu });
             }
@@ -128,19 +132,24 @@ impl Monitor for LockdlMonitor {
     }
 
     fn on_lock_acquired(&self, g: Gid, mu: RId, _cu: &Cu) {
-        self.st.lock().held.entry(g).or_default().push(mu);
+        let mut st = self.st.lock();
+        let i = g.0 as usize;
+        if i >= st.held.len() {
+            st.held.resize_with(i + 1, Vec::new);
+        }
+        st.held[i].push(mu);
     }
 
     fn on_unlock(&self, g: Gid, mu: RId) {
         let mut st = self.st.lock();
         // Go allows cross-goroutine unlock; release from whoever holds it.
-        if let Some(v) = st.held.get_mut(&g) {
+        if let Some(v) = st.held.get_mut(g.0 as usize) {
             if let Some(pos) = v.iter().rposition(|&m| m == mu) {
                 v.remove(pos);
                 return;
             }
         }
-        for v in st.held.values_mut() {
+        for v in st.held.iter_mut() {
             if let Some(pos) = v.iter().rposition(|&m| m == mu) {
                 v.remove(pos);
                 return;

@@ -18,11 +18,23 @@
 //! runtime for select cases); a [`CoverageSet`] records which instances a
 //! set of test executions covered. The ratio of the two is the coverage
 //! percentage plotted in the paper's Figure 6.
+//!
+//! # The dense-ID data plane
+//!
+//! Requirement instances are interned process-wide into dense [`ReqId`]s
+//! (the same append-only-arena idiom as [`crate::Istr`]), and a
+//! [`CoverageSet`] is a growable `u64` bitset over those ids: `cover` is
+//! a bit-set, `merge` is a bitwise OR and `percent` is a popcount. The
+//! id assignment is an internal detail — everything observable
+//! (iteration order, serialization, `Debug`) is expressed in sorted
+//! [`ReqKey`]s, so reports and snapshots are byte-identical to the
+//! key-set representation this replaced.
 
 use crate::cu::{Cu, CuId, CuKind, CuTable};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::{OnceLock, RwLock};
 
 /// The dynamic behaviour a requirement asks to observe at a CU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -46,6 +58,16 @@ impl ReqValue {
             ReqValue::Unblocking => "unblocking",
             ReqValue::Blocking => "blocking",
             ReqValue::Nop => "nop",
+        }
+    }
+
+    /// Dense slot index used by the per-CU requirement-id tables.
+    fn slot(self) -> usize {
+        match self {
+            ReqValue::Blocked => 0,
+            ReqValue::Unblocking => 1,
+            ReqValue::Blocking => 2,
+            ReqValue::Nop => 3,
         }
     }
 }
@@ -115,6 +137,52 @@ impl ReqKey {
     }
 }
 
+/// Dense process-wide id of an interned [`ReqKey`] (index into the
+/// requirement arena). Ids are assignment-order dependent and therefore
+/// never serialized or compared across processes — they exist purely so
+/// the per-iteration analysis hot path can replace tree-set operations
+/// on fat composite keys with bit operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReqId(pub u32);
+
+/// Process-wide append-only requirement arena (the [`crate::Istr`]
+/// idiom): every distinct [`ReqKey`] ever covered or added to a universe
+/// gets one dense id for the lifetime of the process.
+struct ReqArena {
+    ids: HashMap<ReqKey, u32>,
+    keys: Vec<ReqKey>,
+}
+
+fn arena() -> &'static RwLock<ReqArena> {
+    static ARENA: OnceLock<RwLock<ReqArena>> = OnceLock::new();
+    ARENA.get_or_init(|| RwLock::new(ReqArena { ids: HashMap::new(), keys: Vec::new() }))
+}
+
+/// Intern a key, assigning the next dense id on first sight.
+fn intern(key: ReqKey) -> ReqId {
+    if let Some(&id) = arena().read().expect("req arena poisoned").ids.get(&key) {
+        return ReqId(id);
+    }
+    let mut a = arena().write().expect("req arena poisoned");
+    if let Some(&id) = a.ids.get(&key) {
+        return ReqId(id);
+    }
+    let id = u32::try_from(a.keys.len()).expect("requirement arena overflow");
+    a.keys.push(key);
+    a.ids.insert(key, id);
+    ReqId(id)
+}
+
+/// Non-inserting lookup, for `contains`-style queries.
+fn lookup(key: &ReqKey) -> Option<ReqId> {
+    arena().read().expect("req arena poisoned").ids.get(key).copied().map(ReqId)
+}
+
+/// Resolve an id back to its key (total for ids produced by `intern`).
+fn resolve_id(id: ReqId) -> ReqKey {
+    arena().read().expect("req arena poisoned").keys[id.0 as usize]
+}
+
 /// A requirement key together with its resolved CU, for reporting.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Requirement {
@@ -167,6 +235,13 @@ pub fn op_requirements(kind: CuKind) -> &'static [ReqValue] {
 /// Constructed from the static model `M` and expanded at runtime when
 /// select cases — and CUs missed by the static pass — are discovered.
 ///
+/// Alongside the sorted key set (the deterministic face used by reports
+/// and serialization), the universe maintains dense side tables for the
+/// analysis hot path: a membership bitset over interned [`ReqId`]s and a
+/// per-CU table of pre-interned op-requirement ids, so the per-event
+/// covering in trace analysis is an array index plus a bit-set with no
+/// tree or hash lookups.
+///
 /// ```
 /// use goat_model::{Cu, CuKind, CuTable, RequirementUniverse};
 /// let m = CuTable::from_cus([
@@ -176,7 +251,7 @@ pub fn op_requirements(kind: CuKind) -> &'static [ReqValue] {
 /// let u = RequirementUniverse::from_table(m);
 /// assert_eq!(u.len(), 3 + 1); // send: 3 values, go: 1
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RequirementUniverse {
     table: CuTable,
     reqs: BTreeSet<ReqKey>,
@@ -184,6 +259,17 @@ pub struct RequirementUniverse {
     seen_cases: BTreeSet<(CuId, usize)>,
     /// True for selects known to carry a default case (affects Req2 vs Req4).
     nonblocking_selects: BTreeSet<CuId>,
+    /// Membership bitset mirroring `reqs` (rebuilt on deserialize).
+    members: CoverageSet,
+    /// Per-CU interned ids for all four op-level requirement values
+    /// (indexed by `CuId.0` then [`ReqValue::slot`]); interned for every
+    /// CU regardless of Table-I membership so the extractor can cover
+    /// out-of-universe keys without touching the arena lock.
+    op_ids: Vec<[u32; 4]>,
+    /// Exact-`Cu` memo over `table.lookup`, so per-event CU resolution in
+    /// the analysis hot path is one hash probe instead of a tree lookup
+    /// plus path-suffix matching.
+    cu_memo: HashMap<Cu, CuId>,
 }
 
 impl RequirementUniverse {
@@ -194,8 +280,7 @@ impl RequirementUniverse {
 
     /// Build the universe implied by a static CU table.
     pub fn from_table(table: CuTable) -> Self {
-        let mut u = RequirementUniverse { table: CuTable::new(), ..Self::default() };
-        u.table = table;
+        let mut u = RequirementUniverse { table, ..Self::default() };
         let ids: Vec<CuId> = u.table.iter().map(|(id, _)| id).collect();
         for id in ids {
             u.add_op_requirements(id);
@@ -203,10 +288,25 @@ impl RequirementUniverse {
         u
     }
 
+    /// Intern the four op-value ids for `id`, growing the dense table.
+    fn ensure_op_ids(&mut self, id: CuId) {
+        while self.op_ids.len() <= id.0 {
+            let next = CuId(self.op_ids.len());
+            let mut slots = [0u32; 4];
+            for v in [ReqValue::Blocked, ReqValue::Unblocking, ReqValue::Blocking, ReqValue::Nop] {
+                slots[v.slot()] = intern(ReqKey::op(next, v)).0;
+            }
+            self.op_ids.push(slots);
+        }
+    }
+
     fn add_op_requirements(&mut self, id: CuId) {
+        self.ensure_op_ids(id);
         let kind = self.table.get(id).kind;
         for &v in op_requirements(kind) {
-            self.reqs.insert(ReqKey::op(id, v));
+            if self.reqs.insert(ReqKey::op(id, v)) {
+                self.members.cover_id(ReqId(self.op_ids[id.0][v.slot()]));
+            }
         }
     }
 
@@ -225,12 +325,31 @@ impl RequirementUniverse {
     /// Register a CU discovered dynamically (returns its id). New sites
     /// contribute their op-level requirements immediately.
     pub fn discover_cu(&mut self, cu: Cu) -> CuId {
-        if let Some(id) = self.table.lookup(&cu.file, cu.line, cu.kind) {
+        if let Some(&id) = self.cu_memo.get(&cu) {
             return id;
         }
-        let id = self.table.insert(cu);
-        self.add_op_requirements(id);
+        let id = match self.table.lookup(&cu.file, cu.line, cu.kind) {
+            Some(id) => id,
+            None => {
+                let id = self.table.insert(cu);
+                self.add_op_requirements(id);
+                id
+            }
+        };
+        self.cu_memo.insert(cu, id);
         id
+    }
+
+    /// The pre-interned id of op-level requirement `(cu, v)`. The id is
+    /// valid even for values outside the CU kind's Table-I set (the
+    /// extractor may observe, e.g., the *blocking* side of a channel
+    /// operation); such ids are simply not universe members.
+    ///
+    /// # Panics
+    /// Panics if `cu` was not discovered through this universe.
+    #[inline]
+    pub fn op_req_id(&self, cu: CuId, v: ReqValue) -> ReqId {
+        ReqId(self.op_ids[cu.0][v.slot()])
     }
 
     /// Materialise the Req2/Req4 requirements for case `idx` of select
@@ -265,7 +384,10 @@ impl RequirementUniverse {
             }
         };
         for &v in values {
-            self.reqs.insert(ReqKey::case(cu, idx, flavor, v));
+            let key = ReqKey::case(cu, idx, flavor, v);
+            if self.reqs.insert(key) {
+                self.members.cover_id(intern(key));
+            }
         }
     }
 
@@ -299,12 +421,65 @@ impl RequirementUniverse {
     pub fn uncovered<'a>(&'a self, covered: &'a CoverageSet) -> impl Iterator<Item = &'a ReqKey> {
         self.reqs.iter().filter(move |k| !covered.contains(k))
     }
+
+    /// Rebuild the dense side tables from the sorted key set (after
+    /// deserialization, which only carries the deterministic fields).
+    fn rebuild_dense(&mut self) {
+        self.members = CoverageSet::new();
+        self.op_ids.clear();
+        self.cu_memo.clear();
+        let n = self.table.len();
+        if n > 0 {
+            self.ensure_op_ids(CuId(n - 1));
+        }
+        let keys: Vec<ReqKey> = self.reqs.iter().copied().collect();
+        for key in keys {
+            self.members.cover_id(intern(key));
+        }
+    }
+}
+
+// Hand-written (de)serialization: only the deterministic, sorted fields
+// travel (same shape the derived impl produced for the key-set
+// representation); the dense arena-id tables are process-local and are
+// rebuilt on read.
+impl Serialize for RequirementUniverse {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("table".to_string(), self.table.to_content()),
+            ("reqs".to_string(), self.reqs.to_content()),
+            ("seen_cases".to_string(), self.seen_cases.to_content()),
+            ("nonblocking_selects".to_string(), self.nonblocking_selects.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for RequirementUniverse {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let fields = c.as_map().ok_or_else(|| DeError::custom("expected object"))?;
+        let mut u = RequirementUniverse {
+            table: serde::de_field(fields, "table")?,
+            reqs: serde::de_field(fields, "reqs")?,
+            seen_cases: serde::de_field(fields, "seen_cases")?,
+            nonblocking_selects: serde::de_field(fields, "nonblocking_selects")?,
+            ..Self::default()
+        };
+        u.rebuild_dense();
+        Ok(u)
+    }
 }
 
 /// The set of requirement instances covered by one or more executions.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Backed by a growable `u64` bitset over process-wide dense [`ReqId`]s:
+/// covering sets a bit, merging is a word-wise OR and the coverage
+/// percentage is a popcount. All observable output (iteration,
+/// serialization, `Debug`, equality) is in terms of sorted [`ReqKey`]s,
+/// independent of id-assignment order.
+#[derive(Clone, Default)]
 pub struct CoverageSet {
-    covered: BTreeSet<ReqKey>,
+    words: Vec<u64>,
+    count: u32,
 }
 
 impl CoverageSet {
@@ -315,32 +490,83 @@ impl CoverageSet {
 
     /// Mark a requirement as covered; returns true if it was new.
     pub fn cover(&mut self, key: ReqKey) -> bool {
-        self.covered.insert(key)
+        self.cover_id(intern(key))
+    }
+
+    /// Mark a pre-interned requirement id as covered; returns true if it
+    /// was new. This is the analysis hot path: no locks, no comparisons.
+    #[inline]
+    pub fn cover_id(&mut self, id: ReqId) -> bool {
+        let (w, bit) = (id.0 as usize / 64, 1u64 << (id.0 % 64));
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let new = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        self.count += u32::from(new);
+        new
     }
 
     /// Was this requirement covered?
     pub fn contains(&self, key: &ReqKey) -> bool {
-        self.covered.contains(key)
+        lookup(key).map(|id| self.contains_id(id)).unwrap_or(false)
+    }
+
+    /// Was this pre-interned requirement id covered?
+    #[inline]
+    pub fn contains_id(&self, id: ReqId) -> bool {
+        self.words.get(id.0 as usize / 64).map(|w| w & (1 << (id.0 % 64)) != 0).unwrap_or(false)
     }
 
     /// Number of covered requirements.
     pub fn len(&self) -> usize {
-        self.covered.len()
+        self.count as usize
     }
 
     /// Is nothing covered yet?
     pub fn is_empty(&self) -> bool {
-        self.covered.is_empty()
+        self.count == 0
     }
 
-    /// Union with another coverage set (accumulation across test runs).
+    /// Union with another coverage set (accumulation across test runs):
+    /// a word-wise OR.
     pub fn merge(&mut self, other: &CoverageSet) {
-        self.covered.extend(other.covered.iter().copied());
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut count = 0u32;
+        for (i, w) in self.words.iter_mut().enumerate() {
+            *w |= other.words.get(i).copied().unwrap_or(0);
+            count += w.count_ones();
+        }
+        self.count = count;
     }
 
-    /// Iterate over covered requirement keys.
-    pub fn iter(&self) -> impl Iterator<Item = &ReqKey> {
-        self.covered.iter()
+    /// Forget everything while keeping the allocation — the reset used by
+    /// recycled analysis scratch buffers.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.count = 0;
+    }
+
+    /// Iterate over covered requirement keys, in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = ReqKey> {
+        let mut keys: Vec<ReqKey> = Vec::with_capacity(self.len());
+        for (i, &w) in self.words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                keys.push(resolve_id(ReqId((i * 64) as u32 + b)));
+                bits &= bits - 1;
+            }
+        }
+        keys.sort_unstable();
+        keys.into_iter()
+    }
+
+    /// Bits set in both `self` and `other`.
+    fn intersect_count(&self, other: &CoverageSet) -> usize {
+        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// Coverage percentage against a universe, in `[0, 100]`.
@@ -351,20 +577,62 @@ impl CoverageSet {
         if universe.is_empty() {
             return 100.0;
         }
-        let hit = self.covered.iter().filter(|k| universe.contains(k)).count();
+        let hit = self.intersect_count(&universe.members);
         100.0 * hit as f64 / universe.len() as f64
+    }
+}
+
+impl fmt::Debug for CoverageSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for CoverageSet {
+    fn eq(&self, other: &Self) -> bool {
+        if self.count != other.count {
+            return false;
+        }
+        let (short, long) =
+            if self.words.len() <= other.words.len() { (self, other) } else { (other, self) };
+        short.words.iter().zip(long.words.iter()).all(|(a, b)| a == b)
+            && long.words[short.words.len()..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Eq for CoverageSet {}
+
+// The wire format is the sorted key list the key-set representation
+// serialized (`{"covered": [...]}`), keeping checkpoints and any
+// embedded coverage output byte-identical and id-order independent.
+impl Serialize for CoverageSet {
+    fn to_content(&self) -> Content {
+        let keys: Vec<ReqKey> = self.iter().collect();
+        Content::Map(vec![("covered".to_string(), keys.to_content())])
+    }
+}
+
+impl Deserialize for CoverageSet {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let fields = c.as_map().ok_or_else(|| DeError::custom("expected object"))?;
+        let keys: Vec<ReqKey> = serde::de_field(fields, "covered")?;
+        Ok(keys.into_iter().collect())
     }
 }
 
 impl FromIterator<ReqKey> for CoverageSet {
     fn from_iter<I: IntoIterator<Item = ReqKey>>(iter: I) -> Self {
-        CoverageSet { covered: iter.into_iter().collect() }
+        let mut set = CoverageSet::new();
+        set.extend(iter);
+        set
     }
 }
 
 impl Extend<ReqKey> for CoverageSet {
     fn extend<I: IntoIterator<Item = ReqKey>>(&mut self, iter: I) {
-        self.covered.extend(iter);
+        for key in iter {
+            self.cover(key);
+        }
     }
 }
 
@@ -472,5 +740,79 @@ mod tests {
         let s = u.resolve(key).to_string();
         assert!(s.contains("p.rs:6"), "{s}");
         assert!(s.contains("case0"), "{s}");
+    }
+
+    // -- dense data-plane behaviour ----------------------------------
+
+    #[test]
+    fn bitset_equality_ignores_trailing_zero_words() {
+        let u = RequirementUniverse::from_table(table());
+        let key = *u.iter().next().unwrap();
+        let mut a = CoverageSet::new();
+        a.cover(key);
+        let mut b = CoverageSet::new();
+        // Force b to grow extra words, then clear them again.
+        b.cover_id(ReqId(300));
+        b.clear();
+        b.cover(key);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn cover_id_and_cover_agree() {
+        let mut u = RequirementUniverse::new();
+        let id = u.discover_cu(Cu::new("r.rs", 3, CuKind::Send));
+        let mut by_key = CoverageSet::new();
+        by_key.cover(ReqKey::op(id, ReqValue::Blocked));
+        let mut by_id = CoverageSet::new();
+        by_id.cover_id(u.op_req_id(id, ReqValue::Blocked));
+        assert_eq!(by_key, by_id);
+        assert!(by_id.contains(&ReqKey::op(id, ReqValue::Blocked)));
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let u = RequirementUniverse::from_table(table());
+        let mut c: CoverageSet = u.iter().copied().collect();
+        assert!(!c.is_empty());
+        let words = c.words.len();
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.words.len(), words, "clear keeps the backing words");
+        assert_eq!(c.percent(&u), 0.0);
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_key_not_id() {
+        let u = RequirementUniverse::from_table(table());
+        // Cover in reverse order; iteration must come back sorted.
+        let mut keys: Vec<ReqKey> = u.iter().copied().collect();
+        keys.reverse();
+        let c: CoverageSet = keys.iter().copied().collect();
+        let out: Vec<ReqKey> = c.iter().collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(out, sorted);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_set_and_shape() {
+        let u = RequirementUniverse::from_table(table());
+        let c: CoverageSet = u.iter().copied().collect();
+        let content = c.to_content();
+        let map = content.as_map().expect("object");
+        assert_eq!(map.len(), 1);
+        assert_eq!(map[0].0, "covered");
+        let back = CoverageSet::from_content(&content).unwrap();
+        assert_eq!(back, c);
+
+        let uc = u.to_content();
+        let mut u2 = RequirementUniverse::from_content(&uc).unwrap();
+        u2.reindex();
+        assert_eq!(u2.len(), u.len());
+        assert_eq!(c.percent(&u2), 100.0, "dense tables rebuilt on deserialize");
+        let id = u2.discover_cu(Cu::new("p.rs", 1, CuKind::Send));
+        assert_eq!(id, u.table().lookup("p.rs", 1, CuKind::Send).unwrap());
     }
 }

@@ -35,7 +35,7 @@ pub mod scanner;
 pub mod syncpair;
 
 pub use coverage::{
-    op_requirements, CaseFlavor, CoverageSet, ReqKey, ReqTarget, ReqValue, Requirement,
+    op_requirements, CaseFlavor, CoverageSet, ReqId, ReqKey, ReqTarget, ReqValue, Requirement,
     RequirementUniverse,
 };
 pub use cu::{Cu, CuId, CuKind, CuTable};

@@ -34,7 +34,7 @@ pub struct SyncPair {
 }
 
 /// Accumulated synchronization-pair coverage.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SyncPairCoverage {
     table: CuTable,
     pairs: BTreeSet<SyncPair>,

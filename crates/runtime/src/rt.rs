@@ -251,6 +251,7 @@ pub(crate) struct Sched {
 impl Sched {
     fn new(cfg: Config, monitor: Option<Arc<dyn Monitor>>) -> Self {
         let rng = SmallRng::seed_from_u64(cfg.seed);
+        let cfg_trace = cfg.trace;
         Sched {
             cfg,
             slots: Vec::new(),
@@ -261,7 +262,10 @@ impl Sched {
             timers: BinaryHeap::new(),
             timer_seq: 0,
             next_rid: 0,
-            trace: Vec::new(),
+            // Tracing runs check an event buffer out of the process-wide
+            // recycling pool; it is returned by the campaign merge loop
+            // once per-iteration analysis is done.
+            trace: if cfg_trace { goat_trace::take_buffer() } else { Vec::new() },
             trace_full: false,
             outcome: None,
             shutdown: false,
@@ -377,8 +381,10 @@ impl Sched {
         yield_now
     }
 
-    pub(crate) fn monitor(&self) -> Option<Arc<dyn Monitor>> {
-        self.monitor.clone()
+    /// Borrow the attached monitor (no `Arc` refcount bump — callers on
+    /// the scheduling hot path invoke it many times per step).
+    pub(crate) fn monitor(&self) -> Option<&Arc<dyn Monitor>> {
+        self.monitor.as_ref()
     }
 
     /// Create a goroutine slot in `Runnable` state and enqueue it.
@@ -459,7 +465,7 @@ impl Sched {
     pub(crate) fn tick(&mut self) -> bool {
         self.steps += 1;
         self.clock += self.cfg.time_step_ns;
-        if let Some(m) = self.monitor.clone() {
+        if let Some(m) = &self.monitor {
             m.on_step(self.steps, self.clock);
         }
         // Synthetic GC cadence: the Go tracer interleaves GC events with
@@ -476,7 +482,7 @@ impl Sched {
             // passed and this goroutine reached the scheduler gate, so
             // the run can be unwound cleanly (threads reclaimed).
             let elapsed_ms = self.started.elapsed().as_millis() as u64;
-            if let Some(m) = self.monitor.clone() {
+            if let Some(m) = &self.monitor {
                 m.on_timeout(TimeoutPhase::Cooperative, elapsed_ms);
             }
             self.set_outcome(RunOutcome::TimedOut { phase: TimeoutPhase::Cooperative, elapsed_ms });
@@ -579,7 +585,7 @@ impl Sched {
                 // now is what goleak's end-of-main check would see.
                 let alive: Vec<AliveGoroutine> =
                     self.alive_app().into_iter().filter(|a| !a.internal).collect();
-                if let Some(m) = self.monitor.clone() {
+                if let Some(m) = &self.monitor {
                     m.on_main_end(&alive);
                 }
                 self.set_outcome(RunOutcome::Completed);
@@ -1099,7 +1105,9 @@ impl Runtime {
         let mut s = rt.state.lock();
         let outcome = s.outcome.clone().expect("outcome set before teardown");
         let trace = std::mem::take(&mut s.trace);
-        let ect = if s.cfg.trace { Some(trace.into_iter().collect::<Ect>()) } else { None };
+        // Move the collected buffer into the trace wholesale (no
+        // per-event re-push); the campaign merge loop recycles it.
+        let ect = if s.cfg.trace { Some(Ect::from_events(trace)) } else { None };
         let alive_at_end: Vec<AliveGoroutine> = s
             .alive_snapshot
             .take()
@@ -1258,7 +1266,8 @@ mod tests {
         assert!(ect.well_formed().is_ok());
         let child = ect
             .goroutines()
-            .into_iter()
+            .iter()
+            .copied()
             .find(|g| *g != Gid::MAIN && *g != Gid::RUNTIME)
             .expect("child in trace");
         assert_eq!(ect.last_event_of(child).unwrap().kind, EventKind::GoEnd);

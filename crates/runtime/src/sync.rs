@@ -105,8 +105,11 @@ impl Mutex {
     }
 
     fn lock_impl(&self, ctx: &Ctx, cu: Cu) {
-        if let Some(m) = ctx.rt.state.lock().monitor() {
-            m.on_lock_attempt(ctx.gid, self.core.id, &cu);
+        {
+            let s = ctx.rt.state.lock();
+            if let Some(m) = s.monitor() {
+                m.on_lock_attempt(ctx.gid, self.core.id, &cu);
+            }
         }
         let mut st = self.core.st.lock();
         if st.owner.is_none() {
@@ -261,8 +264,11 @@ impl RwLock {
         let cu = cu_here(CuKind::Lock, std::panic::Location::caller());
         let ctx = current();
         op_enter(&ctx, CuKind::Lock, &cu);
-        if let Some(m) = ctx.rt.state.lock().monitor() {
-            m.on_lock_attempt(ctx.gid, self.core.id, &cu);
+        {
+            let s = ctx.rt.state.lock();
+            if let Some(m) = s.monitor() {
+                m.on_lock_attempt(ctx.gid, self.core.id, &cu);
+            }
         }
         let mut st = self.core.st.lock();
         if st.writer.is_none() && st.readers.is_empty() {

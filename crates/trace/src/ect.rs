@@ -2,8 +2,20 @@
 
 use crate::event::{Event, EventKind, Gid};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Per-trace goroutine index, computed once on first use and shared by
+/// [`Ect::goroutines`] and [`Ect::per_goroutine`].
+#[derive(Debug, Clone, Default)]
+struct GIndex {
+    /// Distinct goroutines in first-appearance order (including created
+    /// but never-scheduled goroutines).
+    order: Vec<Gid>,
+    /// Event indices emitted by each goroutine, in trace order.
+    per_g: BTreeMap<Gid, Vec<usize>>,
+}
 
 /// An execution concurrency trace: the totally ordered event sequence
 /// produced by one program run (paper §III-D).
@@ -18,15 +30,41 @@ use std::fmt;
 /// assert_eq!(ect.len(), 1);
 /// assert!(ect.well_formed().is_ok());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Ect {
     events: Vec<Event>,
+    /// Lazily computed goroutine index; invalidated by `push`, never
+    /// serialized and ignored by equality.
+    #[serde(skip)]
+    gindex: OnceLock<GIndex>,
 }
 
 impl Ect {
     /// An empty trace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Wrap an already collected event vector (the once-per-run assembly
+    /// point — moves the buffer, no per-event re-push).
+    ///
+    /// # Panics
+    /// Panics if sequence numbers are not dense (`0..n`): the ECT is a
+    /// total order.
+    pub fn from_events(events: Vec<Event>) -> Self {
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.seq as usize, i, "ECT sequence numbers must be dense");
+        }
+        // One relaxed atomic load when telemetry is off.
+        if goat_metrics::enabled() {
+            goat_metrics::histogram("ect.events").record(events.len() as u64);
+        }
+        Ect { events, gindex: OnceLock::new() }
+    }
+
+    /// Take back the underlying event vector (for buffer recycling).
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
     }
 
     /// Append an event.
@@ -37,6 +75,7 @@ impl Ect {
     pub fn push(&mut self, ev: Event) {
         assert_eq!(ev.seq as usize, self.events.len(), "ECT sequence numbers must be dense");
         self.events.push(ev);
+        self.gindex = OnceLock::new();
     }
 
     /// Number of events.
@@ -59,31 +98,36 @@ impl Ect {
         self.events.iter()
     }
 
-    /// The distinct goroutines appearing in the trace, in first-appearance
-    /// order.
-    pub fn goroutines(&self) -> Vec<Gid> {
-        let mut seen = BTreeMap::new();
-        let mut order = Vec::new();
-        for ev in &self.events {
-            if seen.insert(ev.g, ()).is_none() {
-                order.push(ev.g);
-            }
-            if let EventKind::GoCreate { new_g, .. } = &ev.kind {
-                if seen.insert(*new_g, ()).is_none() {
-                    order.push(*new_g);
+    /// The goroutine index, computed once per trace and reused by every
+    /// caller (traces are immutable once collected; `push` invalidates).
+    fn gindex(&self) -> &GIndex {
+        self.gindex.get_or_init(|| {
+            let mut idx = GIndex::default();
+            let mut seen = BTreeSet::new();
+            for (i, ev) in self.events.iter().enumerate() {
+                if seen.insert(ev.g) {
+                    idx.order.push(ev.g);
+                }
+                idx.per_g.entry(ev.g).or_default().push(i);
+                if let EventKind::GoCreate { new_g, .. } = &ev.kind {
+                    if seen.insert(*new_g) {
+                        idx.order.push(*new_g);
+                    }
                 }
             }
-        }
-        order
+            idx
+        })
+    }
+
+    /// The distinct goroutines appearing in the trace, in first-appearance
+    /// order.
+    pub fn goroutines(&self) -> &[Gid] {
+        &self.gindex().order
     }
 
     /// Indices of events emitted by each goroutine, preserving order.
-    pub fn per_goroutine(&self) -> BTreeMap<Gid, Vec<usize>> {
-        let mut map: BTreeMap<Gid, Vec<usize>> = BTreeMap::new();
-        for (i, ev) in self.events.iter().enumerate() {
-            map.entry(ev.g).or_default().push(i);
-        }
-        map
+    pub fn per_goroutine(&self) -> &BTreeMap<Gid, Vec<usize>> {
+        &self.gindex().per_g
     }
 
     /// The last event emitted by goroutine `g`, if any.
@@ -170,19 +214,16 @@ impl Ect {
     }
 }
 
+impl PartialEq for Ect {
+    fn eq(&self, other: &Self) -> bool {
+        // The lazily computed index is derived state; only events count.
+        self.events == other.events
+    }
+}
+
 impl FromIterator<Event> for Ect {
     fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
-        let mut ect = Ect::new();
-        for ev in iter {
-            ect.push(ev);
-        }
-        // Collecting a full trace is the once-per-run assembly point, so
-        // it doubles as the trace-size telemetry probe (one relaxed
-        // atomic load when telemetry is off).
-        if goat_metrics::enabled() {
-            goat_metrics::histogram("ect.events").record(ect.len() as u64);
-        }
-        ect
+        Ect::from_events(iter.into_iter().collect())
     }
 }
 

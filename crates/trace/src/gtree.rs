@@ -61,49 +61,11 @@ impl GTree {
     /// (a goroutine is application-level iff it is main, or its ancestry
     /// reaches main without passing through a runtime/tracer goroutine).
     pub fn from_ect(ect: &Ect) -> Self {
-        let mut nodes: BTreeMap<Gid, GNode> = BTreeMap::new();
-        nodes.insert(
-            Gid::MAIN,
-            GNode {
-                g: Gid::MAIN,
-                name: "main".to_string(),
-                parent: None,
-                create_cu: None,
-                children: Vec::new(),
-                events: Vec::new(),
-                last_event: None,
-                last_cu: None,
-                internal: false,
-            },
-        );
+        let mut b = GTreeBuilder::new();
         for (i, ev) in ect.iter().enumerate() {
-            if let EventKind::GoCreate { new_g, name, internal } = &ev.kind {
-                let parent_internal = nodes.get(&ev.g).map(|n| n.internal).unwrap_or(false);
-                nodes.insert(
-                    *new_g,
-                    GNode {
-                        g: *new_g,
-                        name: name.to_string(),
-                        parent: Some(ev.g),
-                        create_cu: ev.cu,
-                        children: Vec::new(),
-                        events: Vec::new(),
-                        last_event: None,
-                        last_cu: None,
-                        internal: *internal || parent_internal,
-                    },
-                );
-                if let Some(p) = nodes.get_mut(&ev.g) {
-                    p.children.push(*new_g);
-                }
-            }
-            if let Some(n) = nodes.get_mut(&ev.g) {
-                n.events.push(i);
-                n.last_event = Some(ev.kind.clone());
-                n.last_cu = ev.cu;
-            }
+            b.observe(i, ev);
         }
-        GTree { nodes, root: Some(Gid::MAIN) }
+        b.finish()
     }
 
     /// The root (main) goroutine node.
@@ -207,6 +169,104 @@ impl GTree {
             .get(&g)
             .map(|n| n.events.iter().map(|&i| &ect.events()[i]).collect())
             .unwrap_or_default()
+    }
+}
+
+/// Incremental goroutine-tree builder: feed events in trace order via
+/// [`GTreeBuilder::observe`], then [`GTreeBuilder::finish`].
+///
+/// This is the engine behind [`GTree::from_ect`], exposed so the fused
+/// single-pass trace analyzer in `goat-core` can interleave tree
+/// construction with coverage extraction in one sweep. Goroutine ids are
+/// assigned densely by the runtime (main is `Gid(1)`, spawns count up),
+/// so the per-event bookkeeping indexes a flat slot table instead of a
+/// `BTreeMap` — the tree's sorted-map shape is only materialised once at
+/// `finish`.
+#[derive(Debug, Clone)]
+pub struct GTreeBuilder {
+    slots: Vec<Option<GNode>>,
+}
+
+impl Default for GTreeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GTreeBuilder {
+    /// A builder with the main goroutine pre-seeded as the root.
+    pub fn new() -> Self {
+        let mut b = GTreeBuilder { slots: Vec::new() };
+        b.reset();
+        b
+    }
+
+    /// Clear back to the freshly-created state, keeping the slot table's
+    /// allocation (for reuse across campaign iterations).
+    pub fn reset(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = None);
+        *self.slot_mut(Gid::MAIN) = Some(GNode {
+            g: Gid::MAIN,
+            name: "main".to_string(),
+            parent: None,
+            create_cu: None,
+            children: Vec::new(),
+            events: Vec::new(),
+            last_event: None,
+            last_cu: None,
+            internal: false,
+        });
+    }
+
+    fn slot_mut(&mut self, g: Gid) -> &mut Option<GNode> {
+        let i = g.0 as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        &mut self.slots[i]
+    }
+
+    fn slot(&self, g: Gid) -> Option<&GNode> {
+        self.slots.get(g.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Account for event `ev` at trace index `i` (events must arrive in
+    /// trace order).
+    pub fn observe(&mut self, i: usize, ev: &Event) {
+        if let EventKind::GoCreate { new_g, name, internal } = &ev.kind {
+            let parent_internal = self.slot(ev.g).map(|n| n.internal).unwrap_or(false);
+            *self.slot_mut(*new_g) = Some(GNode {
+                g: *new_g,
+                name: name.to_string(),
+                parent: Some(ev.g),
+                create_cu: ev.cu,
+                children: Vec::new(),
+                events: Vec::new(),
+                last_event: None,
+                last_cu: None,
+                internal: *internal || parent_internal,
+            });
+            if let Some(p) = self.slot_mut(ev.g).as_mut() {
+                p.children.push(*new_g);
+            }
+        }
+        if let Some(n) = self.slot_mut(ev.g).as_mut() {
+            n.events.push(i);
+            n.last_event = Some(ev.kind.clone());
+            n.last_cu = ev.cu;
+        }
+    }
+
+    /// Assemble the tree, leaving the builder reset for reuse.
+    pub fn finish(&mut self) -> GTree {
+        let mut nodes = BTreeMap::new();
+        for slot in self.slots.iter_mut() {
+            if let Some(n) = slot.take() {
+                nodes.insert(n.g, n);
+            }
+        }
+        self.reset();
+        GTree { nodes, root: Some(Gid::MAIN) }
     }
 }
 

@@ -26,7 +26,7 @@ fn coverage_invariants_hold_for_every_kernel() {
             // Every covered requirement must exist in the universe.
             for key in cov.covered.iter() {
                 assert!(
-                    universe.contains(key),
+                    universe.contains(&key),
                     "{}: covered requirement missing from universe: {key:?}",
                     kernel.name
                 );
