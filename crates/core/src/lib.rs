@@ -65,5 +65,6 @@ pub use report::{
 };
 pub use rootcause::{diagnose, find_divergence, root_cause_report, Divergence};
 pub use runner::{
-    CampaignResult, CampaignSummary, CampaignTelemetry, Goat, GoatConfig, GoatTool, IterationRecord,
+    CampaignResult, CampaignSummary, CampaignTelemetry, Goat, GoatConfig, GoatTool,
+    IterationRecord, MemoMode,
 };

@@ -4,6 +4,7 @@
 
 use crate::analysis::{analyze_run, analyze_run_with, GoatVerdict};
 use crate::checkpoint::{self, CampaignCheckpoint};
+use crate::coverage::RunCoverage;
 use crate::globaltree::GlobalGTree;
 use crate::plane::EctBuffers;
 use crate::program::Program;
@@ -12,11 +13,82 @@ use goat_metrics::{Histogram, HistogramSnapshot};
 use goat_model::{scan_sources, CoverageSet, CuTable, RequirementUniverse};
 use goat_runtime::pool::PoolStats;
 use goat_runtime::{go_internal, Chan, Config, RunOutcome, Runtime, SchedCounters};
-use goat_trace::{Ect, TracePoolStats};
-use std::collections::BTreeMap;
+use goat_trace::{Ect, GTree, TracePoolStats};
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
-use std::sync::{mpsc, Arc, Condvar, Mutex as StdMutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex as StdMutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Duplicate-schedule analysis memoization mode (`GOAT_MEMO`, or the
+/// `-memo` flag).
+///
+/// Delay-bound campaigns revisit the same interleaving often — small
+/// kernels have few distinct schedules, and perturbation draws collide.
+/// The runtime stamps every run with an online schedule fingerprint
+/// ([`goat_runtime::RunResult::fingerprint`]); two runs with the same
+/// fingerprint *and* the same outcome produced the same trace modulo
+/// timestamps, so their analysis products (goroutine tree, coverage,
+/// verdict) are identical and the second analysis can be skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoMode {
+    /// Analyze every iteration from scratch.
+    Off,
+    /// Reuse stored analysis products for duplicate schedules (default).
+    On,
+    /// Reuse *and* re-analyze duplicates, asserting the stored products
+    /// equal the fresh ones — the memoization self-check.
+    Verify,
+}
+
+/// Process-wide default from `GOAT_MEMO`: `0`/`off` disables,
+/// `verify` enables the self-checking mode, anything else (including
+/// unset) leaves memoization on.
+fn default_memo() -> MemoMode {
+    static MEMO: OnceLock<MemoMode> = OnceLock::new();
+    *MEMO.get_or_init(|| match std::env::var("GOAT_MEMO").ok().as_deref() {
+        Some("0") | Some("off") => MemoMode::Off,
+        Some("verify") => MemoMode::Verify,
+        _ => MemoMode::On,
+    })
+}
+
+/// Memo key: the run's schedule fingerprint FNV-folded with its
+/// outcome. The verdict depends on the outcome variant (and its
+/// strings) as well as the trace, so runs that share a schedule but
+/// end differently must never share an entry.
+fn memo_key(fingerprint: u64, outcome: &RunOutcome) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    fn fold(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    }
+    let mut h = fingerprint;
+    match outcome {
+        RunOutcome::Completed => fold(&mut h, &[1]),
+        // The verdict for a deadlocked-or-completed run comes from the
+        // tree alone; the blocked set is derivable from the trace, so
+        // the discriminant suffices.
+        RunOutcome::GlobalDeadlock { .. } => fold(&mut h, &[2]),
+        RunOutcome::StepLimit => fold(&mut h, &[3]),
+        RunOutcome::Panicked { g, msg } => {
+            fold(&mut h, &[4]);
+            fold(&mut h, &g.0.to_le_bytes());
+            fold(&mut h, msg.as_bytes());
+        }
+        // `elapsed_ms` is wall-clock noise and deliberately excluded;
+        // the escalation phase changes teardown (and thus the verdict's
+        // evidence), so it is part of the key.
+        RunOutcome::TimedOut { phase, .. } => {
+            fold(&mut h, &[5, matches!(phase, goat_runtime::TimeoutPhase::Wedged) as u8]);
+        }
+        RunOutcome::InfraFailure { reason } => {
+            fold(&mut h, &[6]);
+            fold(&mut h, reason.as_bytes());
+        }
+    }
+    h
+}
 
 /// Campaign configuration (the tool's command-line knobs: `-d`, `-freq`,
 /// `-cov`, …).
@@ -74,6 +146,15 @@ pub struct GoatConfig {
     /// Merged iterations between checkpoint writes. Defaults to
     /// `GOAT_CHECKPOINT_EVERY` (8 when unset).
     pub checkpoint_every: usize,
+    /// Duplicate-schedule analysis memoization. Defaults to the
+    /// `GOAT_MEMO` environment variable ([`MemoMode::On`] when unset).
+    /// Memoization never changes campaign results — only how often the
+    /// fused analysis pass actually runs.
+    pub memo: MemoMode,
+    /// Token-handoff spin budget override passed through to
+    /// [`goat_runtime::Config::spin`]; `None` leaves the runtime's own
+    /// default (the `GOAT_SPIN` environment variable, 100 when unset).
+    pub spin: Option<u32>,
 }
 
 impl Default for GoatConfig {
@@ -108,6 +189,8 @@ impl Default for GoatConfig {
                 .and_then(|v| v.parse::<usize>().ok())
                 .filter(|n| *n >= 1)
                 .unwrap_or(8),
+            memo: default_memo(),
+            spin: None,
         }
     }
 }
@@ -192,14 +275,31 @@ impl GoatConfig {
         self
     }
 
+    /// Set the analysis memoization mode (overrides `GOAT_MEMO`).
+    pub fn with_memo(mut self, mode: MemoMode) -> Self {
+        self.memo = mode;
+        self
+    }
+
+    /// Set the token-handoff spin budget (overrides `GOAT_SPIN`;
+    /// 0 parks immediately).
+    pub fn with_spin(mut self, spin: u32) -> Self {
+        self.spin = Some(spin);
+        self
+    }
+
     fn runtime_config(&self, iter: usize) -> Config {
-        Config::new(self.seed0 + iter as u64)
+        let cfg = Config::new(self.seed0 + iter as u64)
             .with_delay_bound(self.delay_bound)
             .with_native_preempt_prob(self.native_preempt_prob)
             .with_max_steps(self.max_steps)
             .with_iter_timeout_ms(self.iter_timeout_ms)
             .with_trace(true)
-            .with_pool(self.pool)
+            .with_pool(self.pool);
+        match self.spin {
+            Some(s) => cfg.with_spin(s),
+            None => cfg,
+        }
     }
 }
 
@@ -253,6 +353,11 @@ pub struct CampaignTelemetry {
     /// Per-iteration fused-analysis (tree + coverage + verdict input)
     /// wall-time distribution, nanoseconds.
     pub analysis_ns: HistogramSnapshot,
+    /// Iterations whose analysis was served from the duplicate-schedule
+    /// memo (see [`MemoMode`]).
+    pub memo_hits: u64,
+    /// Iterations that ran the full fused analysis.
+    pub memo_misses: u64,
     /// Worker-pool counters at campaign end (process-wide).
     pub pool: PoolStats,
     /// Trace-buffer recycling counters at campaign end (process-wide).
@@ -396,6 +501,19 @@ impl CampaignResult {
     pub fn to_json_summary(&self) -> Result<String, serde_json::Error> {
         serde_json::to_string_pretty(&self.summary())
     }
+
+    /// Return the buggy execution's trace buffer to the recycling pool.
+    ///
+    /// Non-bug traces are recycled as soon as their iteration is merged;
+    /// the bug ECT is kept alive for report rendering instead. Call this
+    /// once the report has been produced so campaign drivers that loop
+    /// over many kernels reuse the buffer rather than reallocating.
+    /// Skipping the call costs an allocation, never correctness.
+    pub fn recycle_bug_trace(&mut self) {
+        if let Some(ect) = self.bug_ect.take() {
+            goat_trace::recycle_buffer(ect.into_events());
+        }
+    }
 }
 
 /// Everything a campaign accumulates, plus the single merge path both
@@ -433,6 +551,25 @@ struct MergeState {
     bufs: EctBuffers,
     /// Distribution of per-iteration fused-analysis time, nanoseconds.
     analysis_ns: Histogram,
+    /// Analysis products stored per (schedule fingerprint, outcome) key.
+    /// Ephemeral like the scratch buffers: not persisted in checkpoints
+    /// (a resumed campaign rebuilds it as it merges, which costs only
+    /// re-analysis time, never correctness).
+    memo: HashMap<u64, MemoEntry>,
+    /// Iterations whose analysis was served from the memo.
+    memo_hits: u64,
+    /// Iterations that ran the full analysis and seeded the memo.
+    memo_misses: u64,
+}
+
+/// Everything a memo hit must replay: the products of one fused
+/// analysis pass plus the verdict derived from them. Stored by value —
+/// duplicate schedules on small kernels are frequent enough that the
+/// clone at miss time is repaid many times over.
+struct MemoEntry {
+    tree: GTree,
+    coverage: RunCoverage,
+    verdict: GoatVerdict,
 }
 
 /// Campaign summary exported to the JSONL telemetry stream.
@@ -570,6 +707,9 @@ impl MergeState {
             quarantined: None,
             bufs: EctBuffers::new(),
             analysis_ns: Histogram::default(),
+            memo: HashMap::new(),
+            memo_hits: 0,
+            memo_misses: 0,
         }
     }
 
@@ -628,10 +768,54 @@ impl MergeState {
         // so the ECT is walked exactly once per iteration. The universe
         // sees CU/case discoveries in the same event order as the legacy
         // multi-pass pipeline, keeping reports byte-identical.
+        //
+        // Memoization on top: a run whose (schedule fingerprint,
+        // outcome) was seen before produced the same trace modulo
+        // timestamps, so its analysis products are already stored.
+        // A hit replays the stored merge and verdict; the universe is
+        // untouched, which is exactly what re-analyzing would do —
+        // every discovery of a duplicate schedule is idempotent.
         let t_analysis = Instant::now();
-        let analysis =
-            result.ect.as_ref().map(|ect| self.bufs.analyze(ect, &mut self.universe, false));
-        let verdict = analyze_run_with(&result, analysis.as_ref().map(|a| &a.tree));
+        let key = if cfg.memo != MemoMode::Off && result.ect.is_some() {
+            Some(memo_key(result.fingerprint, &result.outcome))
+        } else {
+            None
+        };
+        let hit = key.is_some_and(|k| self.memo.contains_key(&k));
+        let (analysis, verdict) = if hit && cfg.memo != MemoMode::Verify {
+            self.memo_hits += 1;
+            (None, self.memo[&key.expect("hit implies key")].verdict.clone())
+        } else {
+            let analysis =
+                result.ect.as_ref().map(|ect| self.bufs.analyze(ect, &mut self.universe, false));
+            let verdict = analyze_run_with(&result, analysis.as_ref().map(|a| &a.tree));
+            if let (Some(k), Some(a)) = (key, analysis.as_ref()) {
+                if hit {
+                    // GOAT_MEMO=verify: duplicates are re-analyzed and
+                    // the stored products must agree exactly.
+                    self.memo_hits += 1;
+                    let entry = &self.memo[&k];
+                    assert_eq!(entry.verdict, verdict, "memo verify: verdict diverged");
+                    assert_eq!(entry.tree, a.tree, "memo verify: goroutine tree diverged");
+                    assert!(
+                        entry.coverage.covered == a.coverage.covered
+                            && entry.coverage.per_g == a.coverage.per_g,
+                        "memo verify: coverage diverged"
+                    );
+                } else {
+                    self.memo_misses += 1;
+                    self.memo.insert(
+                        k,
+                        MemoEntry {
+                            tree: a.tree.clone(),
+                            coverage: a.coverage.clone(),
+                            verdict: verdict.clone(),
+                        },
+                    );
+                }
+            }
+            (analysis, verdict)
+        };
         // Supervision accounting: consecutive failures degrade a
         // repeatedly-failing kernel to skipped-with-reason instead of
         // grinding the remaining budget. Infra failures reach this point
@@ -671,7 +855,16 @@ impl MergeState {
             // Coverage sets flow back into the scratch pool for the
             // next iteration.
             self.bufs.reclaim(a.coverage);
+        } else if hit {
+            // Memo hit: replay the stored products. The entry stays in
+            // the map, so nothing is reclaimed here.
+            let entry = &self.memo[&key.expect("hit implies key")];
+            self.covered.merge(&entry.coverage.covered);
+            self.global_tree.merge_run(&entry.tree, &entry.coverage);
         }
+        // Hits record too: the histogram's count stays one-per-iteration
+        // (pinned by the telemetry snapshot test); a hit just lands in
+        // the cheap buckets.
         self.analysis_ns.record(t_analysis.elapsed().as_nanos() as u64);
         self.sched_totals.accumulate(&result.sched);
         self.yields_total += u64::from(result.yields_injected);
@@ -1072,6 +1265,8 @@ impl Goat {
             yields_injected: m.yields_total,
             coverage_delta: m.coverage_delta.snapshot(),
             analysis_ns: m.analysis_ns.snapshot(),
+            memo_hits: m.memo_hits,
+            memo_misses: m.memo_misses,
             pool: goat_runtime::pool::stats(),
             trace_pool: goat_trace::recycle::stats(),
         };
@@ -1080,6 +1275,8 @@ impl Goat {
         reg.counter_with("campaign.iterations", Some(program.name()))
             .add(telemetry.iterations as u64);
         reg.gauge("campaign.reorder_depth_max").set(reorder_depth_max as i64);
+        reg.counter("campaign.memo_hits").add(m.memo_hits);
+        reg.counter("campaign.memo_misses").add(m.memo_misses);
         let result = m.finish(skipped, Some(telemetry.clone()));
         goat_metrics::emit(&CampaignEvent {
             kind: "campaign",
@@ -1537,6 +1734,62 @@ mod tests {
         // …while two actually consecutive ones still quarantine.
         assert!(m.merge_one(&cfg, 3, crash()));
         assert!(m.quarantined.is_some());
+    }
+
+    #[test]
+    fn duplicate_schedules_hit_the_memo_and_replay_identically() {
+        // Noise off: every seed-1 run produces the same schedule, so the
+        // second merge must be served from the memo — and the resulting
+        // campaign state must match a memo-off merge exactly.
+        let run = || {
+            Runtime::run(Config::new(1).with_native_preempt_prob(0.0).with_trace(true), || {
+                let ch: Chan<u8> = Chan::new(0);
+                let tx = ch.clone();
+                go_named("tx", move || tx.send(1));
+                ch.recv();
+            })
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.fingerprint, b.fingerprint, "identical schedules fingerprint equal");
+
+        let cfg_on = GoatConfig::default().keep_running().with_memo(MemoMode::On);
+        let mut on = MergeState::new(CuTable::new());
+        assert!(!on.merge_one(&cfg_on, 0, a));
+        assert!(!on.merge_one(&cfg_on, 1, b));
+        assert_eq!((on.memo_misses, on.memo_hits), (1, 1), "second merge must hit");
+
+        let cfg_off = GoatConfig::default().keep_running().with_memo(MemoMode::Off);
+        let mut off = MergeState::new(CuTable::new());
+        assert!(!off.merge_one(&cfg_off, 0, run()));
+        assert!(!off.merge_one(&cfg_off, 1, run()));
+        assert_eq!((off.memo_misses, off.memo_hits), (0, 0));
+
+        assert_eq!(on.covered, off.covered, "memo hit must replay identical coverage");
+        assert_eq!(on.universe.len(), off.universe.len());
+        assert_eq!(on.global_tree.render(), off.global_tree.render());
+        for (x, y) in on.records.iter().zip(off.records.iter()) {
+            assert_eq!(x.verdict, y.verdict);
+            assert_eq!(x.coverage_percent.to_bits(), y.coverage_percent.to_bits());
+            assert_eq!(x.universe_size, y.universe_size);
+        }
+    }
+
+    #[test]
+    fn memo_distinguishes_outcomes_sharing_a_fingerprint() {
+        // Same fingerprint, different outcome strings → different keys;
+        // a panic's verdict must never be served for a completed run.
+        let k1 = memo_key(42, &RunOutcome::Completed);
+        let k2 = memo_key(42, &RunOutcome::StepLimit);
+        let k3 =
+            memo_key(42, &RunOutcome::Panicked { g: goat_trace::Gid(1), msg: "a".to_string() });
+        let k4 =
+            memo_key(42, &RunOutcome::Panicked { g: goat_trace::Gid(1), msg: "b".to_string() });
+        let keys = [k1, k2, k3, k4];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "outcome collision between {i} and {j}");
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,21 @@
 //! The crate is a leaf: it depends only on (vendored) serde and
 //! serde_json, so any layer of the workspace can use it without
 //! cycles.
+//!
+//! ## Metric-name inventory
+//!
+//! Names are flat dotted strings registered by the layers above; this
+//! is the canonical list (grep for the literal to find the producer):
+//!
+//! | prefix | names |
+//! |---|---|
+//! | `sched.*` (per-run scheduler) | `picks`, `random_picks`, `blocks`, `unblocks`, `yields_injected` |
+//! | `run.*` / `runtime.*` | `run.steps`, `runtime.runs` |
+//! | `pool.*` (worker-thread pool) | `checkout_ns` (histogram), `checkout_spun` (checkouts consumed in an idle worker's spin window, no futex wake) |
+//! | `ect.*` / `coverage.*` | `ect.events`, `coverage.requirements`, `coverage.trace_events` |
+//! | `campaign.*` | `iterations`, `reorder_depth_max`, `memo_hits` / `memo_misses` (duplicate-schedule analysis memo) |
+//! | `supervision.*` | `timeouts`, `retries`, `infra_failures`, `quarantines`, `faults_injected`, `checkpoint_writes`, `checkpoint_resumes` |
+//! | `telemetry.*` | `events_dropped` (sink back-pressure) |
 
 #![warn(missing_docs)]
 

@@ -172,10 +172,8 @@ impl<T: Send + 'static> Chan<T> {
     /// Panics when called outside a goroutine.
     pub fn new(cap: usize) -> Chan<T> {
         let ctx = current();
-        let mut s = ctx.rt.state.lock();
-        let id = s.alloc_rid();
-        s.emit(ctx.gid, EventKind::ChMake { ch: id, cap }, None);
-        drop(s);
+        let id = ctx.rt.state.lock().alloc_rid();
+        ctx.rt.tb.push(ctx.gid, EventKind::ChMake { ch: id, cap }, None);
         Chan {
             core: Arc::new(ChanCore {
                 id,
@@ -224,16 +222,14 @@ impl<T: Send + 'static> Chan<T> {
         if let Some(rw) = st.pop_valid_recver() {
             rw.slot.put(RecvOutcome::Val(v));
             drop(st);
-            let mut s = ctx.rt.state.lock();
-            s.wake(rw.g, ctx.gid, Some(cu));
-            s.emit(ctx.gid, EventKind::ChSend { ch: self.core.id }, Some(cu));
+            ctx.rt.state.lock().wake(rw.g, ctx.gid, Some(cu));
+            ctx.rt.tb.push(ctx.gid, EventKind::ChSend { ch: self.core.id }, Some(cu));
             return Ok(());
         }
         if st.buf.len() < self.core.cap {
             st.buf.push_back(v);
             drop(st);
-            let mut s = ctx.rt.state.lock();
-            s.emit(ctx.gid, EventKind::ChSend { ch: self.core.id }, Some(cu));
+            ctx.rt.tb.push(ctx.gid, EventKind::ChSend { ch: self.core.id }, Some(cu));
             return Ok(());
         }
         Err(v)
@@ -263,23 +259,20 @@ impl<T: Send + 'static> Chan<T> {
         if let Some(v) = st.buf.pop_front() {
             core.refill_from_sender(&ctx, &mut st, &cu);
             drop(st);
-            let mut s = ctx.rt.state.lock();
-            s.emit(ctx.gid, EventKind::ChRecv { ch: core.id, closed: false }, Some(cu));
+            ctx.rt.tb.push(ctx.gid, EventKind::ChRecv { ch: core.id, closed: false }, Some(cu));
             return Some(Some(v));
         }
         if let Some(mut sw) = st.pop_valid_sender() {
             let v = sw.val.take().expect("blocked sender always holds a value");
             sw.slot.put(SendOutcome::Sent);
             drop(st);
-            let mut s = ctx.rt.state.lock();
-            s.wake(sw.g, ctx.gid, Some(cu));
-            s.emit(ctx.gid, EventKind::ChRecv { ch: core.id, closed: false }, Some(cu));
+            ctx.rt.state.lock().wake(sw.g, ctx.gid, Some(cu));
+            ctx.rt.tb.push(ctx.gid, EventKind::ChRecv { ch: core.id, closed: false }, Some(cu));
             return Some(Some(v));
         }
         if st.closed {
             drop(st);
-            let mut s = ctx.rt.state.lock();
-            s.emit(ctx.gid, EventKind::ChRecv { ch: core.id, closed: true }, Some(cu));
+            ctx.rt.tb.push(ctx.gid, EventKind::ChRecv { ch: core.id, closed: true }, Some(cu));
             return Some(None);
         }
         None
@@ -311,11 +304,13 @@ impl<T: Send + 'static> Chan<T> {
             woken.push(sw.g);
         }
         drop(st);
-        let mut s = ctx.rt.state.lock();
-        for g in woken {
-            s.wake(g, ctx.gid, Some(cu));
+        if !woken.is_empty() {
+            let mut s = ctx.rt.state.lock();
+            for g in woken {
+                s.wake(g, ctx.gid, Some(cu));
+            }
         }
-        s.emit(ctx.gid, EventKind::ChClose { ch: self.core.id }, Some(cu));
+        ctx.rt.tb.push(ctx.gid, EventKind::ChClose { ch: self.core.id }, Some(cu));
     }
 
     /// Iterate over values until the channel closes (Go's
@@ -381,16 +376,14 @@ impl<T: Send + 'static> ChanCore<T> {
         if let Some(rw) = st.pop_valid_recver() {
             rw.slot.put(RecvOutcome::Val(v));
             drop(st);
-            let mut s = ctx.rt.state.lock();
-            s.wake(rw.g, ctx.gid, Some(cu));
-            s.emit(ctx.gid, EventKind::ChSend { ch: self.id }, Some(cu));
+            ctx.rt.state.lock().wake(rw.g, ctx.gid, Some(cu));
+            ctx.rt.tb.push(ctx.gid, EventKind::ChSend { ch: self.id }, Some(cu));
             return;
         }
         if st.buf.len() < self.cap {
             st.buf.push_back(v);
             drop(st);
-            let mut s = ctx.rt.state.lock();
-            s.emit(ctx.gid, EventKind::ChSend { ch: self.id }, Some(cu));
+            ctx.rt.tb.push(ctx.gid, EventKind::ChSend { ch: self.id }, Some(cu));
             return;
         }
         // Block until a receiver takes the value (or the channel closes).
@@ -405,8 +398,7 @@ impl<T: Send + 'static> ChanCore<T> {
         block_current(ctx, BlockReason::Send, None, Some(cu));
         match slot.take() {
             Some(SendOutcome::Sent) => {
-                let mut s = ctx.rt.state.lock();
-                s.emit(ctx.gid, EventKind::ChSend { ch: self.id }, Some(cu));
+                ctx.rt.tb.push(ctx.gid, EventKind::ChSend { ch: self.id }, Some(cu));
             }
             Some(SendOutcome::Closed) => gopanic("send on closed channel"),
             None => unreachable!("blocked sender woken without outcome"),
@@ -418,23 +410,20 @@ impl<T: Send + 'static> ChanCore<T> {
         if let Some(v) = st.buf.pop_front() {
             self.refill_from_sender(ctx, &mut st, &cu);
             drop(st);
-            let mut s = ctx.rt.state.lock();
-            s.emit(ctx.gid, EventKind::ChRecv { ch: self.id, closed: false }, Some(cu));
+            ctx.rt.tb.push(ctx.gid, EventKind::ChRecv { ch: self.id, closed: false }, Some(cu));
             return Some(v);
         }
         if let Some(mut sw) = st.pop_valid_sender() {
             let v = sw.val.take().expect("blocked sender always holds a value");
             sw.slot.put(SendOutcome::Sent);
             drop(st);
-            let mut s = ctx.rt.state.lock();
-            s.wake(sw.g, ctx.gid, Some(cu));
-            s.emit(ctx.gid, EventKind::ChRecv { ch: self.id, closed: false }, Some(cu));
+            ctx.rt.state.lock().wake(sw.g, ctx.gid, Some(cu));
+            ctx.rt.tb.push(ctx.gid, EventKind::ChRecv { ch: self.id, closed: false }, Some(cu));
             return Some(v);
         }
         if st.closed {
             drop(st);
-            let mut s = ctx.rt.state.lock();
-            s.emit(ctx.gid, EventKind::ChRecv { ch: self.id, closed: true }, Some(cu));
+            ctx.rt.tb.push(ctx.gid, EventKind::ChRecv { ch: self.id, closed: true }, Some(cu));
             return None;
         }
         let slot = OpSlot::new();
@@ -443,13 +432,11 @@ impl<T: Send + 'static> ChanCore<T> {
         block_current(ctx, BlockReason::Recv, None, Some(cu));
         match slot.take() {
             Some(RecvOutcome::Val(v)) => {
-                let mut s = ctx.rt.state.lock();
-                s.emit(ctx.gid, EventKind::ChRecv { ch: self.id, closed: false }, Some(cu));
+                ctx.rt.tb.push(ctx.gid, EventKind::ChRecv { ch: self.id, closed: false }, Some(cu));
                 Some(v)
             }
             Some(RecvOutcome::Closed) => {
-                let mut s = ctx.rt.state.lock();
-                s.emit(ctx.gid, EventKind::ChRecv { ch: self.id, closed: true }, Some(cu));
+                ctx.rt.tb.push(ctx.gid, EventKind::ChRecv { ch: self.id, closed: true }, Some(cu));
                 None
             }
             None => unreachable!("blocked receiver woken without outcome"),

@@ -108,6 +108,36 @@ pub struct Config {
     /// abandons the run with [`RunOutcome::TimedOut`] even if no
     /// goroutine ever re-enters the runtime.
     pub iter_timeout_ms: Option<u64>,
+    /// Token-handoff spin budget: rounds a goroutine polls for the run
+    /// token (with exponentially growing [`std::hint::spin_loop`]
+    /// batches) before parking on a condvar. `0` disables spinning —
+    /// park-only, the pre-spin behaviour. Defaults from the `GOAT_SPIN`
+    /// environment variable; unset, the default is 100 on multi-core
+    /// hosts and 0 on single-CPU hosts (where a spin window can never
+    /// overlap the granting thread). Scheduling decisions and traces
+    /// are identical at every setting; only handoff latency changes.
+    pub spin: u32,
+}
+
+/// The process-wide `GOAT_SPIN` default, read once.
+///
+/// When the variable is unset the default is host-aware: spinning for a
+/// grant only ever succeeds while the *granting* thread runs on another
+/// core, so on a single-CPU host every spin window is pure delay (the
+/// spinner occupies the only core the granter needs) and the default
+/// collapses to 0 (park immediately). An explicit `GOAT_SPIN` always
+/// wins — useful for testing the spin path itself.
+pub(crate) fn default_spin() -> u32 {
+    use std::sync::OnceLock;
+    static SPIN: OnceLock<u32> = OnceLock::new();
+    *SPIN.get_or_init(|| {
+        std::env::var("GOAT_SPIN").ok().and_then(|v| v.parse::<u32>().ok()).unwrap_or_else(|| {
+            match std::thread::available_parallelism() {
+                Ok(n) if n.get() > 1 => 100,
+                _ => 0,
+            }
+        })
+    })
 }
 
 impl Config {
@@ -170,6 +200,12 @@ impl Config {
         self.iter_timeout_ms = ms.filter(|&ms| ms > 0);
         self
     }
+
+    /// Set the token-handoff spin budget (0 = park only).
+    pub fn with_spin(mut self, spin: u32) -> Self {
+        self.spin = spin;
+        self
+    }
 }
 
 impl Default for Config {
@@ -189,6 +225,7 @@ impl Default for Config {
                 .ok()
                 .and_then(|v| v.parse::<u64>().ok())
                 .filter(|&ms| ms > 0),
+            spin: default_spin(),
         }
     }
 }
@@ -362,6 +399,12 @@ pub struct RunResult {
     pub replay_diverged: bool,
     /// Deterministic scheduler counters for this run.
     pub sched: SchedCounters,
+    /// Schedule fingerprint folded online while the trace was recorded
+    /// (see [`goat_trace::schedule_fingerprint`]); equal fingerprints
+    /// mean the run executed the same interleaving of the same
+    /// operations. [`goat_trace::tracebuf::FP_SEED`] when tracing was
+    /// disabled.
+    pub fingerprint: u64,
 }
 
 impl RunResult {

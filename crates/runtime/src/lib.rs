@@ -49,6 +49,8 @@ pub mod context;
 /// Deterministic fault injection (`GOAT_FAULT`) for supervision tests.
 pub mod faultpoint;
 mod monitor;
+/// Adaptive spin-then-park token-handoff parker.
+pub mod park;
 /// Shared goroutine worker-thread pool (statistics surface).
 pub mod pool;
 mod rt;

@@ -173,12 +173,50 @@ impl WorkerPool {
             // Park until the next checkout; a closed channel would mean
             // the global pool was dropped, which cannot happen, but exit
             // cleanly regardless.
-            match job_rx.recv() {
-                Ok(next) => job = next,
-                Err(_) => return,
+            match recv_job(&job_rx) {
+                Some(next) => job = next,
+                None => return,
             }
         }
     }
+}
+
+/// Spin-then-block receive of the next checkout, mirroring the token
+/// parker's adaptive budget ([`crate::config::default_spin`], the
+/// `GOAT_SPIN` knob; `0` blocks immediately). During a spawn burst the
+/// next goroutine lands on a just-checked-in worker microseconds later,
+/// and consuming it inside the spin window skips the futex wake on the
+/// checkout path. `None` means the channel closed and the worker must
+/// exit. Note the budget is the process-wide env default — per-runtime
+/// `Config::spin` overrides apply only to the token parker, because the
+/// pool outlives any single runtime.
+fn recv_job(job_rx: &Receiver<Job>) -> Option<Job> {
+    let mut pause = 1u32;
+    for _ in 0..crate::config::default_spin() {
+        match job_rx.try_recv() {
+            Ok(job) => {
+                if goat_metrics::enabled() {
+                    checkout_spun_counter().add(1);
+                }
+                return Some(job);
+            }
+            Err(mpsc::TryRecvError::Empty) => {
+                for _ in 0..pause {
+                    std::hint::spin_loop();
+                }
+                pause = (pause * 2).min(64);
+            }
+            Err(mpsc::TryRecvError::Disconnected) => return None,
+        }
+    }
+    job_rx.recv().ok()
+}
+
+/// Checkouts consumed during an idle worker's spin window (no futex
+/// wait on either side), in the global metrics registry.
+fn checkout_spun_counter() -> &'static goat_metrics::Counter {
+    static C: OnceLock<std::sync::Arc<goat_metrics::Counter>> = OnceLock::new();
+    C.get_or_init(|| goat_metrics::counter("pool.checkout_spun"))
 }
 
 /// The pool-checkout latency histogram in the global metrics registry

@@ -26,8 +26,9 @@ use crate::config::{
 };
 use crate::faultpoint::{self, SeedFault};
 use crate::monitor::Monitor;
+use crate::park::Parker;
 use goat_model::{Cu, CuKind, Istr};
-use goat_trace::{BlockReason, Ect, Event, EventKind, Gid, RId, VTime};
+use goat_trace::{BlockReason, Ect, EventKind, Gid, RId, TraceBuf, VTime};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -37,55 +38,6 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-// ---------------------------------------------------------------------
-// Parking
-// ---------------------------------------------------------------------
-
-/// One goroutine's parking spot for token hand-off.
-pub(crate) struct Parker {
-    m: Mutex<ParkState>,
-    cv: Condvar,
-}
-
-#[derive(Default)]
-struct ParkState {
-    granted: bool,
-    shutdown: bool,
-}
-
-impl Parker {
-    fn new() -> Arc<Parker> {
-        Arc::new(Parker { m: Mutex::new(ParkState::default()), cv: Condvar::new() })
-    }
-
-    fn grant(&self) {
-        let mut st = self.m.lock();
-        st.granted = true;
-        self.cv.notify_one();
-    }
-
-    fn shutdown(&self) {
-        let mut st = self.m.lock();
-        st.shutdown = true;
-        self.cv.notify_one();
-    }
-
-    /// Park until granted the token (`Ok`) or shut down (`Err`).
-    fn park(&self) -> Result<(), ()> {
-        let mut st = self.m.lock();
-        loop {
-            if st.shutdown {
-                return Err(());
-            }
-            if st.granted {
-                st.granted = false;
-                return Ok(());
-            }
-            self.cv.wait(&mut st);
-        }
-    }
-}
 
 /// Panic payload used to unwind goroutine threads at shutdown.
 pub(crate) struct ShutdownSignal;
@@ -219,8 +171,10 @@ pub(crate) struct Sched {
     timers: BinaryHeap<Reverse<TimerEntry>>,
     timer_seq: u64,
     next_rid: u64,
-    trace: Vec<Event>,
-    trace_full: bool,
+    /// The run's trace sink, shared with [`RtShared`]: internally
+    /// synchronized, so the token holder appends without this lock. The
+    /// scheduler publishes its virtual clock into it on every tick.
+    tb: Arc<TraceBuf>,
     outcome: Option<RunOutcome>,
     shutdown: bool,
     yields_injected: u32,
@@ -249,9 +203,8 @@ pub(crate) struct Sched {
 }
 
 impl Sched {
-    fn new(cfg: Config, monitor: Option<Arc<dyn Monitor>>) -> Self {
+    fn new(cfg: Config, monitor: Option<Arc<dyn Monitor>>, tb: Arc<TraceBuf>) -> Self {
         let rng = SmallRng::seed_from_u64(cfg.seed);
-        let cfg_trace = cfg.trace;
         Sched {
             cfg,
             slots: Vec::new(),
@@ -262,11 +215,7 @@ impl Sched {
             timers: BinaryHeap::new(),
             timer_seq: 0,
             next_rid: 0,
-            // Tracing runs check an event buffer out of the process-wide
-            // recycling pool; it is returned by the campaign merge loop
-            // once per-iteration analysis is done.
-            trace: if cfg_trace { goat_trace::take_buffer() } else { Vec::new() },
-            trace_full: false,
+            tb,
             outcome: None,
             shutdown: false,
             yields_injected: 0,
@@ -290,17 +239,11 @@ impl Sched {
         &mut self.slots[(g.0 - 1) as usize]
     }
 
-    /// Append an ECT event.
+    /// Append an ECT event from scheduler context (timer fires,
+    /// bootstrap, wakes). Gate functions holding the token append
+    /// through [`RtShared::tb`] directly, without this lock.
     pub(crate) fn emit(&mut self, g: Gid, kind: EventKind, cu: Option<Cu>) {
-        if !self.cfg.trace || self.trace_full {
-            return;
-        }
-        if self.trace.len() >= self.cfg.max_trace_events {
-            self.trace_full = true;
-            return;
-        }
-        let seq = self.trace.len() as u64;
-        self.trace.push(Event { seq, ts: VTime(self.clock), g, kind, cu });
+        self.tb.push(g, kind, cu);
     }
 
     /// Allocate a fresh traced-resource id.
@@ -395,7 +338,7 @@ impl Sched {
             name,
             internal,
             state: GState::Runnable,
-            parker: Parker::new(),
+            parker: Parker::new(self.cfg.spin),
         });
         self.runq.push_back(gid);
         gid
@@ -465,6 +408,7 @@ impl Sched {
     pub(crate) fn tick(&mut self) -> bool {
         self.steps += 1;
         self.clock += self.cfg.time_step_ns;
+        self.tb.set_clock(self.clock);
         if let Some(m) = &self.monitor {
             m.on_step(self.steps, self.clock);
         }
@@ -593,6 +537,7 @@ impl Sched {
             }
             if let Some(Reverse(t)) = self.timers.peek() {
                 self.clock = t.deadline;
+                self.tb.set_clock(self.clock);
                 continue;
             }
             // Nothing runnable, no timers: the built-in detector's
@@ -644,6 +589,15 @@ impl Sched {
 /// Shared state of one runtime instance.
 pub(crate) struct RtShared {
     pub(crate) state: Mutex<Sched>,
+    /// The run's trace sink. Internally synchronized and append-only;
+    /// the token holder pushes its own events here **without** taking
+    /// [`RtShared::state`]. Total order is preserved because exactly one
+    /// goroutine holds the run token, and within any `Sched` critical
+    /// section every emission happens before the token grant.
+    pub(crate) tb: Arc<TraceBuf>,
+    /// The attached monitor, reachable without the scheduler lock so
+    /// gate functions can consult it on lock-free paths.
+    pub(crate) monitor: Option<Arc<dyn Monitor>>,
     done_cv: Condvar,
     /// Goroutine jobs of this runtime still running on some OS thread
     /// (pooled or not). Replaces the historical `Vec<JoinHandle>`,
@@ -707,15 +661,17 @@ pub(crate) fn block_current(
     holder: Option<(Gid, Option<Cu>)>,
     cu: Option<Cu>,
 ) {
+    // Out-of-lock append: this goroutine still holds the run token, so
+    // nothing else can emit until `schedule_next` grants it away below.
+    let (holder_g, holder_cu) = match holder {
+        Some((g, c)) => (Some(g), c),
+        None => (None, None),
+    };
+    ctx.rt.tb.push(ctx.gid, EventKind::GoBlock { reason, holder_cu, holder: holder_g }, cu);
     let parker = {
         let mut s = ctx.rt.state.lock();
         s.slot_mut(ctx.gid).state = GState::Blocked(reason);
         s.counters.blocks += 1;
-        let (holder_g, holder_cu) = match holder {
-            Some((g, c)) => (Some(g), c),
-            None => (None, None),
-        };
-        s.emit(ctx.gid, EventKind::GoBlock { reason, holder_cu, holder: holder_g }, cu);
         if !s.tick() {
             ctx.rt.finish(&mut s, RunOutcome::StepLimit);
         }
@@ -734,6 +690,10 @@ pub(crate) fn block_current(
 /// `preempt` distinguishes injected perturbation yields (`GoPreempt`)
 /// from program-requested `gosched()` yields.
 pub(crate) fn yield_current(ctx: &Ctx, preempt: bool, cu: Option<Cu>) {
+    let kind =
+        if preempt { EventKind::GoPreempt } else { EventKind::GoSched { trace_stop: false } };
+    // Out-of-lock append: see `block_current`.
+    ctx.rt.tb.push(ctx.gid, kind, cu);
     let parker = {
         let mut s = ctx.rt.state.lock();
         s.slot_mut(ctx.gid).state = GState::Runnable;
@@ -743,9 +703,6 @@ pub(crate) fn yield_current(ctx: &Ctx, preempt: bool, cu: Option<Cu>) {
         } else {
             s.counters.yields_gosched += 1;
         }
-        let kind =
-            if preempt { EventKind::GoPreempt } else { EventKind::GoSched { trace_stop: false } };
-        s.emit(ctx.gid, kind, cu);
         if !s.tick() {
             ctx.rt.finish(&mut s, RunOutcome::StepLimit);
         }
@@ -850,28 +807,29 @@ fn goroutine_main(rt: Arc<RtShared>, gid: Gid, body: Box<dyn FnOnce() + Send + '
     CURRENT.with(|c| *c.borrow_mut() = Some(Ctx { rt: Arc::clone(&rt), gid }));
     let parker = { rt.state.lock().slot(gid).parker.clone() };
     if parker.park().is_ok() {
-        {
-            let mut s = rt.state.lock();
-            s.emit(gid, EventKind::GoStart, None);
-        }
+        // Token acquired; the granter emitted its last event before the
+        // grant, so this lock-free append lands in total order.
+        rt.tb.push(gid, EventKind::GoStart, None);
         let result = panic::catch_unwind(AssertUnwindSafe(body));
         match result {
             Ok(()) => {
-                let mut s = rt.state.lock();
-                s.slot_mut(gid).state = GState::Done;
                 if gid == Gid::MAIN {
                     // Successful main exit: the trace-stopping yield of
                     // §III-E.1, then a grace drain of runnable goroutines
                     // (schedule_next declares completion and runs the
                     // goleak observation point once the queue is empty).
-                    s.emit(gid, EventKind::GoSched { trace_stop: true }, None);
+                    rt.tb.push(gid, EventKind::GoSched { trace_stop: true }, None);
+                    let mut s = rt.state.lock();
+                    s.slot_mut(gid).state = GState::Done;
                     s.main_exited = true;
                     s.schedule_next();
                     if let Some(outcome) = s.outcome.clone() {
                         rt.finish(&mut s, outcome);
                     }
                 } else {
-                    s.emit(gid, EventKind::GoEnd, None);
+                    rt.tb.push(gid, EventKind::GoEnd, None);
+                    let mut s = rt.state.lock();
+                    s.slot_mut(gid).state = GState::Done;
                     if !s.tick() {
                         rt.finish(&mut s, RunOutcome::StepLimit);
                     }
@@ -887,9 +845,9 @@ fn goroutine_main(rt: Arc<RtShared>, gid: Gid, body: Box<dyn FnOnce() + Send + '
                     s.slot_mut(gid).state = GState::Done;
                 } else {
                     let msg = panic_message(payload);
+                    rt.tb.push(gid, EventKind::GoStop, None);
                     let mut s = rt.state.lock();
                     s.slot_mut(gid).state = GState::Done;
-                    s.emit(gid, EventKind::GoStop, None);
                     rt.finish(&mut s, RunOutcome::Panicked { g: gid, msg });
                 }
             }
@@ -932,13 +890,15 @@ fn go_impl(
         // GoAT's own helper goroutines are not perturbation targets.
         op_enter(&ctx, CuKind::Go, &cu);
     }
+    let name = Istr::new(name);
     let gid = {
         let mut s = ctx.rt.state.lock();
-        let name = Istr::new(name);
-        let gid = s.new_goroutine(name, internal);
-        s.emit(ctx.gid, EventKind::GoCreate { new_g: gid, name, internal }, Some(cu));
-        gid
+        s.new_goroutine(name, internal)
     };
+    // The child is runnable but cannot be granted the token until this
+    // goroutine reaches a scheduler gate, so the creation event lands
+    // before any child event.
+    ctx.rt.tb.push(ctx.gid, EventKind::GoCreate { new_g: gid, name, internal }, Some(cu));
     spawn_goroutine(&ctx.rt, gid, body);
     gid
 }
@@ -987,8 +947,11 @@ impl Runtime {
         let pooled = cfg.pool;
         let seed = cfg.seed;
         let iter_timeout_ms = cfg.iter_timeout_ms;
+        let tb = Arc::new(TraceBuf::new(cfg.trace, cfg.max_trace_events));
         let rt = Arc::new(RtShared {
-            state: Mutex::new(Sched::new(cfg, monitor)),
+            state: Mutex::new(Sched::new(cfg, monitor.clone(), Arc::clone(&tb))),
+            tb,
+            monitor,
             done_cv: Condvar::new(),
             threads: Mutex::new(0),
             threads_cv: Condvar::new(),
@@ -1101,13 +1064,14 @@ impl Runtime {
             }
         }
 
-        // Collect results.
+        // Collect results. Closing the trace buffer drops any straggler
+        // append from an abandoned goroutine; the collected event vector
+        // moves into the ECT wholesale (no per-event re-push) and the
+        // campaign merge loop recycles it.
+        let (trace, fingerprint) = rt.tb.take();
         let mut s = rt.state.lock();
         let outcome = s.outcome.clone().expect("outcome set before teardown");
-        let trace = std::mem::take(&mut s.trace);
-        // Move the collected buffer into the trace wholesale (no
-        // per-event re-push); the campaign merge loop recycles it.
-        let ect = if s.cfg.trace { Some(Ect::from_events(trace)) } else { None };
+        let ect = trace.map(Ect::from_events);
         let alive_at_end: Vec<AliveGoroutine> = s
             .alive_snapshot
             .take()
@@ -1119,6 +1083,7 @@ impl Runtime {
         let result = RunResult {
             outcome,
             ect,
+            fingerprint,
             steps: s.steps,
             vclock: VTime(s.clock),
             goroutines: s.slots.iter().filter(|g| !g.internal).count() as u64,

@@ -213,8 +213,7 @@ impl<'a, R: 'a> Select<'a, R> {
         {
             let descs: Vec<(SelCaseFlavor, Option<RId>)> =
                 self.cases.iter().map(|c| (c.flavor(), Some(c.ch_id()))).collect();
-            let mut s = ctx.rt.state.lock();
-            s.emit(
+            ctx.rt.tb.push(
                 ctx.gid,
                 EventKind::SelectBegin { cases: descs, has_default: self.default_case.is_some() },
                 Some(cu),
@@ -237,8 +236,7 @@ impl<'a, R: 'a> Select<'a, R> {
                 continue;
             }
             if let Some(d) = self.default_case.take() {
-                let mut s = ctx.rt.state.lock();
-                s.emit(
+                ctx.rt.tb.push(
                     ctx.gid,
                     EventKind::SelectEnd {
                         chosen: usize::MAX,
@@ -247,7 +245,6 @@ impl<'a, R: 'a> Select<'a, R> {
                     },
                     Some(cu),
                 );
-                drop(s);
                 return d();
             }
             // Block on all cases at once.
@@ -269,8 +266,7 @@ impl<'a, R: 'a> Select<'a, R> {
     }
 
     fn emit_end(&self, ctx: &Ctx, idx: usize) {
-        let mut s = ctx.rt.state.lock();
-        s.emit(
+        ctx.rt.tb.push(
             ctx.gid,
             EventKind::SelectEnd {
                 chosen: idx,

@@ -105,20 +105,19 @@ impl Mutex {
     }
 
     fn lock_impl(&self, ctx: &Ctx, cu: Cu) {
-        {
-            let s = ctx.rt.state.lock();
-            if let Some(m) = s.monitor() {
-                m.on_lock_attempt(ctx.gid, self.core.id, &cu);
-            }
+        // The token holder appends trace events and drives monitor hooks
+        // without the scheduler lock (see `RtShared::tb`); only a wake
+        // needs `Sched`.
+        if let Some(m) = &ctx.rt.monitor {
+            m.on_lock_attempt(ctx.gid, self.core.id, &cu);
         }
         let mut st = self.core.st.lock();
         if st.owner.is_none() {
             st.owner = Some(ctx.gid);
             st.owner_cu = Some(cu);
             drop(st);
-            let mut s = ctx.rt.state.lock();
-            s.emit(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu));
-            if let Some(m) = s.monitor() {
+            ctx.rt.tb.push(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu));
+            if let Some(m) = &ctx.rt.monitor {
                 m.on_lock_acquired(ctx.gid, self.core.id, &cu);
             }
             return;
@@ -128,9 +127,8 @@ impl Mutex {
         drop(st);
         block_current(ctx, BlockReason::Sync, Some(holder), Some(cu));
         // Ownership was transferred to us by the unlocker.
-        let mut s = ctx.rt.state.lock();
-        s.emit(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu));
-        if let Some(m) = s.monitor() {
+        ctx.rt.tb.push(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu));
+        if let Some(m) = &ctx.rt.monitor {
             m.on_lock_acquired(ctx.gid, self.core.id, &cu);
         }
     }
@@ -148,9 +146,8 @@ impl Mutex {
         st.owner = Some(ctx.gid);
         st.owner_cu = Some(cu);
         drop(st);
-        let mut s = ctx.rt.state.lock();
-        s.emit(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu));
-        if let Some(m) = s.monitor() {
+        ctx.rt.tb.push(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu));
+        if let Some(m) = &ctx.rt.monitor {
             m.on_lock_acquired(ctx.gid, self.core.id, &cu);
         }
         true
@@ -175,25 +172,24 @@ impl Mutex {
             drop(st);
             gopanic("sync: unlock of unlocked mutex");
         }
-        if let Some(w) = st.waiters.pop_front() {
+        let woken = if let Some(w) = st.waiters.pop_front() {
             st.owner = Some(w.g);
             st.owner_cu = Some(w.cu);
-            drop(st);
-            let mut s = ctx.rt.state.lock();
-            s.wake(w.g, ctx.gid, Some(cu));
-            s.emit(ctx.gid, EventKind::MuUnlock { mu: self.core.id }, Some(cu));
-            if let Some(m) = s.monitor() {
-                m.on_unlock(ctx.gid, self.core.id);
-            }
+            Some(w.g)
         } else {
             st.owner = None;
             st.owner_cu = None;
-            drop(st);
-            let mut s = ctx.rt.state.lock();
-            s.emit(ctx.gid, EventKind::MuUnlock { mu: self.core.id }, Some(cu));
-            if let Some(m) = s.monitor() {
-                m.on_unlock(ctx.gid, self.core.id);
-            }
+            None
+        };
+        drop(st);
+        if let Some(g) = woken {
+            // The only scheduler-lock acquisition on this path; the
+            // uncontended unlock never touches `Sched` at all.
+            ctx.rt.state.lock().wake(g, ctx.gid, Some(cu));
+        }
+        ctx.rt.tb.push(ctx.gid, EventKind::MuUnlock { mu: self.core.id }, Some(cu));
+        if let Some(m) = &ctx.rt.monitor {
+            m.on_unlock(ctx.gid, self.core.id);
         }
     }
 }
@@ -264,19 +260,15 @@ impl RwLock {
         let cu = cu_here(CuKind::Lock, std::panic::Location::caller());
         let ctx = current();
         op_enter(&ctx, CuKind::Lock, &cu);
-        {
-            let s = ctx.rt.state.lock();
-            if let Some(m) = s.monitor() {
-                m.on_lock_attempt(ctx.gid, self.core.id, &cu);
-            }
+        if let Some(m) = &ctx.rt.monitor {
+            m.on_lock_attempt(ctx.gid, self.core.id, &cu);
         }
         let mut st = self.core.st.lock();
         if st.writer.is_none() && st.readers.is_empty() {
             st.writer = Some((ctx.gid, cu));
             drop(st);
-            let mut s = ctx.rt.state.lock();
-            s.emit(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu));
-            if let Some(m) = s.monitor() {
+            ctx.rt.tb.push(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu));
+            if let Some(m) = &ctx.rt.monitor {
                 m.on_lock_acquired(ctx.gid, self.core.id, &cu);
             }
             return;
@@ -288,9 +280,8 @@ impl RwLock {
         st.wait_writers.push_back(MuWaiter { g: ctx.gid, cu });
         drop(st);
         block_current(&ctx, BlockReason::Sync, holder, Some(cu));
-        let mut s = ctx.rt.state.lock();
-        s.emit(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu));
-        if let Some(m) = s.monitor() {
+        ctx.rt.tb.push(ctx.gid, EventKind::MuLock { mu: self.core.id }, Some(cu));
+        if let Some(m) = &ctx.rt.monitor {
             m.on_lock_acquired(ctx.gid, self.core.id, &cu);
         }
     }
@@ -313,12 +304,14 @@ impl RwLock {
         let mut woken: Vec<Gid> = Vec::new();
         self.grant(&mut st, &mut woken);
         drop(st);
-        let mut s = ctx.rt.state.lock();
-        for g in woken {
-            s.wake(g, ctx.gid, Some(cu));
+        if !woken.is_empty() {
+            let mut s = ctx.rt.state.lock();
+            for g in woken {
+                s.wake(g, ctx.gid, Some(cu));
+            }
         }
-        s.emit(ctx.gid, EventKind::MuUnlock { mu: self.core.id }, Some(cu));
-        if let Some(m) = s.monitor() {
+        ctx.rt.tb.push(ctx.gid, EventKind::MuUnlock { mu: self.core.id }, Some(cu));
+        if let Some(m) = &ctx.rt.monitor {
             m.on_unlock(ctx.gid, self.core.id);
         }
     }
@@ -334,8 +327,7 @@ impl RwLock {
         if st.writer.is_none() && st.wait_writers.is_empty() {
             st.readers.push((ctx.gid, cu));
             drop(st);
-            let mut s = ctx.rt.state.lock();
-            s.emit(ctx.gid, EventKind::RwRLock { mu: self.core.id }, Some(cu));
+            ctx.rt.tb.push(ctx.gid, EventKind::RwRLock { mu: self.core.id }, Some(cu));
             return;
         }
         let holder = st
@@ -345,8 +337,7 @@ impl RwLock {
         st.wait_readers.push_back(MuWaiter { g: ctx.gid, cu });
         drop(st);
         block_current(&ctx, BlockReason::Sync, holder, Some(cu));
-        let mut s = ctx.rt.state.lock();
-        s.emit(ctx.gid, EventKind::RwRLock { mu: self.core.id }, Some(cu));
+        ctx.rt.tb.push(ctx.gid, EventKind::RwRLock { mu: self.core.id }, Some(cu));
     }
 
     /// Release a read lock.
@@ -367,11 +358,13 @@ impl RwLock {
         let mut woken: Vec<Gid> = Vec::new();
         self.grant(&mut st, &mut woken);
         drop(st);
-        let mut s = ctx.rt.state.lock();
-        for g in woken {
-            s.wake(g, ctx.gid, Some(cu));
+        if !woken.is_empty() {
+            let mut s = ctx.rt.state.lock();
+            for g in woken {
+                s.wake(g, ctx.gid, Some(cu));
+            }
         }
-        s.emit(ctx.gid, EventKind::RwRUnlock { mu: self.core.id }, Some(cu));
+        ctx.rt.tb.push(ctx.gid, EventKind::RwRUnlock { mu: self.core.id }, Some(cu));
     }
 
     /// Grant the lock to waiters after a release: the next writer when
@@ -495,16 +488,18 @@ impl WaitGroup {
         }
         let woken: Vec<Gid> = if count == 0 { st.waiters.drain(..).collect() } else { Vec::new() };
         drop(st);
-        let mut s = ctx.rt.state.lock();
-        for g in &woken {
-            s.wake(*g, ctx.gid, Some(cu));
+        if !woken.is_empty() {
+            let mut s = ctx.rt.state.lock();
+            for g in &woken {
+                s.wake(*g, ctx.gid, Some(cu));
+            }
         }
         let ev = if is_done {
             EventKind::WgDone { wg: self.core.id, count }
         } else {
             EventKind::WgAdd { wg: self.core.id, delta, count }
         };
-        s.emit(ctx.gid, ev, Some(cu));
+        ctx.rt.tb.push(ctx.gid, ev, Some(cu));
     }
 
     /// Block until the counter is zero.
@@ -521,8 +516,7 @@ impl WaitGroup {
         } else {
             drop(st);
         }
-        let mut s = ctx.rt.state.lock();
-        s.emit(ctx.gid, EventKind::WgWait { wg: self.core.id }, Some(cu));
+        ctx.rt.tb.push(ctx.gid, EventKind::WgWait { wg: self.core.id }, Some(cu));
     }
 
     /// The current counter value (for tests and reports).
@@ -588,8 +582,7 @@ impl Cond {
         self.core.mu.unlock_impl(&ctx, cu);
         block_current(&ctx, BlockReason::Cond, None, Some(cu));
         self.core.mu.lock_impl(&ctx, cu);
-        let mut s = ctx.rt.state.lock();
-        s.emit(ctx.gid, EventKind::CondWait { cv: self.core.id }, Some(cu));
+        ctx.rt.tb.push(ctx.gid, EventKind::CondWait { cv: self.core.id }, Some(cu));
     }
 
     /// Wake one waiter (no-op when none is waiting — the missed-signal
@@ -600,11 +593,10 @@ impl Cond {
         let ctx = current();
         op_enter(&ctx, CuKind::Signal, &cu);
         let woken = self.core.st.lock().waiters.pop_front();
-        let mut s = ctx.rt.state.lock();
         if let Some(g) = woken {
-            s.wake(g, ctx.gid, Some(cu));
+            ctx.rt.state.lock().wake(g, ctx.gid, Some(cu));
         }
-        s.emit(ctx.gid, EventKind::CondSignal { cv: self.core.id }, Some(cu));
+        ctx.rt.tb.push(ctx.gid, EventKind::CondSignal { cv: self.core.id }, Some(cu));
     }
 
     /// Wake all waiters.
@@ -614,11 +606,13 @@ impl Cond {
         let ctx = current();
         op_enter(&ctx, CuKind::Broadcast, &cu);
         let woken: Vec<Gid> = self.core.st.lock().waiters.drain(..).collect();
-        let mut s = ctx.rt.state.lock();
-        for g in woken {
-            s.wake(g, ctx.gid, Some(cu));
+        if !woken.is_empty() {
+            let mut s = ctx.rt.state.lock();
+            for g in woken {
+                s.wake(g, ctx.gid, Some(cu));
+            }
         }
-        s.emit(ctx.gid, EventKind::CondBroadcast { cv: self.core.id }, Some(cu));
+        ctx.rt.tb.push(ctx.gid, EventKind::CondBroadcast { cv: self.core.id }, Some(cu));
     }
 }
 

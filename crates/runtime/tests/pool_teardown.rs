@@ -43,8 +43,15 @@ fn idle_bound_holds_and_wedged_workers_are_abandoned() {
     assert!(r.clean(), "{:?}", r.outcome);
 
     // Workers re-park just after the run's join loop observes them
-    // done, so poll briefly for the stack to settle.
-    settle(|| pool::stats().idle_now <= MAX_IDLE);
+    // done, so poll until the pool fully quiesces — every spawned
+    // worker has either retired or landed on the idle stack. (Checking
+    // only `idle_now <= MAX_IDLE` races: a straggler still between job
+    // completion and park would re-park during the next phase and top
+    // the idle stack back up to the cap.)
+    settle(|| {
+        let s = pool::stats();
+        s.threads_spawned == s.workers_retired + s.idle_now as u64
+    });
     let s = pool::stats();
     assert!(
         s.idle_now <= MAX_IDLE,

@@ -202,6 +202,15 @@ impl Ect {
         Ok(())
     }
 
+    /// The trace's schedule fingerprint (see
+    /// [`crate::tracebuf::schedule_fingerprint`]): equal fingerprints
+    /// mean the same interleaving of the same operations. The runtime
+    /// computes this online while recording; this offline twin serves
+    /// deserialized or replayed traces.
+    pub fn fingerprint(&self) -> u64 {
+        crate::tracebuf::schedule_fingerprint(self.events.iter())
+    }
+
     /// Render the trace as a human-readable interleaving listing, one
     /// event per line (used by goat-core's reports).
     pub fn render(&self) -> String {

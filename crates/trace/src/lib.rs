@@ -25,9 +25,11 @@ pub mod event;
 pub mod gtree;
 pub mod recycle;
 pub mod stats;
+pub mod tracebuf;
 
 pub use ect::{Ect, WellFormedError};
 pub use event::{BlockReason, Event, EventCategory, EventKind, Gid, RId, SelCaseFlavor, VTime};
 pub use gtree::{GNode, GTree, GTreeBuilder};
 pub use recycle::{recycle_buffer, take_buffer, TracePoolStats};
 pub use stats::{GoroutineProfile, TraceStats};
+pub use tracebuf::{schedule_fingerprint, TraceBuf};

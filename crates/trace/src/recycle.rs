@@ -12,7 +12,10 @@
 //! so the hottest (cache-warm, fully grown) buffer is reused first.
 //! Capacity is bounded by the `GOAT_TRACE_POOL_MAX` environment knob
 //! (default 32 buffers; `0` disables recycling entirely — every take is
-//! fresh and every return is dropped).
+//! fresh and every return is dropped). The `goat` CLI exposes it as the
+//! `-trace-pool-max` flag; env wins when both are set. Both bug and
+//! non-bug traces flow back here — bug ECTs are returned by the front
+//! end once their report has been rendered.
 //!
 //! Counters are plain relaxed atomics (not gated behind telemetry) so
 //! [`stats`] is always meaningful; the campaign runner surfaces them in

@@ -30,6 +30,19 @@ struct Cli {
     max_retries: Option<u32>,
     quarantine_after: Option<u32>,
     quarantine_crashes: Option<u32>,
+    // Hot-path knobs: the flag seeds the matching `GOAT_*` variable
+    // only when the environment leaves it unset, so an operator's env
+    // always wins over a script's flag.
+    spin: Option<u32>,
+    memo: Option<String>,
+    trace_pool_max: Option<usize>,
+}
+
+/// Set `name` only when the environment does not already define it.
+fn env_default(name: &str, value: &str) {
+    if std::env::var_os(name).is_none() {
+        std::env::set_var(name, value);
+    }
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -45,6 +58,9 @@ fn parse_args() -> Result<Cli, String> {
         max_retries: None,
         quarantine_after: None,
         quarantine_crashes: None,
+        spin: None,
+        memo: None,
+        trace_pool_max: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -76,6 +92,17 @@ fn parse_args() -> Result<Cli, String> {
                 cli.quarantine_crashes =
                     Some(num("-quarantine-crashes", take("-quarantine-crashes")?)?)
             }
+            "-spin" | "--spin" => cli.spin = Some(num("-spin", take("-spin")?)?),
+            "-memo" | "--memo" => {
+                let v = take("-memo")?;
+                match v.as_str() {
+                    "0" | "off" | "1" | "on" | "verify" => cli.memo = Some(v),
+                    other => return Err(format!("-memo: expected off|on|verify, got {other}")),
+                }
+            }
+            "-trace-pool-max" | "--trace-pool-max" => {
+                cli.trace_pool_max = Some(num("-trace-pool-max", take("-trace-pool-max")?)?)
+            }
             "-h" | "--help" => {
                 print_help();
                 std::process::exit(0);
@@ -85,6 +112,19 @@ fn parse_args() -> Result<Cli, String> {
     }
     if cli.target.is_empty() {
         return Err("missing -target (use '-target list' to enumerate kernels)".into());
+    }
+    // Seed the env-first hot-path knobs before anything reads (and
+    // caches) them: the runtime's spin budget, the analysis memo mode
+    // and the trace-buffer pool cap are all process-wide defaults
+    // resolved from GOAT_* on first use.
+    if let Some(s) = cli.spin {
+        env_default("GOAT_SPIN", &s.to_string());
+    }
+    if let Some(m) = &cli.memo {
+        env_default("GOAT_MEMO", m);
+    }
+    if let Some(n) = cli.trace_pool_max {
+        env_default("GOAT_TRACE_POOL_MAX", &n.to_string());
     }
     Ok(cli)
 }
@@ -143,7 +183,15 @@ fn print_help() {
          \x20 -max-retries <int>        retries for infra failures (GOAT_MAX_RETRIES)\n\
          \x20 -quarantine-after <int>   quarantine after N infra failures (GOAT_QUARANTINE_AFTER)\n\
          \x20 -quarantine-crashes <int> quarantine after N crashed iterations, 0 = off\n\
-         \x20                           (GOAT_QUARANTINE_CRASHES)"
+         \x20                           (GOAT_QUARANTINE_CRASHES)\n\n\
+         execution hot path (flags seed the GOAT_* env knob; env remains the override):\n\
+         \x20 -spin <int>               token-handoff spin budget before parking, 0 = park\n\
+         \x20                           immediately (GOAT_SPIN; default 100 on multi-core\n\
+         \x20                           hosts, 0 on a single CPU)\n\
+         \x20 -memo <off|on|verify>     duplicate-schedule analysis memoization; verify\n\
+         \x20                           re-analyzes hits and asserts equality (GOAT_MEMO)\n\
+         \x20 -trace-pool-max <int>     recycled trace buffers kept per process\n\
+         \x20                           (GOAT_TRACE_POOL_MAX, default 32)"
     );
 }
 
@@ -196,7 +244,11 @@ fn main() -> ExitCode {
                 cfg = cfg.with_checkpoint(per_kernel_checkpoint(&base, kernel.name));
             }
             let goat = Goat::new(cfg);
-            let result = goat.test(Arc::new(KernelProgram(kernel)));
+            let mut result = goat.test(Arc::new(KernelProgram(kernel)));
+            // Suite mode renders no per-bug trace report, so the bug
+            // trace (if any) goes straight back to the recycling pool
+            // for the next kernel's campaign.
+            result.recycle_bug_trace();
             if let Some(reason) = &result.quarantined {
                 println!(
                     "{:<18} QUARANTINED ({reason}; {} iteration(s) skipped)",
@@ -240,7 +292,7 @@ detected {detected}/68 at D={} within {} iterations",
         kernel.name, cli.d, cli.freq, cli.seed, kernel.description
     );
     let goat = Goat::new(campaign_config(&cli));
-    let result = goat.test(Arc::new(KernelProgram(kernel)));
+    let mut result = goat.test(Arc::new(KernelProgram(kernel)));
 
     if let Some(reason) = &result.quarantined {
         println!(
@@ -268,6 +320,10 @@ detected {detected}/68 at D={} within {} iterations",
     if cli.cov {
         println!("{}", goat::core::campaign_report(kernel.name, &result));
     }
+
+    // All reports are rendered; the bug trace's buffer can rejoin the
+    // recycling pool (a no-op when no bug was found).
+    result.recycle_bug_trace();
 
     if result.detected() {
         ExitCode::FAILURE // bug found: nonzero, like a failing test

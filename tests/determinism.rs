@@ -198,6 +198,77 @@ fn sigkilled_campaign_resumes_byte_identically() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+// ---------------------------------------------------------------------
+// Execution-hot-path equivalence: the spin-then-park handoff and the
+// duplicate-schedule analysis memo are pure performance features — a
+// campaign's machine-readable summary must be byte-identical with
+// spinning disabled (`GOAT_SPIN=0` / park-only) and with memoization
+// off, on, or in self-checking `verify` mode.
+// ---------------------------------------------------------------------
+
+use goat::core::MemoMode;
+
+fn hot_path_summary_json(
+    kernel: &'static goat::goker::BugKernel,
+    memo: MemoMode,
+    spin: Option<u32>,
+) -> String {
+    let mut cfg = GoatConfig::default()
+        .with_delay_bound(2)
+        .with_iterations(24)
+        .with_seed0(3)
+        .keep_running()
+        .with_memo(memo);
+    if let Some(s) = spin {
+        cfg = cfg.with_spin(s);
+    }
+    Goat::new(cfg)
+        .test(Arc::new(KernelProgram(kernel)))
+        .to_json_summary()
+        .expect("summary serializes")
+}
+
+#[test]
+fn campaign_summaries_identical_across_memo_and_spin() {
+    for name in ["moby28462", "etcd6708", "cockroach1462"] {
+        let kernel = goat::goker::by_name(name).expect("kernel");
+        let base = hot_path_summary_json(kernel, MemoMode::Off, None);
+        for (memo, spin) in [
+            (MemoMode::On, None),
+            (MemoMode::Verify, None),
+            (MemoMode::Off, Some(0)),
+            (MemoMode::On, Some(0)),
+            (MemoMode::On, Some(10_000)),
+        ] {
+            let json = hot_path_summary_json(kernel, memo, spin);
+            assert_eq!(
+                base, json,
+                "{name}: summary diverged at memo={memo:?} spin={spin:?} — the hot path \
+                 must be invisible to campaign reports"
+            );
+        }
+    }
+}
+
+#[test]
+fn memo_verify_mode_passes_across_kernels() {
+    // GOAT_MEMO=verify re-analyzes every duplicate schedule and asserts
+    // the stored products equal the fresh ones; surviving campaigns on
+    // kernels with plenty of duplicate schedules is the memoization
+    // soundness check. D=0 maximizes duplicates (no injected yields),
+    // so these campaigns actually exercise the hit path.
+    for name in ["moby28462", "etcd6708", "grpc1424"] {
+        let kernel = goat::goker::by_name(name).expect("kernel");
+        let cfg = GoatConfig::default()
+            .with_iterations(30)
+            .with_seed0(11)
+            .keep_running()
+            .with_memo(MemoMode::Verify);
+        let r = Goat::new(cfg).test(Arc::new(KernelProgram(kernel)));
+        assert_eq!(r.records.len(), 30, "{name}: verify campaign ran to budget");
+    }
+}
+
 #[test]
 fn traces_are_well_formed_across_the_suite() {
     for kernel in goat::goker::all_kernels() {
