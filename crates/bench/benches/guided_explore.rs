@@ -1,0 +1,122 @@
+//! Guided-exploration benchmark: random-perturbation vs coverage-guided
+//! campaigns on schedule-dependent GoKer kernels.
+//!
+//! Two quantities matter and both are printed before the criterion
+//! timing legs run (they are deterministic properties of the seed, not
+//! wall-clock measurements):
+//!
+//! * **iterations-to-first-detection** at an equal budget, and
+//! * **coverage-at-budget** (final covered requirement count) when the
+//!   campaign runs its whole budget.
+//!
+//! The timing legs then pin the *overhead* of guided mode: arm
+//! selection + reward bookkeeping must stay in the noise next to the
+//! executions themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goat_core::{Goat, GoatConfig, Program};
+use goat_goker::BugKernel;
+use goat_runtime::StrategyKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct KernelProgram(&'static BugKernel);
+
+impl Program for KernelProgram {
+    fn name(&self) -> &str {
+        Program::name(self.0)
+    }
+    fn main(&self) {
+        Program::main(self.0)
+    }
+}
+
+/// The schedule-dependent kernels the quality comparison sweeps: two
+/// Uncommon ones (detectable at the base config, measuring overhead)
+/// and two Rare ones (needing perturbation the unguided base config
+/// doesn't have, measuring the point of guided mode).
+const KERNELS: [&str; 4] = ["etcd6708", "cockroach1462", "grpc1460", "moby33781"];
+const BUDGET: usize = 60;
+const SEED0: u64 = 101;
+
+/// The unguided baseline deliberately runs at D=0: random-perturbation
+/// strength is then *zero*, so any detection/coverage the guided leg
+/// gains must come from the bandit steering budget into its
+/// perturbation and PCT arms.
+fn base_config() -> GoatConfig {
+    GoatConfig::default()
+        .with_iterations(BUDGET)
+        .with_seed0(SEED0)
+        .with_delay_bound(0)
+        .with_parallelism(1)
+        .with_strategy(StrategyKind::Native)
+        .with_guided(false)
+        .with_saturation_window(None)
+        .keep_running()
+}
+
+/// Deterministic quality sweep, printed once: detection iteration and
+/// covered-requirement count for the random baseline vs guided mode.
+fn report_quality() {
+    eprintln!("guided_explore quality sweep (budget {BUDGET}, seed0 {SEED0}, base D=0):");
+    for name in KERNELS {
+        let kernel = goat_goker::by_name(name).expect("kernel");
+        let random = Goat::new(base_config()).test(Arc::new(KernelProgram(kernel)));
+        let guided =
+            Goat::new(base_config().with_guided(true)).test(Arc::new(KernelProgram(kernel)));
+        eprintln!(
+            "  {name}: random first_detection={:?} covered={}  |  guided first_detection={:?} covered={}",
+            random.first_detection,
+            random.covered.len(),
+            guided.first_detection,
+            guided.covered.len(),
+        );
+    }
+}
+
+fn bench_campaigns(c: &mut Criterion) {
+    report_quality();
+    let mut g = c.benchmark_group("guided_explore");
+    for name in ["etcd6708", "cockroach1462"] {
+        let kernel = goat_goker::by_name(name).expect("kernel");
+        g.bench_function(format!("random_{BUDGET}_iters/{name}"), |b| {
+            b.iter(|| {
+                let mut r = Goat::new(base_config()).test(Arc::new(KernelProgram(kernel)));
+                r.recycle_bug_trace();
+                r.covered.len()
+            })
+        });
+        g.bench_function(format!("guided_{BUDGET}_iters/{name}"), |b| {
+            b.iter(|| {
+                let mut r = Goat::new(base_config().with_guided(true))
+                    .test(Arc::new(KernelProgram(kernel)));
+                r.recycle_bug_trace();
+                r.covered.len()
+            })
+        });
+        g.bench_function(format!("guided_saturation_w8/{name}"), |b| {
+            b.iter(|| {
+                let mut r =
+                    Goat::new(base_config().with_guided(true).with_saturation_window(Some(8)))
+                        .test(Arc::new(KernelProgram(kernel)));
+                r.recycle_bug_trace();
+                r.records.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_campaigns
+}
+criterion_main!(benches);

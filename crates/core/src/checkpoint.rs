@@ -38,7 +38,11 @@ pub const CHECKPOINT_EVERY_ENV: &str = "GOAT_CHECKPOINT_EVERY";
 
 /// Format version; bump on any schema change so old sidecars are
 /// ignored instead of misread.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// v2: guided exploration (reward history, saturation streak) joined
+/// the merge state and the fingerprint grew strategy/guided/saturation
+/// components.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// The campaign parameters that determine per-iteration behaviour,
 /// folded into a string. Two campaigns with equal fingerprints run the
@@ -47,7 +51,7 @@ pub const CHECKPOINT_VERSION: u32 = 1;
 /// iteration budget is excluded on purpose (resume may extend it).
 pub fn fingerprint(program_name: &str, cfg: &GoatConfig) -> String {
     format!(
-        "v{CHECKPOINT_VERSION}:{program_name}:seed0={}:d={}:stop={}:cov={}:eps={:x}:steps={}:wd={}",
+        "v{CHECKPOINT_VERSION}:{program_name}:seed0={}:d={}:stop={}:cov={}:eps={:x}:steps={}:wd={}:strat={}:guided={}:sat={}",
         cfg.seed0,
         cfg.delay_bound,
         cfg.stop_on_bug,
@@ -58,6 +62,12 @@ pub fn fingerprint(program_name: &str, cfg: &GoatConfig) -> String {
         // (TimedOut vs Completed), so records written under a different
         // GOAT_ITER_TIMEOUT_MS cannot be mixed into this campaign.
         cfg.iter_timeout_ms.map_or("off".to_string(), |ms| ms.to_string()),
+        // Strategy, guided mode and the saturation window all change
+        // per-iteration scheduling or the early-stop point, so sidecars
+        // written under different exploration settings cannot be mixed.
+        cfg.strategy,
+        cfg.guided,
+        cfg.saturation_window.map_or("off".to_string(), |w| w.to_string()),
     )
 }
 
@@ -98,6 +108,13 @@ pub struct CampaignCheckpoint {
     pub crash_streak: usize,
     /// Quarantine reason, when the campaign was quarantined.
     pub quarantined: Option<String>,
+    /// Consecutive zero-coverage-delta iterations at the checkpoint.
+    pub zero_delta_streak: usize,
+    /// 1-based iteration at which coverage saturation tripped, if any.
+    pub saturated: Option<usize>,
+    /// Guided-mode reward history (empty when guided mode is off);
+    /// restoring it rebuilds the bandit's exact selection state.
+    pub guided_rewards: Vec<crate::bandit::GuidedReward>,
 }
 
 impl CampaignCheckpoint {
@@ -187,6 +204,9 @@ mod tests {
             infra_streak: 0,
             crash_streak: 0,
             quarantined: None,
+            zero_delta_streak: 0,
+            saturated: None,
+            guided_rewards: Vec::new(),
         }
     }
 

@@ -38,6 +38,8 @@
 #![warn(missing_docs)]
 
 mod analysis;
+/// Coverage-guided arm selection (deterministic epsilon-greedy bandit).
+pub mod bandit;
 /// Campaign checkpoint/resume (`GOAT_CHECKPOINT`) persistence.
 pub mod checkpoint;
 /// Coverage extraction (fused-plane wrapper plus the retained
@@ -54,6 +56,7 @@ pub mod rootcause;
 mod runner;
 
 pub use analysis::{analyze_run, analyze_run_with, crosscheck, deadlock_check, GoatVerdict};
+pub use bandit::{Arm, ArmReport, Bandit, GuidedReward, GuidedSummary, GUIDED_EPSILON, GUIDED_LAG};
 pub use checkpoint::{CampaignCheckpoint, CHECKPOINT_ENV};
 pub use coverage::{extract_coverage, extract_sync_pairs, RunCoverage};
 pub use globaltree::{GlobalGTree, GlobalNode};

@@ -217,6 +217,22 @@ pub fn campaign_report(program: &str, result: &crate::CampaignResult) -> String 
             result.skipped
         );
     }
+    if let Some(iter) = result.saturated {
+        let _ = writeln!(
+            out,
+            "SATURATED: coverage stopped growing — campaign stopped early at iteration {iter}"
+        );
+    }
+    if let Some(g) = &result.guided {
+        let _ = writeln!(out, "--- guided exploration (ε={}, lag={}) ---", g.epsilon, g.lag);
+        for (idx, a) in g.arms.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "arm {idx}: {} yp={} D={}  pulls={}  new-coverage={}  bugs={}",
+                a.strategy, a.yield_prob, a.delay_bound, a.pulls, a.new_coverage, a.bugs
+            );
+        }
+    }
     let _ = writeln!(out);
     if let (Some(verdict), Some(ect)) = (&result.bug, &result.bug_ect) {
         out.push_str(&bug_report(program, verdict, ect));

@@ -3,6 +3,7 @@
 //! "Offline Analysis" loop).
 
 use crate::analysis::{analyze_run, analyze_run_with, GoatVerdict};
+use crate::bandit::{Arm, Bandit, GuidedSummary, GUIDED_LAG};
 use crate::checkpoint::{self, CampaignCheckpoint};
 use crate::coverage::RunCoverage;
 use crate::globaltree::GlobalGTree;
@@ -12,7 +13,7 @@ use goat_detectors::{Detector, ProgramFn, ToolVerdict};
 use goat_metrics::{Histogram, HistogramSnapshot};
 use goat_model::{scan_sources, CoverageSet, CuTable, RequirementUniverse};
 use goat_runtime::pool::PoolStats;
-use goat_runtime::{go_internal, Chan, Config, RunOutcome, Runtime, SchedCounters};
+use goat_runtime::{go_internal, Chan, Config, RunOutcome, Runtime, SchedCounters, StrategyKind};
 use goat_trace::{Ect, GTree, TracePoolStats};
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
@@ -151,6 +152,21 @@ pub struct GoatConfig {
     /// Memoization never changes campaign results — only how often the
     /// fused analysis pass actually runs.
     pub memo: MemoMode,
+    /// Scheduling strategy for every iteration (see
+    /// [`goat_runtime::StrategyKind`]). Defaults to the `GOAT_STRATEGY`
+    /// environment variable (native when unset). Guided mode overrides
+    /// this per iteration with the selected arm's strategy.
+    pub strategy: StrategyKind,
+    /// Coverage-guided exploration: pick each iteration's (strategy,
+    /// yield_prob, delay_bound) with a deterministic epsilon-greedy
+    /// bandit fed by per-iteration coverage deltas (see
+    /// [`crate::bandit`]). Defaults to the `GOAT_GUIDED` environment
+    /// variable (`1`/`true` enables).
+    pub guided: bool,
+    /// Coverage-saturation early stop: end the campaign after this many
+    /// *consecutive* iterations with a zero coverage delta. Defaults to
+    /// `GOAT_SATURATION_WINDOW` (off when unset or 0).
+    pub saturation_window: Option<usize>,
     /// Token-handoff spin budget override passed through to
     /// [`goat_runtime::Config::spin`]; `None` leaves the runtime's own
     /// default (the `GOAT_SPIN` environment variable, 100 when unset).
@@ -191,6 +207,15 @@ impl Default for GoatConfig {
                 .unwrap_or(8),
             memo: default_memo(),
             spin: None,
+            strategy: StrategyKind::from_env(),
+            guided: matches!(
+                std::env::var("GOAT_GUIDED").ok().as_deref(),
+                Some("1") | Some("true") | Some("on")
+            ),
+            saturation_window: std::env::var("GOAT_SATURATION_WINDOW")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|n| *n >= 1),
         }
     }
 }
@@ -288,14 +313,43 @@ impl GoatConfig {
         self
     }
 
-    fn runtime_config(&self, iter: usize) -> Config {
-        let cfg = Config::new(self.seed0 + iter as u64)
+    /// Set the scheduling strategy (overrides `GOAT_STRATEGY`).
+    pub fn with_strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Enable or disable coverage-guided exploration.
+    pub fn with_guided(mut self, on: bool) -> Self {
+        self.guided = on;
+        self
+    }
+
+    /// Set (or clear) the coverage-saturation early-stop window.
+    pub fn with_saturation_window(mut self, window: Option<usize>) -> Self {
+        self.saturation_window = window.filter(|n| *n >= 1);
+        self
+    }
+
+    /// Runtime config for iteration `iter`; a guided campaign overlays
+    /// the selected arm's (strategy, yield_prob, delay_bound) on top of
+    /// the base knobs. `arm = None` reproduces the historical unguided
+    /// config exactly.
+    fn runtime_config(&self, iter: usize, arm: Option<&Arm>) -> Config {
+        let mut cfg = Config::new(self.seed0 + iter as u64)
             .with_delay_bound(self.delay_bound)
             .with_native_preempt_prob(self.native_preempt_prob)
             .with_max_steps(self.max_steps)
             .with_iter_timeout_ms(self.iter_timeout_ms)
             .with_trace(true)
-            .with_pool(self.pool);
+            .with_pool(self.pool)
+            .with_strategy(self.strategy);
+        if let Some(a) = arm {
+            cfg = cfg
+                .with_delay_bound(a.delay_bound)
+                .with_yield_prob(a.yield_prob)
+                .with_strategy(a.strategy);
+        }
         match self.spin {
             Some(s) => cfg.with_spin(s),
             None => cfg,
@@ -390,6 +444,11 @@ pub struct CampaignResult {
     pub quarantined: Option<String>,
     /// Budgeted iterations skipped because of quarantine.
     pub skipped: usize,
+    /// 1-based iteration at which the coverage-saturation early stop
+    /// fired ([`GoatConfig::saturation_window`]), if it did.
+    pub saturated: Option<usize>,
+    /// Guided-mode per-arm totals; `Some` only for guided campaigns.
+    pub guided: Option<GuidedSummary>,
     /// Campaign telemetry; `Some` only when collection was enabled.
     pub telemetry: Option<CampaignTelemetry>,
 }
@@ -413,6 +472,11 @@ pub struct CampaignSummary {
     pub quarantined: Option<String>,
     /// Budgeted iterations skipped because of quarantine.
     pub skipped: usize,
+    /// 1-based iteration at which coverage saturation stopped the
+    /// campaign, if it did.
+    pub saturated: Option<usize>,
+    /// Guided-mode per-arm totals; `Some` only for guided campaigns.
+    pub guided: Option<GuidedSummary>,
     /// Campaign telemetry; `Some` only when collection was enabled.
     pub telemetry: Option<CampaignTelemetry>,
 }
@@ -440,6 +504,12 @@ impl serde::Serialize for CampaignSummary {
         if self.skipped > 0 {
             fields.push(("skipped".to_string(), self.skipped.to_content()));
         }
+        if let Some(s) = &self.saturated {
+            fields.push(("saturated".to_string(), s.to_content()));
+        }
+        if let Some(g) = &self.guided {
+            fields.push(("guided".to_string(), g.to_content()));
+        }
         if let Some(t) = &self.telemetry {
             fields.push(("telemetry".to_string(), t.to_content()));
         }
@@ -459,6 +529,8 @@ impl serde::Deserialize for CampaignSummary {
             universe: serde::de_field(fields, "universe")?,
             quarantined: serde::de_field(fields, "quarantined")?,
             skipped: serde::de_field::<Option<usize>>(fields, "skipped")?.unwrap_or(0),
+            saturated: serde::de_field(fields, "saturated")?,
+            guided: serde::de_field(fields, "guided")?,
             telemetry: serde::de_field(fields, "telemetry")?,
         })
     }
@@ -490,6 +562,8 @@ impl CampaignResult {
             universe: self.universe.len(),
             quarantined: self.quarantined.clone(),
             skipped: self.skipped,
+            saturated: self.saturated,
+            guided: self.guided.clone(),
             telemetry: self.telemetry.clone(),
         }
     }
@@ -545,6 +619,15 @@ struct MergeState {
     crash_streak: usize,
     /// Quarantine reason; `Some` stops the campaign.
     quarantined: Option<String>,
+    /// Consecutive iterations with a zero coverage delta (feeds the
+    /// saturation early stop).
+    zero_delta_streak: usize,
+    /// 1-based iteration at which saturation stopped the campaign.
+    saturated: Option<usize>,
+    /// Guided-mode bandit, shared with the executor's workers (they
+    /// select arms; the merge loop records rewards). `None` when
+    /// guided mode is off.
+    guided: Option<Arc<StdMutex<Bandit>>>,
     /// Recycled analysis scratch (slot tables, coverage sets, tree
     /// slab) reused by every iteration's fused pass. Ephemeral like the
     /// histograms: not persisted in checkpoints.
@@ -580,6 +663,31 @@ struct CampaignEvent {
     first_detection: Option<usize>,
     final_coverage_percent: f64,
     telemetry: CampaignTelemetry,
+}
+
+/// Guided-mode arm selection + reward exported to the JSONL telemetry
+/// stream, one event per merged iteration.
+#[derive(serde::Serialize)]
+struct GuidedEvent {
+    kind: &'static str,
+    iter: usize,
+    seed: u64,
+    arm: usize,
+    strategy: String,
+    yield_prob: f64,
+    delay_bound: u32,
+    delta: usize,
+    covered: usize,
+}
+
+/// End-of-campaign per-arm bandit totals exported to the JSONL
+/// telemetry stream (the JSONL mirror of the registry's
+/// `guided.arm_pulls` / `guided.arm_new_coverage` counters).
+#[derive(serde::Serialize)]
+struct GuidedSummaryEvent {
+    kind: &'static str,
+    program: String,
+    guided: crate::bandit::GuidedSummary,
 }
 
 /// Supervision decision (retry, quarantine, checkpoint) exported to the
@@ -705,6 +813,9 @@ impl MergeState {
             infra_streak: 0,
             crash_streak: 0,
             quarantined: None,
+            zero_delta_streak: 0,
+            saturated: None,
+            guided: None,
             bufs: EctBuffers::new(),
             analysis_ns: Histogram::default(),
             memo: HashMap::new(),
@@ -732,6 +843,13 @@ impl MergeState {
             infra_streak: self.infra_streak,
             crash_streak: self.crash_streak,
             quarantined: self.quarantined.clone(),
+            zero_delta_streak: self.zero_delta_streak,
+            saturated: self.saturated,
+            guided_rewards: self
+                .guided
+                .as_ref()
+                .map(|b| b.lock().expect("bandit").rewards().to_vec())
+                .unwrap_or_default(),
         }
     }
 
@@ -752,6 +870,11 @@ impl MergeState {
         self.infra_streak = cp.infra_streak;
         self.crash_streak = cp.crash_streak;
         self.quarantined = cp.quarantined;
+        self.zero_delta_streak = cp.zero_delta_streak;
+        self.saturated = cp.saturated;
+        if let Some(b) = &self.guided {
+            b.lock().expect("bandit").restore(cp.guided_rewards);
+        }
     }
 
     /// Fold iteration `iter_no`'s result into the campaign; returns
@@ -869,10 +992,17 @@ impl MergeState {
         self.sched_totals.accumulate(&result.sched);
         self.yields_total += u64::from(result.yields_injected);
         // One percent computation per iteration, shared by the record
-        // and the threshold check below.
+        // and the threshold check below. The delta feeds the guided
+        // bandit and the saturation streak, so it is computed whether or
+        // not telemetry is on.
         let percent = self.covered.percent(&self.universe);
+        let delta = self.covered.len() - covered_before;
+        if delta == 0 {
+            self.zero_delta_streak += 1;
+        } else {
+            self.zero_delta_streak = 0;
+        }
         if goat_metrics::enabled() {
-            let delta = self.covered.len() - covered_before;
             self.coverage_delta.record(delta as u64);
             goat_metrics::emit(&CoverageEvent {
                 kind: "coverage",
@@ -893,6 +1023,34 @@ impl MergeState {
             universe_size: self.universe.len(),
             yields: result.yields_injected,
         });
+        // Guided feedback: attribute the delta to the arm this iteration
+        // ran under. `select` is a pure function of the lagged reward
+        // prefix, so recomputing it here yields exactly the arm the
+        // executor used — no plumbing through the result channel.
+        if let Some(bandit) = &self.guided {
+            let mut bandit = bandit.lock().expect("bandit");
+            let arm_idx = bandit.select(iter_no);
+            bandit.record(iter_no, arm_idx, delta as u64, is_bug);
+            let arm = bandit.arms()[arm_idx];
+            if goat_metrics::enabled() {
+                let label = format!("arm{arm_idx}:{}", arm.strategy);
+                goat_metrics::global().counter_with("guided.arm_pulls", Some(&label)).inc();
+                goat_metrics::global()
+                    .counter_with("guided.arm_new_coverage", Some(&label))
+                    .add(delta as u64);
+                goat_metrics::emit(&GuidedEvent {
+                    kind: "guided",
+                    iter: iter_no + 1,
+                    seed: cfg.seed0 + iter_no as u64,
+                    arm: arm_idx,
+                    strategy: arm.strategy.to_string(),
+                    yield_prob: arm.yield_prob,
+                    delay_bound: arm.delay_bound,
+                    delta,
+                    covered: self.covered.len(),
+                });
+            }
+        }
         if is_bug && self.first_detection.is_none() {
             self.first_detection = Some(iter_no + 1);
             self.bug = Some(verdict);
@@ -926,10 +1084,28 @@ impl MergeState {
             }
             return true;
         }
+        // Saturation: the coverage signal has been dry for a full
+        // window — further budget is unlikely to discover anything new.
+        if let Some(window) = cfg.saturation_window {
+            if self.zero_delta_streak >= window {
+                self.saturated = Some(iter_no + 1);
+                if goat_metrics::enabled() {
+                    goat_metrics::emit(&SupervisionEvent {
+                        kind: "supervision",
+                        op: "saturated",
+                        iter: iter_no + 1,
+                        seed: cfg.seed0 + iter_no as u64,
+                        detail: format!("no new coverage for {window} consecutive iterations"),
+                    });
+                }
+                return true;
+            }
+        }
         false
     }
 
     fn finish(self, skipped: usize, telemetry: Option<CampaignTelemetry>) -> CampaignResult {
+        let guided = self.guided.as_ref().map(|b| b.lock().expect("bandit").summary());
         CampaignResult {
             records: self.records,
             first_detection: self.first_detection,
@@ -941,6 +1117,8 @@ impl MergeState {
             global_tree: self.global_tree,
             quarantined: self.quarantined,
             skipped,
+            saturated: self.saturated,
+            guided,
             telemetry,
         }
     }
@@ -1087,6 +1265,16 @@ impl Goat {
 
         let table = Self::static_model(program.as_ref());
         let mut m = MergeState::new(table);
+        // The bandit must exist before resume so a checkpoint's reward
+        // history lands back in it, rebuilding the exact selection state.
+        m.guided = self.cfg.guided.then(|| {
+            Arc::new(StdMutex::new(Bandit::new(
+                self.cfg.seed0,
+                self.cfg.strategy,
+                self.cfg.delay_bound,
+            )))
+        });
+        let guided = m.guided.clone();
         let mut ckpt = Checkpointer::new(&self.cfg, program.name());
         let start = match &ckpt {
             Some(c) => c.resume(&mut m).min(self.cfg.iterations),
@@ -1096,6 +1284,7 @@ impl Goat {
         // threshold reached, or quarantined): re-running nothing is what
         // keeps resume byte-identical to the uninterrupted campaign.
         let resumed_stopped = m.quarantined.is_some()
+            || m.saturated.is_some()
             || (self.cfg.stop_on_bug && m.bug.is_some())
             || self
                 .cfg
@@ -1106,7 +1295,8 @@ impl Goat {
             if !resumed_stopped {
                 for i in start..self.cfg.iterations {
                     let t_iter = telemetry_on.then(Instant::now);
-                    let result = self.run_supervised(i, &program);
+                    let arm = Self::select_arm(&guided, i);
+                    let result = self.run_supervised(i, &program, arm);
                     if let Some(t) = t_iter {
                         iter_wall.record(t.elapsed().as_nanos() as u64);
                     }
@@ -1133,7 +1323,16 @@ impl Goat {
         }
 
         if !resumed_stopped && start < self.cfg.iterations {
-            let queue = ClaimQueue::new(start, self.cfg.iterations, self.cfg.parallelism * 4);
+            // Guided mode caps the claim window at the bandit's feedback
+            // lag: iteration `i` can then only be claimed once the
+            // rewards its (lagged) selection reads are merged, which is
+            // what makes the parallel guided campaign byte-identical to
+            // the sequential one.
+            let mut window = self.cfg.parallelism * 4;
+            if guided.is_some() {
+                window = window.min(GUIDED_LAG);
+            }
+            let queue = ClaimQueue::new(start, self.cfg.iterations, window);
             let (tx, rx) = mpsc::channel::<(usize, goat_runtime::RunResult)>();
             std::thread::scope(|scope| {
                 for _ in 0..self.cfg.parallelism {
@@ -1141,6 +1340,7 @@ impl Goat {
                     let queue = &queue;
                     let program = &program;
                     let goat = &self;
+                    let guided = &guided;
                     let (iter_wall, claim_wait) = (&iter_wall, &claim_wait);
                     scope.spawn(move || loop {
                         let t_claim = telemetry_on.then(Instant::now);
@@ -1148,8 +1348,12 @@ impl Goat {
                         if let Some(t) = t_claim {
                             claim_wait.record(t.elapsed().as_nanos() as u64);
                         }
+                        // Arm selection happens at claim time in seed
+                        // order; the lag-capped window guarantees the
+                        // rewards `select(i)` reads are already merged.
+                        let arm = Self::select_arm(guided, i);
                         let t_iter = telemetry_on.then(Instant::now);
-                        let result = goat.run_supervised(i, program);
+                        let result = goat.run_supervised(i, program, arm);
                         if let Some(t) = t_iter {
                             iter_wall.record(t.elapsed().as_nanos() as u64);
                         }
@@ -1200,15 +1404,31 @@ impl Goat {
         )
     }
 
+    /// Guided arm selection for iteration `i` — `None` when guided mode
+    /// is off (the base configuration runs unchanged).
+    fn select_arm(guided: &Option<Arc<StdMutex<Bandit>>>, i: usize) -> Option<Arm> {
+        guided.as_ref().map(|b| {
+            let bandit = b.lock().expect("bandit");
+            bandit.arms()[bandit.select(i)]
+        })
+    }
+
     /// One supervised iteration: run it, and when the *infrastructure*
     /// (not the kernel) failed — pool checkout, thread spawn — retry up
     /// to [`GoatConfig::max_retries`] times with bounded backoff. Kernel
     /// verdicts (crash, hang, timeout) are results, never retried.
-    fn run_supervised(&self, i: usize, program: &Arc<dyn Program>) -> goat_runtime::RunResult {
+    fn run_supervised(
+        &self,
+        i: usize,
+        program: &Arc<dyn Program>,
+        arm: Option<Arm>,
+    ) -> goat_runtime::RunResult {
         let mut attempt: u32 = 0;
         loop {
-            let result =
-                Runtime::run(self.cfg.runtime_config(i), Self::instrumented(Arc::clone(program)));
+            let result = Runtime::run(
+                self.cfg.runtime_config(i, arm.as_ref()),
+                Self::instrumented(Arc::clone(program)),
+            );
             let RunOutcome::InfraFailure { reason } = &result.outcome else { return result };
             if attempt >= self.cfg.max_retries {
                 return result;
@@ -1278,6 +1498,13 @@ impl Goat {
         reg.counter("campaign.memo_hits").add(m.memo_hits);
         reg.counter("campaign.memo_misses").add(m.memo_misses);
         let result = m.finish(skipped, Some(telemetry.clone()));
+        if let Some(g) = &result.guided {
+            goat_metrics::emit(&GuidedSummaryEvent {
+                kind: "guided_summary",
+                program: program.name().to_string(),
+                guided: g.clone(),
+            });
+        }
         goat_metrics::emit(&CampaignEvent {
             kind: "campaign",
             program: program.name().to_string(),
@@ -1413,8 +1640,15 @@ mod tests {
 
     #[test]
     fn delay_bound_injects_yields() {
-        let goat =
-            Goat::new(GoatConfig::default().with_delay_bound(3).with_iterations(5).keep_running());
+        // Yield injection is a property of the native strategy; pin it
+        // so a GOAT_STRATEGY=pct environment doesn't hollow the test.
+        let goat = Goat::new(
+            GoatConfig::default()
+                .with_delay_bound(3)
+                .with_iterations(5)
+                .with_strategy(StrategyKind::Native)
+                .keep_running(),
+        );
         let r = goat.test(clean_program());
         assert!(r.records.iter().any(|rec| rec.yields > 0));
         assert!(r.records.iter().all(|rec| rec.yields <= 3));

@@ -30,6 +30,7 @@
 //! | `ect.*` / `coverage.*` | `ect.events`, `coverage.requirements`, `coverage.trace_events` |
 //! | `campaign.*` | `iterations`, `reorder_depth_max`, `memo_hits` / `memo_misses` (duplicate-schedule analysis memo) |
 //! | `supervision.*` | `timeouts`, `retries`, `infra_failures`, `quarantines`, `faults_injected`, `checkpoint_writes`, `checkpoint_resumes` |
+//! | `guided.*` | `arm_pulls`, `arm_new_coverage` (labelled `arm<idx>:<strategy>`; guided campaigns only) |
 //! | `telemetry.*` | `events_dropped` (sink back-pressure) |
 
 #![warn(missing_docs)]

@@ -1,5 +1,6 @@
 //! Runtime configuration and run results.
 
+use crate::strategy::StrategyKind;
 use goat_trace::{Ect, Gid, VTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -93,6 +94,13 @@ pub struct Config {
     pub max_trace_events: usize,
     /// Scheduling policy (native, uniform-random exploration, or replay).
     pub policy: SchedPolicy,
+    /// Pluggable scheduling strategy (see [`StrategyKind`]). Defaults
+    /// from the `GOAT_STRATEGY` environment variable (unset → native).
+    /// [`SchedPolicy::UniformRandom`] overrides this to the random
+    /// strategy for backwards compatibility; under
+    /// [`SchedPolicy::Replay`] the strategy only drives the
+    /// after-divergence fallback.
+    pub strategy: StrategyKind,
     /// Run goroutines on the shared worker-thread pool instead of
     /// spawning a fresh OS thread per goroutine. Scheduling semantics
     /// and traces are identical either way; the pool only removes
@@ -206,6 +214,12 @@ impl Config {
         self.spin = spin;
         self
     }
+
+    /// Set the pluggable scheduling strategy.
+    pub fn with_strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
+        self
+    }
 }
 
 impl Default for Config {
@@ -220,6 +234,7 @@ impl Default for Config {
             trace: true,
             max_trace_events: 1_000_000,
             policy: SchedPolicy::Native,
+            strategy: StrategyKind::from_env(),
             pool: true,
             iter_timeout_ms: std::env::var("GOAT_ITER_TIMEOUT_MS")
                 .ok()
@@ -387,6 +402,9 @@ pub struct RunResult {
     pub goroutines: u64,
     /// Perturbation yields actually injected.
     pub yields_injected: u32,
+    /// PCT priority changes performed (0 under other strategies);
+    /// bounded by the configured `depth − 1`.
+    pub priority_changes: u32,
     /// Application goroutines that had not finished when the run ended —
     /// the runtime's ground truth, cross-checked against the offline
     /// ECT analysis in tests.

@@ -55,6 +55,8 @@ pub mod park;
 pub mod pool;
 mod rt;
 mod select;
+/// Pluggable scheduling strategies (`GOAT_STRATEGY`).
+pub mod strategy;
 mod sync;
 /// Virtual-time utilities (`sleep`, `after`, `Ticker`).
 pub mod time;
@@ -67,6 +69,7 @@ pub use config::{
 pub use monitor::{Monitor, NullMonitor};
 pub use rt::{gid, go, go_internal, go_named, gosched, Runtime};
 pub use select::Select;
+pub use strategy::StrategyKind;
 pub use sync::{Cond, Mutex, Once, RwLock, WaitGroup};
 
 #[cfg(test)]

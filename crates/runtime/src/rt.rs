@@ -27,6 +27,7 @@ use crate::config::{
 use crate::faultpoint::{self, SeedFault};
 use crate::monitor::Monitor;
 use crate::park::Parker;
+use crate::strategy::{Strategy, StrategyKind, YieldChoice, YieldCtx};
 use goat_model::{Cu, CuKind, Istr};
 use goat_trace::{BlockReason, Ect, EventKind, Gid, RId, TraceBuf, VTime};
 use parking_lot::{Condvar, Mutex};
@@ -200,11 +201,24 @@ pub(crate) struct Sched {
     /// The driver's soft watchdog deadline passed; the next goroutine to
     /// reach the scheduler gate aborts the run cooperatively.
     timeout_requested: bool,
+    /// Pluggable scheduling strategy (native / random / PCT); consulted
+    /// at every pick and yield decision that is not replayed from a log.
+    strategy: Box<dyn Strategy>,
 }
 
 impl Sched {
     fn new(cfg: Config, monitor: Option<Arc<dyn Monitor>>, tb: Arc<TraceBuf>) -> Self {
-        let rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        // `UniformRandom` predates the strategy layer and still forces
+        // the random strategy; native and replay runs use the configured
+        // one (replay only consults it after divergence). Building
+        // native/random consumes no RNG draws, preserving byte-identity
+        // with the pre-strategy scheduler.
+        let kind = match cfg.policy {
+            SchedPolicy::UniformRandom => StrategyKind::Random,
+            _ => cfg.strategy,
+        };
+        let strategy = kind.build(&mut rng);
         Sched {
             cfg,
             slots: Vec::new(),
@@ -228,6 +242,7 @@ impl Sched {
             counters: SchedCounters::default(),
             started: Instant::now(),
             timeout_requested: false,
+            strategy,
         }
     }
 
@@ -280,9 +295,10 @@ impl Sched {
         i
     }
 
-    /// Yield-handler decision in front of a CU: replayed or computed
-    /// from the delay budget / native preemption noise; always recorded.
-    pub(crate) fn decide_yield(&mut self) -> bool {
+    /// Yield-handler decision in front of the CU goroutine `g` is about
+    /// to execute: replayed or delegated to the strategy (delay budget /
+    /// native preemption noise / PCT change points); always recorded.
+    pub(crate) fn decide_yield(&mut self, g: Gid) -> bool {
         let replayed = if let SchedPolicy::Replay(log) = &self.cfg.policy {
             if !self.replay_diverged {
                 match log.decisions.get(self.replay_cursor) {
@@ -304,19 +320,20 @@ impl Sched {
         let yield_now = match replayed {
             Some(b) => b,
             None => {
-                let inject =
-                    self.cfg.delay_bound > self.yields_injected && self.cfg.delay_bound > 0 && {
-                        let p = self.cfg.yield_prob;
-                        p > 0.0 && self.rng.gen_bool(p)
-                    };
-                if inject {
-                    self.yields_injected += 1;
-                    true
-                } else {
-                    // Go's asynchronous preemption: any call site can
-                    // lose the processor with small probability ε.
-                    let eps = self.cfg.native_preempt_prob;
-                    eps > 0.0 && !self.runq.is_empty() && self.rng.gen_bool(eps)
+                let ctx = YieldCtx {
+                    delay_bound: self.cfg.delay_bound,
+                    yields_injected: self.yields_injected,
+                    yield_prob: self.cfg.yield_prob,
+                    native_preempt_prob: self.cfg.native_preempt_prob,
+                    runq_nonempty: !self.runq.is_empty(),
+                };
+                match self.strategy.decide_yield(g, &ctx, &mut self.rng) {
+                    YieldChoice::Inject => {
+                        self.yields_injected += 1;
+                        true
+                    }
+                    YieldChoice::Preempt => true,
+                    YieldChoice::Run => false,
                 }
             }
         };
@@ -341,6 +358,9 @@ impl Sched {
             parker: Parker::new(self.cfg.spin),
         });
         self.runq.push_back(gid);
+        // Strategy hook: PCT draws the goroutine's initial priority
+        // here; native/random consume no RNG draws.
+        self.strategy.on_spawn(gid, &mut self.rng);
         gid
     }
 
@@ -471,21 +491,7 @@ impl Sched {
         };
         let (idx, random) = match replayed {
             Some(i) => (i, false),
-            None => match self.cfg.policy {
-                SchedPolicy::UniformRandom if self.runq.len() > 1 => {
-                    (self.rng.gen_range(0..self.runq.len()), true)
-                }
-                _ => {
-                    if self.runq.len() > 1
-                        && self.cfg.native_preempt_prob > 0.0
-                        && self.rng.gen_bool(self.cfg.native_preempt_prob)
-                    {
-                        (self.rng.gen_range(0..self.runq.len()), true)
-                    } else {
-                        (0, false)
-                    }
-                }
-            },
+            None => self.strategy.pick(&self.runq, self.cfg.native_preempt_prob, &mut self.rng),
         };
         let g = self.runq.remove(idx);
         if let Some(g) = g {
@@ -728,7 +734,7 @@ pub(crate) fn op_enter(ctx: &Ctx, _kind: CuKind, cu: &Cu) {
             drop(s);
             shutdown_unwind();
         }
-        s.decide_yield()
+        s.decide_yield(ctx.gid)
     };
     if do_yield {
         yield_current(ctx, true, Some(*cu));
@@ -1088,6 +1094,7 @@ impl Runtime {
             vclock: VTime(s.clock),
             goroutines: s.slots.iter().filter(|g| !g.internal).count() as u64,
             yields_injected: s.yields_injected,
+            priority_changes: s.strategy.priority_changes(),
             alive_at_end,
             schedule,
             replay_diverged: s.replay_diverged,
@@ -1305,7 +1312,11 @@ mod tests {
     #[test]
     fn yields_injected_respect_bound() {
         for d in [0u32, 1, 2, 4] {
-            let cfg = Config::new(3).with_delay_bound(d).with_yield_prob(1.0);
+            // Budgeted yield injection is native-strategy behaviour.
+            let cfg = Config::new(3)
+                .with_delay_bound(d)
+                .with_yield_prob(1.0)
+                .with_strategy(StrategyKind::Native);
             let r = Runtime::run(cfg, || {
                 for _ in 0..10 {
                     go(|| {});

@@ -686,7 +686,12 @@ mod tests {
     use crate::rt::{go, go_named, gosched, Runtime};
 
     fn cfg(seed: u64) -> Config {
-        Config::new(seed).with_native_preempt_prob(0.0)
+        // These tests pin FIFO handoff order and step-exact
+        // interleavings — native-strategy semantics; an ambient
+        // GOAT_STRATEGY must not reshuffle them.
+        Config::new(seed)
+            .with_native_preempt_prob(0.0)
+            .with_strategy(crate::strategy::StrategyKind::Native)
     }
 
     #[test]

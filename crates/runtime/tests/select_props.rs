@@ -131,7 +131,11 @@ proptest! {
 #[test]
 fn blocked_select_commits_exactly_once() {
     for seed in 0..40u64 {
-        let r = Runtime::run(Config::new(seed), || {
+        // The drain loop below assumes yielding lets a starved producer
+        // run (native round-robin liveness); pin the native strategy so
+        // a PCT environment can't starve the loser past main's exit.
+        let cfg = Config::new(seed).with_strategy(goat_runtime::StrategyKind::Native);
+        let r = Runtime::run(cfg, || {
             let a: Chan<u8> = Chan::new(0);
             let b: Chan<u8> = Chan::new(0);
             for (name, ch) in [("pa", a.clone()), ("pb", b.clone())] {

@@ -30,6 +30,11 @@ struct Cli {
     max_retries: Option<u32>,
     quarantine_after: Option<u32>,
     quarantine_crashes: Option<u32>,
+    // Exploration knobs (flags win over GOAT_STRATEGY / GOAT_GUIDED /
+    // GOAT_SATURATION_WINDOW).
+    strategy: Option<goat::runtime::StrategyKind>,
+    guided: Option<bool>,
+    saturation_window: Option<usize>,
     // Hot-path knobs: the flag seeds the matching `GOAT_*` variable
     // only when the environment leaves it unset, so an operator's env
     // always wins over a script's flag.
@@ -58,6 +63,9 @@ fn parse_args() -> Result<Cli, String> {
         max_retries: None,
         quarantine_after: None,
         quarantine_crashes: None,
+        strategy: None,
+        guided: None,
+        saturation_window: None,
         spin: None,
         memo: None,
         trace_pool_max: None,
@@ -91,6 +99,21 @@ fn parse_args() -> Result<Cli, String> {
             "-quarantine-crashes" | "--quarantine-crashes" => {
                 cli.quarantine_crashes =
                     Some(num("-quarantine-crashes", take("-quarantine-crashes")?)?)
+            }
+            "-strategy" | "--strategy" => {
+                let v = take("-strategy")?;
+                cli.strategy = Some(
+                    goat::runtime::StrategyKind::parse(&v)
+                        .map_err(|e| format!("-strategy: {e}"))?,
+                );
+            }
+            "-guided" | "--guided" => cli.guided = Some(true),
+            "-saturation-window" | "--saturation-window" => {
+                let n: usize = num("-saturation-window", take("-saturation-window")?)?;
+                if n == 0 {
+                    return Err("-saturation-window: must be >= 1".into());
+                }
+                cli.saturation_window = Some(n);
             }
             "-spin" | "--spin" => cli.spin = Some(num("-spin", take("-spin")?)?),
             "-memo" | "--memo" => {
@@ -154,6 +177,15 @@ fn campaign_config(cli: &Cli) -> GoatConfig {
     if let Some(n) = cli.quarantine_crashes {
         cfg = cfg.with_quarantine_crashes(n);
     }
+    if let Some(s) = cli.strategy {
+        cfg = cfg.with_strategy(s);
+    }
+    if let Some(on) = cli.guided {
+        cfg = cfg.with_guided(on);
+    }
+    if let Some(w) = cli.saturation_window {
+        cfg = cfg.with_saturation_window(Some(w));
+    }
     cfg
 }
 
@@ -184,6 +216,13 @@ fn print_help() {
          \x20 -quarantine-after <int>   quarantine after N infra failures (GOAT_QUARANTINE_AFTER)\n\
          \x20 -quarantine-crashes <int> quarantine after N crashed iterations, 0 = off\n\
          \x20                           (GOAT_QUARANTINE_CRASHES)\n\n\
+         exploration (flags override the matching GOAT_* env knobs):\n\
+         \x20 -strategy <spec>          scheduling strategy: native | random | pct[:<depth>[:<len>]]\n\
+         \x20                           (GOAT_STRATEGY; default native)\n\
+         \x20 -guided                   coverage-guided arm selection over strategy/yield/delay\n\
+         \x20                           configurations (GOAT_GUIDED)\n\
+         \x20 -saturation-window <int>  stop after N consecutive iterations with no new\n\
+         \x20                           coverage (GOAT_SATURATION_WINDOW)\n\n\
          execution hot path (flags seed the GOAT_* env knob; env remains the override):\n\
          \x20 -spin <int>               token-handoff spin budget before parking, 0 = park\n\
          \x20                           immediately (GOAT_SPIN; default 100 on multi-core\n\

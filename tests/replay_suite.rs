@@ -6,6 +6,7 @@
 
 use goat::core::{Goat, GoatConfig, Program};
 use goat::goker::{all_kernels, BugKernel};
+use goat::runtime::StrategyKind;
 use std::sync::Arc;
 
 struct KernelProgram(&'static BugKernel);
@@ -39,11 +40,16 @@ fn every_exposed_bug_replays_deterministically() {
         let budget = kernel.rarity.clamped_iteration_budget();
         let mut exposed = None;
         for d in [0u32, 2, 3, 4] {
+            // Exposure budgets are calibrated against native
+            // scheduling; pin it so the PCT CI leg (GOAT_STRATEGY=pct)
+            // doesn't re-calibrate the search.
             let goat = Goat::new(
                 GoatConfig::default()
                     .with_delay_bound(d)
                     .with_iterations(budget)
-                    .with_seed0(1u64.wrapping_add(salt(kernel.name))),
+                    .with_seed0(1u64.wrapping_add(salt(kernel.name)))
+                    .with_strategy(StrategyKind::Native)
+                    .with_guided(false),
             );
             let result = goat.test(Arc::new(KernelProgram(kernel)));
             if let (Some(bug), Some(schedule)) = (result.bug, result.bug_schedule) {

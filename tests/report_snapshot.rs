@@ -16,7 +16,7 @@
 
 use goat::core::{Goat, GoatConfig, Program};
 use goat::goker::{by_name, BugKernel};
-use goat::runtime::faultpoint;
+use goat::runtime::{faultpoint, StrategyKind};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -47,15 +47,26 @@ fn snapshot_path(kernel: &str, seed0: u64) -> PathBuf {
         .join(format!("{kernel}_s{seed0}.json"))
 }
 
+/// The pinned default-mode configuration. The exploration knobs are set
+/// explicitly (native strategy, guided off, no saturation window) so the
+/// goldens stay byte-identical even when the surrounding environment
+/// sets `GOAT_STRATEGY`/`GOAT_GUIDED` — as the PCT CI matrix leg does —
+/// while still proving that those defaults serialize exactly like the
+/// pre-exploration schema (no `saturated`/`guided` fields at all).
+fn pinned_config(seed0: u64, delay_bound: u32) -> GoatConfig {
+    GoatConfig::default()
+        .with_iterations(20)
+        .with_seed0(seed0)
+        .with_delay_bound(delay_bound)
+        .with_parallelism(1)
+        .with_strategy(StrategyKind::Native)
+        .with_guided(false)
+        .with_saturation_window(None)
+        .keep_running()
+}
+
 fn render(kernel: &'static BugKernel, seed0: u64, delay_bound: u32) -> String {
-    let goat = Goat::new(
-        GoatConfig::default()
-            .with_iterations(20)
-            .with_seed0(seed0)
-            .with_delay_bound(delay_bound)
-            .with_parallelism(1)
-            .keep_running(),
-    );
+    let goat = Goat::new(pinned_config(seed0, delay_bound));
     let result = goat.test(Arc::new(KernelProgram(kernel)));
     let mut json = result.to_json_summary().expect("serializable");
     json.push('\n');
@@ -103,4 +114,26 @@ fn crashed_iteration_campaign_matches_committed_snapshot() {
         .join("tests/snapshots")
         .join(format!("{name}_s{seed0}_crash.json"));
     check_or_bless(&got, &path, "crashed-iteration campaign");
+}
+
+/// A guided campaign's summary, pinned byte-for-byte: the bandit's arm
+/// selections, the per-arm `guided` block and the iteration series are
+/// all deterministic functions of the seed, so the whole JSON is a
+/// stable golden. Drift here means the guided selection (or its
+/// serialization) changed — which breaks same-seed reproducibility of
+/// guided campaigns and must be a deliberate re-bless.
+#[test]
+fn guided_campaign_report_matches_committed_snapshot() {
+    let _g = faultpoint::scoped(INERT);
+    let (name, seed0, d) = CASES[0];
+    let kernel = by_name(name).expect("pinned kernel exists");
+    let goat = Goat::new(pinned_config(seed0, d).with_guided(true));
+    let result = goat.test(Arc::new(KernelProgram(kernel)));
+    let mut got = result.to_json_summary().expect("serializable");
+    got.push('\n');
+    assert!(got.contains("\"guided\""), "guided block missing from summary: {got}");
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(format!("{name}_s{seed0}_guided.json"));
+    check_or_bless(&got, &path, "guided campaign");
 }

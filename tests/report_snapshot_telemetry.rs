@@ -11,7 +11,7 @@
 
 use goat::core::{CampaignSummary, Goat, GoatConfig, Program};
 use goat::goker::{by_name, BugKernel};
-use goat::runtime::faultpoint;
+use goat::runtime::{faultpoint, StrategyKind};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -40,6 +40,12 @@ fn telemetry_only_adds_the_telemetry_field() {
                 .with_seed0(seed0)
                 .with_delay_bound(d)
                 .with_parallelism(1)
+                // Pinned explicitly so the PCT/guided CI legs (which set
+                // GOAT_STRATEGY/GOAT_GUIDED process-wide) cannot perturb
+                // the golden comparison.
+                .with_strategy(StrategyKind::Native)
+                .with_guided(false)
+                .with_saturation_window(None)
                 .keep_running(),
         );
         let result = goat_tool.test(Arc::new(KernelProgram(kernel)));
