@@ -31,8 +31,14 @@ pub enum GoatVerdict {
     GlobalDeadlock,
     /// The program crashed.
     Crash {
-        /// The panic message.
+        /// The panic message (or, for a worker-process death under
+        /// `GOAT_ISOLATE=proc`, the orchestrator's one-line summary).
         msg: String,
+        /// Crash forensics: panic site and truncated backtrace for an
+        /// in-process panic, or signal/exit/stderr-tail details for a
+        /// dead worker process. `None` when nothing beyond the message
+        /// was captured.
+        detail: Option<String>,
     },
     /// The watchdog aborted a non-terminating run.
     Hang,
@@ -70,7 +76,7 @@ impl GoatVerdict {
 impl fmt::Display for GoatVerdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GoatVerdict::Crash { msg } => write!(f, "CRASH({msg})"),
+            GoatVerdict::Crash { msg, .. } => write!(f, "CRASH({msg})"),
             GoatVerdict::InfraFailure { reason } => write!(f, "INFRA({reason})"),
             other => write!(f, "{}", other.symptom()),
         }
@@ -124,7 +130,16 @@ pub fn analyze_run(result: &RunResult) -> GoatVerdict {
 /// demand.
 pub fn analyze_run_with(result: &RunResult, tree: Option<&GTree>) -> GoatVerdict {
     match &result.outcome {
-        RunOutcome::Panicked { msg, .. } => GoatVerdict::Crash { msg: msg.clone() },
+        RunOutcome::Panicked { msg, .. } => {
+            GoatVerdict::Crash { msg: msg.clone(), detail: result.panic_detail.clone() }
+        }
+        // A sandboxed worker process died hosting this run: the verdict
+        // is a kernel crash (it feeds the crash streak and quarantine),
+        // with the orchestrator's post-mortem as forensics.
+        RunOutcome::Crashed { forensics } => GoatVerdict::Crash {
+            msg: forensics.summary.clone(),
+            detail: Some(forensics_detail(forensics)),
+        },
         // Both watchdogs — step-bound and wall-clock — flag a suspected
         // hang, exactly like the paper's run timeout.
         RunOutcome::StepLimit | RunOutcome::TimedOut { .. } => GoatVerdict::Hang,
@@ -150,6 +165,24 @@ pub fn analyze_run_with(result: &RunResult, tree: Option<&GTree>) -> GoatVerdict
     }
 }
 
+/// Render a dead worker's post-mortem as the crash verdict's multi-line
+/// forensics detail (last acknowledged iteration + stderr tail).
+fn forensics_detail(f: &goat_runtime::CrashForensics) -> String {
+    let mut d = String::new();
+    match f.last_ack_iter {
+        Some(i) => d.push_str(&format!("last acknowledged iteration: {i}")),
+        None => d.push_str("last acknowledged iteration: none"),
+    }
+    if !f.stderr_tail.is_empty() {
+        d.push_str("\nstderr tail:");
+        for line in f.stderr_tail.lines() {
+            d.push_str("\n  ");
+            d.push_str(line);
+        }
+    }
+    d
+}
+
 /// Cross-check helper used by tests: the ECT-derived verdict must agree
 /// with the runtime's ground truth about leaked goroutines.
 ///
@@ -165,6 +198,7 @@ pub fn crosscheck(result: &RunResult) -> Result<(), String> {
             | RunOutcome::StepLimit
             | RunOutcome::TimedOut { .. }
             | RunOutcome::InfraFailure { .. }
+            | RunOutcome::Crashed { .. }
     ) {
         return Ok(());
     }
@@ -252,9 +286,42 @@ mod tests {
             ch.close();
         });
         match analyze_run(&r) {
-            GoatVerdict::Crash { msg } => assert!(msg.contains("close")),
+            GoatVerdict::Crash { msg, detail } => {
+                assert!(msg.contains("close"));
+                // Satellite: the gopanic call site survives as forensics.
+                let detail = detail.expect("go panic carries its site");
+                assert!(detail.contains("go panic at "), "{detail}");
+            }
             other => panic!("expected crash, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn crashed_worker_maps_to_crash_verdict_with_forensics() {
+        let mut r = Runtime::run(cfg(0), || {});
+        r.outcome = goat_runtime::RunOutcome::Crashed {
+            forensics: goat_runtime::CrashForensics {
+                signal: Some(6),
+                exit_code: None,
+                stderr_tail: "thread panicked\nabort".to_string(),
+                last_ack_iter: Some(12),
+                summary: "worker killed by signal 6 (SIGABRT)".to_string(),
+            },
+        };
+        let v = analyze_run(&r);
+        match &v {
+            GoatVerdict::Crash { msg, detail } => {
+                assert_eq!(msg, "worker killed by signal 6 (SIGABRT)");
+                let detail = detail.as_deref().expect("forensics detail");
+                assert!(detail.contains("last acknowledged iteration: 12"), "{detail}");
+                assert!(detail.contains("stderr tail:"), "{detail}");
+                assert!(detail.contains("  abort"), "{detail}");
+            }
+            other => panic!("expected crash, got {other:?}"),
+        }
+        assert!(v.is_bug(), "a dead worker is kernel evidence, not an infra fault");
+        assert_eq!(v.symptom(), Symptom::Crash);
+        crosscheck(&r).unwrap();
     }
 
     #[test]

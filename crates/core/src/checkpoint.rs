@@ -42,7 +42,13 @@ pub const CHECKPOINT_EVERY_ENV: &str = "GOAT_CHECKPOINT_EVERY";
 /// v2: guided exploration (reward history, saturation streak) joined
 /// the merge state and the fingerprint grew strategy/guided/saturation
 /// components.
-pub const CHECKPOINT_VERSION: u32 = 2;
+///
+/// v3: crash verdicts grew a forensics `detail` field and the
+/// fingerprint grew the process-isolation mode (`iso=`): a crashing
+/// campaign's records differ between `GOAT_ISOLATE=off` and `proc`
+/// (in-process panic vs worker death), so sidecars cannot be mixed
+/// across modes.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// The campaign parameters that determine per-iteration behaviour,
 /// folded into a string. Two campaigns with equal fingerprints run the
@@ -51,7 +57,7 @@ pub const CHECKPOINT_VERSION: u32 = 2;
 /// iteration budget is excluded on purpose (resume may extend it).
 pub fn fingerprint(program_name: &str, cfg: &GoatConfig) -> String {
     format!(
-        "v{CHECKPOINT_VERSION}:{program_name}:seed0={}:d={}:stop={}:cov={}:eps={:x}:steps={}:wd={}:strat={}:guided={}:sat={}",
+        "v{CHECKPOINT_VERSION}:{program_name}:seed0={}:d={}:stop={}:cov={}:eps={:x}:steps={}:wd={}:strat={}:guided={}:sat={}:iso={}",
         cfg.seed0,
         cfg.delay_bound,
         cfg.stop_on_bug,
@@ -68,6 +74,7 @@ pub fn fingerprint(program_name: &str, cfg: &GoatConfig) -> String {
         cfg.strategy,
         cfg.guided,
         cfg.saturation_window.map_or("off".to_string(), |w| w.to_string()),
+        cfg.isolate,
     )
 }
 

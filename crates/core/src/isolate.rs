@@ -1,0 +1,856 @@
+//! Out-of-process run isolation (`GOAT_ISOLATE=proc`): worker sandbox,
+//! crash forensics, and resource jails.
+//!
+//! In the default mode every iteration executes inside the campaign
+//! process; a kernel that segfaults, aborts, or chews through all
+//! memory takes the whole campaign (and its merge state) down with it.
+//! With `GOAT_ISOLATE=proc` the runner instead drives a pool of
+//! persistent **worker subprocesses** — one `goat --worker` child per
+//! parallel lane — over a length-prefixed JSON frame protocol on
+//! stdin/stdout:
+//!
+//! ```text
+//!   orchestrator                       worker
+//!        | ---- spawn `goat --worker` --> |   (rlimit jail applied)
+//!        | <--------- Ready ------------- |   handshake
+//!        | ---- Run{iter, program, cfg} > |
+//!        | <--------- Ack{iter} --------- |   (IPC latency sample)
+//!        | <-------- Heartbeat{iter} ---- |   every GOAT_WORKER_HEARTBEAT_MS
+//!        | <----- Result{iter, result} -- |
+//! ```
+//!
+//! The full [`Config`] travels in the `Run` frame, so a worker cannot
+//! skew a run through its own environment: for non-crashing runs the
+//! [`RunResult`] coming back is **byte-identical** to an in-process run
+//! of the same seed (proven in `tests/determinism.rs`), and campaign
+//! reports are unchanged between modes.
+//!
+//! Supervision is enforced from *outside* the sandbox: the orchestrator
+//! demands some frame (ack, heartbeat, or result) within
+//! `GOAT_WORKER_GRACE_MS`; silence means the worker is wedged and it is
+//! SIGKILLed. A worker that dies — by signal, abort, rlimit kill, or
+//! missed heartbeats — is autopsied into [`CrashForensics`] (exit
+//! status or signal, stderr tail, last acknowledged iteration) and the
+//! run is recorded as [`RunOutcome::Crashed`]; the campaign replaces
+//! the worker and carries on, so one crashing seed no longer erases an
+//! entire night's evidence.
+//!
+//! Workers jail themselves at startup with `setrlimit`: core dumps are
+//! disabled, the address space is capped (`GOAT_WORKER_RLIMIT_AS_MB`,
+//! default 4096, `0` = unlimited), and an optional CPU-time ceiling
+//! (`GOAT_WORKER_RLIMIT_CPU_S`, default off) converts runaway spins
+//! into a clean `SIGXCPU` death with forensics.
+//!
+//! Isolation degrades gracefully: if the worker command cannot be
+//! spawned or never completes the `Ready` handshake (e.g. the embedding
+//! binary has no `--worker` mode), the command is marked broken once
+//! and every run transparently falls back in-process — sound precisely
+//! because the two modes produce identical bytes.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, BufRead, ErrorKind, Read, Write};
+use std::process::{Child, ChildStdin, Command, ExitStatus, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::program::Program;
+use goat_runtime::faultpoint::{self, WorkerFault};
+use goat_runtime::{Config, CrashForensics, RunOutcome, RunResult, SchedCounters};
+
+/// Environment variable selecting the isolation mode (`off` | `proc`).
+pub const ISOLATE_ENV: &str = "GOAT_ISOLATE";
+
+/// Environment variable naming the worker command to spawn (defaults to
+/// the current executable, which works for the `goat` CLI).
+pub const WORKER_CMD_ENV: &str = "GOAT_WORKER_CMD";
+
+/// Environment variable setting the worker heartbeat period in
+/// milliseconds (default 100).
+pub const HEARTBEAT_MS_ENV: &str = "GOAT_WORKER_HEARTBEAT_MS";
+
+/// Environment variable setting how long the orchestrator tolerates
+/// frame silence (no ack/heartbeat/result) before SIGKILLing a worker,
+/// in milliseconds (default 5000).
+pub const GRACE_MS_ENV: &str = "GOAT_WORKER_GRACE_MS";
+
+/// Environment variable setting the spawn-to-`Ready` handshake deadline
+/// in milliseconds (default 10000).
+pub const SPAWN_GRACE_MS_ENV: &str = "GOAT_WORKER_SPAWN_GRACE_MS";
+
+/// Environment variable capping the worker address space in MiB
+/// (default 4096; `0` disables the cap).
+pub const RLIMIT_AS_MB_ENV: &str = "GOAT_WORKER_RLIMIT_AS_MB";
+
+/// Environment variable capping worker CPU seconds (default `0` = off;
+/// exceeding it kills the worker with `SIGXCPU`).
+pub const RLIMIT_CPU_S_ENV: &str = "GOAT_WORKER_RLIMIT_CPU_S";
+
+/// Hard cap on a single frame's payload; anything larger is treated as
+/// a corrupt stream rather than an allocation request.
+pub(crate) const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Stderr lines retained per worker for crash forensics.
+const STDERR_TAIL_LINES: usize = 40;
+
+/// Where iterations execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IsolateMode {
+    /// In-process (the historical behaviour, and the default).
+    #[default]
+    Off,
+    /// Each run executes inside a sandboxed worker subprocess.
+    Proc,
+}
+
+impl IsolateMode {
+    /// Parse a mode string (`off`/`0` → [`IsolateMode::Off`],
+    /// `proc`/`process`/`1` → [`IsolateMode::Proc`]).
+    pub fn parse(s: &str) -> Option<IsolateMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "off" | "0" => Some(IsolateMode::Off),
+            "proc" | "process" | "1" => Some(IsolateMode::Proc),
+            _ => None,
+        }
+    }
+
+    /// The mode selected by [`ISOLATE_ENV`]; unset or unrecognized
+    /// values mean [`IsolateMode::Off`].
+    pub fn from_env() -> IsolateMode {
+        std::env::var(ISOLATE_ENV).ok().and_then(|v| IsolateMode::parse(&v)).unwrap_or_default()
+    }
+}
+
+impl std::fmt::Display for IsolateMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IsolateMode::Off => write!(f, "off"),
+            IsolateMode::Proc => write!(f, "proc"),
+        }
+    }
+}
+
+/// One message on the worker wire, encoded as `[u32 LE length][JSON]`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) enum Frame {
+    /// Worker → orchestrator: the handshake; sent once at startup after
+    /// the rlimit jail is in place.
+    Ready,
+    /// Orchestrator → worker: execute one iteration.
+    Run {
+        /// 1-based campaign iteration (forensics context only).
+        iter: u64,
+        /// Program name, resolved by the worker's registry.
+        program: String,
+        /// The complete runtime configuration — every knob travels in
+        /// the frame so worker-side environment cannot skew the run.
+        cfg: Config,
+    },
+    /// Worker → orchestrator: the `Run` frame was received; the gap
+    /// between send and ack is the IPC latency sample.
+    Ack {
+        /// Iteration being acknowledged.
+        iter: u64,
+    },
+    /// Worker → orchestrator: liveness beacon while (possibly) busy.
+    Heartbeat {
+        /// Iteration the worker is currently serving (0 when idle).
+        iter: u64,
+    },
+    /// Worker → orchestrator: the iteration's complete result.
+    Result {
+        /// Iteration the result belongs to.
+        iter: u64,
+        /// The run's full result, bit-for-bit what an in-process run
+        /// of the same [`Config`] produces (boxed: this variant is two
+        /// orders of magnitude larger than the others).
+        result: Box<RunResult>,
+    },
+}
+
+/// Serialize one frame into its wire form (length prefix + JSON).
+pub(crate) fn encode_frame(frame: &Frame) -> io::Result<Vec<u8>> {
+    let json = serde_json::to_string(frame)
+        .map_err(|e| io::Error::new(ErrorKind::InvalidData, format!("encode frame: {e}")))?;
+    let payload = json.as_bytes();
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    Ok(buf)
+}
+
+/// Write one frame as a single `write_all` + flush, so concurrent
+/// writers holding the same lock can never interleave partial frames.
+pub(crate) fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let buf = encode_frame(frame)?;
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Read one frame; [`ErrorKind::UnexpectedEof`] means the peer is gone,
+/// [`ErrorKind::InvalidData`] means the stream is corrupt (oversized
+/// length, non-UTF-8, or unparseable JSON).
+pub(crate) fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload)
+        .map_err(|e| io::Error::new(ErrorKind::InvalidData, format!("frame is not UTF-8: {e}")))?;
+    serde_json::from_str(&text)
+        .map_err(|e| io::Error::new(ErrorKind::InvalidData, format!("frame does not parse: {e}")))
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+fn heartbeat_ms() -> u64 {
+    env_u64(HEARTBEAT_MS_ENV, 100).max(1)
+}
+
+fn grace_ms() -> u64 {
+    env_u64(GRACE_MS_ENV, 5000).max(1)
+}
+
+fn spawn_grace_ms() -> u64 {
+    env_u64(SPAWN_GRACE_MS_ENV, 10_000).max(1)
+}
+
+/// Resource jail + fault raising, via raw libc calls (no crates).
+#[cfg(unix)]
+mod sys {
+    /// `struct rlimit`: soft and hard limits, both `rlim_t` (u64 on the
+    /// 64-bit platforms we target).
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+
+    extern "C" {
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+        fn raise(sig: i32) -> i32;
+        fn signal(sig: i32, handler: usize) -> usize;
+    }
+
+    /// `SIG_DFL`: the default disposition.
+    const SIG_DFL: usize = 0;
+
+    #[cfg(target_os = "macos")]
+    const RLIMIT_AS: i32 = 5;
+    #[cfg(not(target_os = "macos"))]
+    const RLIMIT_AS: i32 = 9;
+    const RLIMIT_CPU: i32 = 0;
+    const RLIMIT_CORE: i32 = 4;
+
+    fn set(resource: i32, limit: u64) {
+        let rl = RLimit { cur: limit, max: limit };
+        // A failed setrlimit (e.g. raising above a container hard cap)
+        // leaves the inherited limit in place; the jail is best-effort.
+        unsafe {
+            setrlimit(resource, &rl);
+        }
+    }
+
+    /// Apply the worker jail: no core dumps (forensics come from stderr
+    /// and exit status, not core files), a capped address space, and an
+    /// optional CPU-seconds ceiling.
+    pub fn apply_rlimits() {
+        set(RLIMIT_CORE, 0);
+        let as_mb = super::env_u64(super::RLIMIT_AS_MB_ENV, 4096);
+        if as_mb > 0 {
+            set(RLIMIT_AS, as_mb.saturating_mul(1024 * 1024));
+        }
+        let cpu_s = super::env_u64(super::RLIMIT_CPU_S_ENV, 0);
+        if cpu_s > 0 {
+            set(RLIMIT_CPU, cpu_s);
+        }
+    }
+
+    /// Deliver `sig` to the calling process with its *default*
+    /// disposition (fault injection): the Rust runtime installs its own
+    /// SIGSEGV handler for stack-overflow detection, which would
+    /// otherwise swallow a raised fault signal.
+    pub fn raise_signal(sig: i32) {
+        unsafe {
+            signal(sig, SIG_DFL);
+            raise(sig);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub fn apply_rlimits() {}
+    pub fn raise_signal(_sig: i32) {}
+}
+
+/// Human name for the signals a worker plausibly dies from.
+fn signal_name(sig: i32) -> &'static str {
+    match sig {
+        4 => "SIGILL",
+        6 => "SIGABRT",
+        7 => "SIGBUS",
+        8 => "SIGFPE",
+        9 => "SIGKILL",
+        11 => "SIGSEGV",
+        24 => "SIGXCPU",
+        _ => "unknown",
+    }
+}
+
+#[cfg(unix)]
+fn status_signal(status: &ExitStatus) -> Option<i32> {
+    std::os::unix::process::ExitStatusExt::signal(status)
+}
+
+#[cfg(not(unix))]
+fn status_signal(_status: &ExitStatus) -> Option<i32> {
+    None
+}
+
+/// A [`RunResult`] synthesized by the orchestrator when the worker
+/// never produced one (death or protocol corruption). Carries the
+/// neutral fingerprint seed so memoization never confuses it with a
+/// real execution.
+fn synth_result(outcome: RunOutcome) -> RunResult {
+    RunResult {
+        outcome,
+        ect: None,
+        steps: 0,
+        vclock: goat_trace::VTime(0),
+        goroutines: 0,
+        yields_injected: 0,
+        priority_changes: 0,
+        alive_at_end: Vec::new(),
+        schedule: goat_runtime::ReplayLog::default(),
+        replay_diverged: false,
+        sched: SchedCounters::default(),
+        fingerprint: goat_trace::tracebuf::FP_SEED,
+        panic_detail: None,
+    }
+}
+
+fn write_frame_locked(out: &Arc<Mutex<io::Stdout>>, frame: &Frame) -> io::Result<()> {
+    let mut out = out.lock().expect("worker stdout lock");
+    write_frame(&mut *out, frame)
+}
+
+/// Serve the worker side of the protocol on stdin/stdout until the
+/// orchestrator closes the pipe; returns the process exit code.
+///
+/// `resolve` maps a program name from a `Run` frame to the program to
+/// execute (the CLI passes the goker kernel registry). The worker jails
+/// itself with [`sys::apply_rlimits`] before answering `Ready`, streams
+/// `Heartbeat` frames from a side thread, and answers every `Run` with
+/// `Ack` + `Result`. Injected worker faults (`GOAT_FAULT=worker:…`)
+/// fire here, keyed on the run's seed.
+pub fn serve_worker(resolve: &dyn Fn(&str) -> Option<Arc<dyn Program>>) -> i32 {
+    sys::apply_rlimits();
+    let stdout = Arc::new(Mutex::new(io::stdout()));
+    let current_iter = Arc::new(AtomicU64::new(0));
+    // Set when an injected fault must silence the liveness beacon so
+    // the orchestrator's no-heartbeat watchdog can be exercised.
+    let muted = Arc::new(AtomicBool::new(false));
+    if write_frame_locked(&stdout, &Frame::Ready).is_err() {
+        return 1;
+    }
+    {
+        let stdout = Arc::clone(&stdout);
+        let current_iter = Arc::clone(&current_iter);
+        let muted = Arc::clone(&muted);
+        let _ =
+            std::thread::Builder::new().name("goat-worker-heartbeat".into()).spawn(move || loop {
+                std::thread::sleep(Duration::from_millis(heartbeat_ms()));
+                if muted.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let iter = current_iter.load(Ordering::Relaxed);
+                if write_frame_locked(&stdout, &Frame::Heartbeat { iter }).is_err() {
+                    return;
+                }
+            });
+    }
+    let mut stdin = io::stdin().lock();
+    loop {
+        let frame = match read_frame(&mut stdin) {
+            Ok(f) => f,
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => return 0,
+            Err(e) => {
+                eprintln!("goat-worker: protocol error on stdin: {e}");
+                return 1;
+            }
+        };
+        let Frame::Run { iter, program, cfg } = frame else {
+            eprintln!("goat-worker: unexpected frame (expected Run)");
+            return 1;
+        };
+        match faultpoint::worker_fault(cfg.seed) {
+            Some(WorkerFault::Kill(sig)) => {
+                muted.store(true, Ordering::Relaxed);
+                eprintln!(
+                    "goat-worker: injected fault: raising signal {sig} ({}) on iter {iter} seed {}",
+                    signal_name(sig),
+                    cfg.seed
+                );
+                sys::raise_signal(sig);
+                // Only reached when `sig` was non-fatal (e.g. ignored).
+                return 70;
+            }
+            Some(WorkerFault::Wedge) => {
+                muted.store(true, Ordering::Relaxed);
+                eprintln!(
+                    "goat-worker: injected fault: wedging without ack on iter {iter} seed {}",
+                    cfg.seed
+                );
+                loop {
+                    std::thread::sleep(Duration::from_secs(3600));
+                }
+            }
+            Some(WorkerFault::Garbage) => {
+                eprintln!(
+                    "goat-worker: injected fault: emitting garbage frame on iter {iter} seed {}",
+                    cfg.seed
+                );
+                let mut out = stdout.lock().expect("worker stdout lock");
+                // An impossible length prefix: decoded as a corrupt
+                // stream, never as an allocation request.
+                let _ = out.write_all(&[0xff, 0xff, 0xff, 0xff, 0xde, 0xad, 0xbe, 0xef]);
+                let _ = out.flush();
+                drop(out);
+                continue;
+            }
+            None => {}
+        }
+        current_iter.store(iter, Ordering::Relaxed);
+        if write_frame_locked(&stdout, &Frame::Ack { iter }).is_err() {
+            return 1;
+        }
+        let result = match resolve(&program) {
+            Some(p) => goat_runtime::Runtime::run(cfg, crate::runner::Goat::instrumented(p)),
+            None => synth_result(RunOutcome::InfraFailure {
+                reason: format!("worker: unknown program {program:?}"),
+            }),
+        };
+        if write_frame_locked(&stdout, &Frame::Result { iter, result: Box::new(result) }).is_err() {
+            return 1;
+        }
+    }
+}
+
+/// What the reader thread saw on a worker's stdout.
+enum Event {
+    /// A well-formed frame (boxed: `Result` frames dwarf the other
+    /// variants).
+    Frame(Box<Frame>),
+    /// The stream is corrupt (oversized/unparseable frame).
+    Corrupt(String),
+    /// The worker closed its stdout (it is dead or dying).
+    Eof,
+}
+
+/// Orchestrator-side handle on one live worker subprocess.
+struct Worker {
+    child: Child,
+    stdin: ChildStdin,
+    events: mpsc::Receiver<Event>,
+    stderr_tail: Arc<Mutex<VecDeque<String>>>,
+    /// Runs served so far (reuse accounting).
+    runs: u64,
+}
+
+/// Pool of idle workers plus the set of commands that failed to spawn
+/// or handshake; broken commands fall back in-process forever (and are
+/// reported once).
+///
+/// Idle workers are keyed by command *and* the fault plan that was
+/// active at spawn time (the plan travels in the worker's environment),
+/// so a worker jailed under one `GOAT_FAULT` plan is never reused by a
+/// campaign running under another.
+#[derive(Default)]
+struct PoolState {
+    idle: HashMap<String, Vec<Worker>>,
+    broken: HashSet<String>,
+}
+
+fn pool_key(cmd: &str) -> String {
+    match faultpoint::current_spec() {
+        Some(spec) => format!("{cmd}\u{1f}{spec}"),
+        None => cmd.to_string(),
+    }
+}
+
+fn pool() -> &'static Mutex<PoolState> {
+    static POOL: OnceLock<Mutex<PoolState>> = OnceLock::new();
+    POOL.get_or_init(Mutex::default)
+}
+
+fn mark_broken(cmd: &str, err: &str) {
+    let mut st = pool().lock().expect("worker pool lock");
+    if st.broken.insert(cmd.to_string()) {
+        eprintln!(
+            "goat: process isolation unavailable for worker command {cmd:?} ({err}); \
+             falling back to in-process runs"
+        );
+    }
+}
+
+/// Spawn one worker and complete the `Ready` handshake.
+fn spawn_worker(cmd: &str) -> Result<Worker, String> {
+    let mut command = Command::new(cmd);
+    command
+        .arg("--worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        // Campaign-level concerns stay in the orchestrator: a worker
+        // must not write checkpoints or telemetry, and must never
+        // isolate recursively.
+        .env_remove("GOAT_TELEMETRY")
+        .env_remove("GOAT_CHECKPOINT")
+        .env_remove(ISOLATE_ENV);
+    // Scoped fault plans only exist in this process; propagate the
+    // active spec so `faultpoint::scoped` test plans reach the worker.
+    match faultpoint::current_spec() {
+        Some(spec) => {
+            command.env("GOAT_FAULT", spec);
+        }
+        None => {
+            command.env_remove("GOAT_FAULT");
+        }
+    }
+    let mut child = command.spawn().map_err(|e| format!("spawn {cmd:?}: {e}"))?;
+    let stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = child.stdout.take().expect("piped stdout");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let (tx, rx) = mpsc::channel();
+    let _ = std::thread::Builder::new().name("goat-worker-reader".into()).spawn(move || loop {
+        match read_frame(&mut stdout) {
+            Ok(f) => {
+                if tx.send(Event::Frame(Box::new(f))).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => {
+                let _ = tx.send(Event::Eof);
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(Event::Corrupt(e.to_string()));
+                return;
+            }
+        }
+    });
+    let stderr_tail = Arc::new(Mutex::new(VecDeque::new()));
+    {
+        let stderr_tail = Arc::clone(&stderr_tail);
+        let _ = std::thread::Builder::new().name("goat-worker-stderr".into()).spawn(move || {
+            for line in io::BufReader::new(stderr).lines() {
+                let Ok(line) = line else { return };
+                let mut tail = stderr_tail.lock().expect("stderr tail lock");
+                if tail.len() >= STDERR_TAIL_LINES {
+                    tail.pop_front();
+                }
+                tail.push_back(line);
+            }
+        });
+    }
+    match rx.recv_timeout(Duration::from_millis(spawn_grace_ms())) {
+        Ok(Event::Frame(f)) if matches!(*f, Frame::Ready) => {}
+        other => {
+            let _ = child.kill();
+            let _ = child.wait();
+            let what = match other {
+                Ok(Event::Frame(_)) => "answered with a non-Ready frame".to_string(),
+                Ok(Event::Corrupt(e)) => format!("sent a corrupt handshake: {e}"),
+                Ok(Event::Eof) => "exited before completing the Ready handshake".to_string(),
+                Err(_) => "never completed the Ready handshake".to_string(),
+            };
+            return Err(what);
+        }
+    }
+    goat_metrics::global().counter("isolate.workers_spawned").inc();
+    Ok(Worker { child, stdin, events: rx, stderr_tail, runs: 0 })
+}
+
+/// SIGKILL a misbehaving worker and reap it.
+fn kill_worker(worker: &mut Worker) {
+    let _ = worker.child.kill();
+    let _ = worker.child.wait();
+    goat_metrics::global().counter("isolate.workers_killed").inc();
+}
+
+/// Reap a worker that died on its own and collect the post-mortem.
+fn autopsy(
+    worker: &mut Worker,
+    last_ack_iter: Option<u64>,
+    no_heartbeat: Option<Duration>,
+) -> CrashForensics {
+    let status = worker.child.wait().ok();
+    // Give the stderr drain thread a beat to pull the final lines out
+    // of the (now closed) pipe before snapshotting the tail.
+    std::thread::sleep(Duration::from_millis(50));
+    let stderr_tail = {
+        let tail = worker.stderr_tail.lock().expect("stderr tail lock");
+        tail.iter().cloned().collect::<Vec<_>>().join("\n")
+    };
+    let signal = status.as_ref().and_then(status_signal);
+    let exit_code = status.as_ref().and_then(ExitStatus::code);
+    let summary = if let Some(grace) = no_heartbeat {
+        format!("no heartbeat within {} ms; killed", grace.as_millis())
+    } else if let Some(sig) = signal {
+        format!("killed by signal {sig} ({})", signal_name(sig))
+    } else if let Some(code) = exit_code {
+        format!("exited with code {code}")
+    } else {
+        "died with unknown status".to_string()
+    };
+    CrashForensics { signal, exit_code, stderr_tail, last_ack_iter, summary }
+}
+
+/// Take an idle pooled worker for `cmd`, or spawn a fresh one. `None`
+/// means the command is (now) broken and the caller must fall back.
+fn checkout(cmd: &str) -> Option<Worker> {
+    let key = pool_key(cmd);
+    loop {
+        let mut st = pool().lock().expect("worker pool lock");
+        if st.broken.contains(cmd) {
+            return None;
+        }
+        let Some(mut worker) = st.idle.get_mut(&key).and_then(Vec::pop) else {
+            drop(st);
+            return match spawn_worker(cmd) {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    mark_broken(cmd, &e);
+                    None
+                }
+            };
+        };
+        drop(st);
+        // Drain queued idle heartbeats; Eof/Corrupt in the backlog (or
+        // an exited child) means the worker died while pooled.
+        let mut dead = false;
+        loop {
+            match worker.events.try_recv() {
+                Ok(Event::Frame(_)) => continue,
+                Ok(_) => {
+                    dead = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        if dead || worker.child.try_wait().map(|s| s.is_some()).unwrap_or(true) {
+            let _ = worker.child.wait();
+            goat_metrics::global().counter("isolate.workers_died").inc();
+            continue;
+        }
+        goat_metrics::global().counter("isolate.workers_reused").inc();
+        return Some(worker);
+    }
+}
+
+/// Return a healthy worker to the idle pool.
+fn checkin(cmd: &str, worker: Worker) {
+    let mut st = pool().lock().expect("worker pool lock");
+    st.idle.entry(pool_key(cmd)).or_default().push(worker);
+}
+
+/// Execute one iteration inside a sandboxed worker.
+///
+/// Returns `None` when isolation is unavailable for this worker command
+/// (spawn or handshake failure) and the caller should run in-process —
+/// a sound fallback because both modes produce byte-identical results.
+/// Otherwise always returns a result: the worker's own on success, or a
+/// synthesized [`RunOutcome::Crashed`] / [`RunOutcome::InfraFailure`]
+/// when the worker died or corrupted the stream.
+pub(crate) fn run_in_worker(
+    cmd: Option<&str>,
+    program: &str,
+    iter: u64,
+    cfg: &Config,
+) -> Option<RunResult> {
+    let cmd = match cmd {
+        Some(c) => c.to_string(),
+        None => std::env::current_exe().ok()?.to_str()?.to_string(),
+    };
+    let mut worker = checkout(&cmd)?;
+    let run = Frame::Run { iter, program: program.to_string(), cfg: cfg.clone() };
+    let mut sent_at = Instant::now();
+    if write_frame(&mut worker.stdin, &run).is_err() {
+        // A pooled worker can die between checkout and the first write;
+        // one fresh respawn distinguishes that from a broken command.
+        kill_worker(&mut worker);
+        worker = match spawn_worker(&cmd) {
+            Ok(w) => w,
+            Err(e) => {
+                mark_broken(&cmd, &e);
+                return None;
+            }
+        };
+        sent_at = Instant::now();
+        if write_frame(&mut worker.stdin, &run).is_err() {
+            kill_worker(&mut worker);
+            return Some(synth_result(RunOutcome::InfraFailure {
+                reason: "worker rejected the run frame twice".to_string(),
+            }));
+        }
+    }
+    let grace = Duration::from_millis(grace_ms());
+    let mut last_ack = None;
+    loop {
+        match worker.events.recv_timeout(grace) {
+            Ok(Event::Frame(frame)) => match *frame {
+                Frame::Ack { iter: i } if i == iter => {
+                    last_ack = Some(i);
+                    goat_metrics::global()
+                        .histogram("isolate.ipc_ns")
+                        .record(sent_at.elapsed().as_nanos() as u64);
+                }
+                // Stale acks/heartbeats from a reused worker count as
+                // liveness but carry no other information.
+                Frame::Ack { .. } | Frame::Heartbeat { .. } => {}
+                Frame::Result { iter: i, result } if i == iter => {
+                    worker.runs += 1;
+                    goat_metrics::global().counter("isolate.runs").inc();
+                    checkin(&cmd, worker);
+                    return Some(*result);
+                }
+                f => {
+                    kill_worker(&mut worker);
+                    return Some(synth_result(RunOutcome::InfraFailure {
+                        reason: format!("worker protocol violation: unexpected {f:?}"),
+                    }));
+                }
+            },
+            Ok(Event::Corrupt(e)) => {
+                kill_worker(&mut worker);
+                return Some(synth_result(RunOutcome::InfraFailure {
+                    reason: format!("worker sent a corrupt frame: {e}"),
+                }));
+            }
+            Ok(Event::Eof) => {
+                let forensics = autopsy(&mut worker, last_ack, None);
+                goat_metrics::global().counter("isolate.workers_died").inc();
+                return Some(synth_result(RunOutcome::Crashed { forensics }));
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                kill_worker(&mut worker);
+                let forensics = autopsy(&mut worker, last_ack, Some(grace));
+                return Some(synth_result(RunOutcome::Crashed { forensics }));
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                kill_worker(&mut worker);
+                let forensics = autopsy(&mut worker, last_ack, None);
+                return Some(synth_result(RunOutcome::Crashed { forensics }));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolate_mode_parses_and_displays() {
+        assert_eq!(IsolateMode::parse("off"), Some(IsolateMode::Off));
+        assert_eq!(IsolateMode::parse("0"), Some(IsolateMode::Off));
+        assert_eq!(IsolateMode::parse(""), Some(IsolateMode::Off));
+        assert_eq!(IsolateMode::parse("proc"), Some(IsolateMode::Proc));
+        assert_eq!(IsolateMode::parse("PROCESS"), Some(IsolateMode::Proc));
+        assert_eq!(IsolateMode::parse("1"), Some(IsolateMode::Proc));
+        assert_eq!(IsolateMode::parse("yes"), None);
+        assert_eq!(IsolateMode::Off.to_string(), "off");
+        assert_eq!(IsolateMode::Proc.to_string(), "proc");
+        assert_eq!(IsolateMode::default(), IsolateMode::Off);
+    }
+
+    #[test]
+    fn run_frame_roundtrips_through_the_codec() {
+        let cfg = Config::new(42).with_delay_bound(3);
+        let frame = Frame::Run { iter: 7, program: "etcd6708".to_string(), cfg };
+        let bytes = encode_frame(&frame).expect("encode");
+        let back = read_frame(&mut &bytes[..]).expect("decode");
+        match back {
+            Frame::Run { iter, program, cfg } => {
+                assert_eq!(iter, 7);
+                assert_eq!(program, "etcd6708");
+                assert_eq!(cfg.seed, 42);
+                assert_eq!(cfg.delay_bound, 3);
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn result_frame_roundtrips_with_forensics() {
+        let result = synth_result(RunOutcome::Crashed {
+            forensics: CrashForensics {
+                signal: Some(6),
+                exit_code: None,
+                stderr_tail: "abort: boom".to_string(),
+                last_ack_iter: Some(3),
+                summary: "killed by signal 6 (SIGABRT)".to_string(),
+            },
+        });
+        let bytes =
+            encode_frame(&Frame::Result { iter: 3, result: Box::new(result) }).expect("encode");
+        let back = read_frame(&mut &bytes[..]).expect("decode");
+        let Frame::Result { iter, result } = back else { panic!("wrong frame") };
+        assert_eq!(iter, 3);
+        let RunOutcome::Crashed { forensics } = result.outcome else {
+            panic!("wrong outcome: {}", result.outcome)
+        };
+        assert_eq!(forensics.signal, Some(6));
+        assert_eq!(forensics.last_ack_iter, Some(3));
+        assert_eq!(result.fingerprint, goat_trace::tracebuf::FP_SEED);
+        assert!(result.ect.is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_not_allocated() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bytes.extend_from_slice(b"\xde\xad\xbe\xef");
+        let err = read_frame(&mut &bytes[..]).expect_err("must reject");
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn truncated_frame_reads_as_eof() {
+        let full = encode_frame(&Frame::Ready).expect("encode");
+        let err = read_frame(&mut &full[..full.len() - 1]).expect_err("must fail");
+        assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+        assert!(read_frame(&mut &[][..]).is_err());
+    }
+
+    #[test]
+    fn unparseable_frame_is_invalid_data() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(b"]!{[");
+        let err = read_frame(&mut &bytes[..]).expect_err("must fail");
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn signal_names_cover_the_common_deaths() {
+        assert_eq!(signal_name(6), "SIGABRT");
+        assert_eq!(signal_name(9), "SIGKILL");
+        assert_eq!(signal_name(11), "SIGSEGV");
+        assert_eq!(signal_name(24), "SIGXCPU");
+        assert_eq!(signal_name(63), "unknown");
+    }
+}

@@ -46,6 +46,9 @@ pub mod checkpoint;
 /// [`coverage::reference`] multi-pass extractor).
 pub mod coverage;
 mod globaltree;
+/// Out-of-process run isolation (`GOAT_ISOLATE=proc`): worker sandbox,
+/// crash forensics, and resource jails.
+pub mod isolate;
 /// The fused single-pass analysis data plane.
 pub mod plane;
 mod program;
@@ -60,6 +63,7 @@ pub use bandit::{Arm, ArmReport, Bandit, GuidedReward, GuidedSummary, GUIDED_EPS
 pub use checkpoint::{CampaignCheckpoint, CHECKPOINT_ENV};
 pub use coverage::{extract_coverage, extract_sync_pairs, RunCoverage};
 pub use globaltree::{GlobalGTree, GlobalNode};
+pub use isolate::{serve_worker, IsolateMode};
 pub use plane::{EctBuffers, TraceAnalysis};
 pub use program::{program_fn, FnProgram, Program};
 pub use report::{

@@ -16,6 +16,7 @@ pub fn bug_report(program: &str, verdict: &GoatVerdict, ect: &Ect) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "=== GoAT bug report: {program} ===");
     let _ = writeln!(out, "verdict: {verdict}");
+    out.push_str(&crash_detail_block(verdict));
     let _ = writeln!(out);
     let _ = writeln!(out, "--- goroutine tree ---");
     out.push_str(&tree.render(ect));
@@ -47,6 +48,22 @@ pub fn bug_report(program: &str, verdict: &GoatVerdict, ect: &Ect) -> String {
 }
 
 const TAIL: usize = 40;
+
+/// Render a crash verdict's forensics detail (panic site + backtrace, or
+/// a dead worker's signal/stderr post-mortem) as an indented block;
+/// empty for verdicts without detail, keeping historical reports
+/// byte-identical.
+fn crash_detail_block(verdict: &GoatVerdict) -> String {
+    let GoatVerdict::Crash { detail: Some(detail), .. } = verdict else {
+        return String::new();
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "--- crash forensics ---");
+    for line in detail.lines() {
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
 
 /// Render a Table III-style coverage table: one row per requirement,
 /// grouped by CU, with its covered/uncovered status.
@@ -234,10 +251,20 @@ pub fn campaign_report(program: &str, result: &crate::CampaignResult) -> String 
         }
     }
     let _ = writeln!(out);
-    if let (Some(verdict), Some(ect)) = (&result.bug, &result.bug_ect) {
-        out.push_str(&bug_report(program, verdict, ect));
-        let _ = writeln!(out, "--- trace statistics of the buggy run ---");
-        let _ = writeln!(out, "{}", goat_trace::TraceStats::of(ect));
+    match (&result.bug, &result.bug_ect) {
+        (Some(verdict), Some(ect)) => {
+            out.push_str(&bug_report(program, verdict, ect));
+            let _ = writeln!(out, "--- trace statistics of the buggy run ---");
+            let _ = writeln!(out, "{}", goat_trace::TraceStats::of(ect));
+        }
+        // A worker-process crash leaves no trace to render — the
+        // forensics block is the whole bug report.
+        (Some(verdict), None) => {
+            let _ = writeln!(out, "=== GoAT bug report: {program} ===");
+            let _ = writeln!(out, "verdict: {verdict}");
+            out.push_str(&crash_detail_block(verdict));
+        }
+        (None, _) => {}
     }
     let _ = writeln!(out, "--- coverage ---");
     out.push_str(&coverage_table(&result.universe, &result.covered));

@@ -13,7 +13,9 @@ use goat_detectors::{Detector, ProgramFn, ToolVerdict};
 use goat_metrics::{Histogram, HistogramSnapshot};
 use goat_model::{scan_sources, CoverageSet, CuTable, RequirementUniverse};
 use goat_runtime::pool::PoolStats;
-use goat_runtime::{go_internal, Chan, Config, RunOutcome, Runtime, SchedCounters, StrategyKind};
+use goat_runtime::{
+    go_internal, Chan, Config, RunOutcome, RunResult, Runtime, SchedCounters, StrategyKind,
+};
 use goat_trace::{Ect, GTree, TracePoolStats};
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
@@ -86,6 +88,15 @@ fn memo_key(fingerprint: u64, outcome: &RunOutcome) -> u64 {
         RunOutcome::InfraFailure { reason } => {
             fold(&mut h, &[6]);
             fold(&mut h, reason.as_bytes());
+        }
+        // Worker deaths never carry a trace, so no memo entry is ever
+        // stored for them; the arm exists for exhaustiveness and keys on
+        // the forensics that feed the verdict.
+        RunOutcome::Crashed { forensics } => {
+            fold(&mut h, &[7]);
+            fold(&mut h, &forensics.signal.unwrap_or(0).to_le_bytes());
+            fold(&mut h, &forensics.exit_code.unwrap_or(0).to_le_bytes());
+            fold(&mut h, forensics.summary.as_bytes());
         }
     }
     h
@@ -171,6 +182,18 @@ pub struct GoatConfig {
     /// [`goat_runtime::Config::spin`]; `None` leaves the runtime's own
     /// default (the `GOAT_SPIN` environment variable, 100 when unset).
     pub spin: Option<u32>,
+    /// Process-isolation mode: [`IsolateMode::Proc`] runs every
+    /// iteration inside a sandboxed worker subprocess (spawned from
+    /// [`GoatConfig::worker_cmd`]) so a crashing or leaky kernel cannot
+    /// take the campaign down. Defaults to the `GOAT_ISOLATE`
+    /// environment variable (off when unset). Reports and traces are
+    /// byte-identical to in-process execution for non-crashing runs.
+    pub isolate: crate::isolate::IsolateMode,
+    /// Worker binary for [`IsolateMode::Proc`] (invoked with a hidden
+    /// `--worker` argument). Defaults to the `GOAT_WORKER_CMD`
+    /// environment variable; `None` falls back to the current
+    /// executable.
+    pub worker_cmd: Option<String>,
 }
 
 impl Default for GoatConfig {
@@ -216,6 +239,10 @@ impl Default for GoatConfig {
                 .ok()
                 .and_then(|v| v.parse::<usize>().ok())
                 .filter(|n| *n >= 1),
+            isolate: crate::isolate::IsolateMode::from_env(),
+            worker_cmd: std::env::var(crate::isolate::WORKER_CMD_ENV)
+                .ok()
+                .filter(|v| !v.is_empty()),
         }
     }
 }
@@ -328,6 +355,19 @@ impl GoatConfig {
     /// Set (or clear) the coverage-saturation early-stop window.
     pub fn with_saturation_window(mut self, window: Option<usize>) -> Self {
         self.saturation_window = window.filter(|n| *n >= 1);
+        self
+    }
+
+    /// Set the process-isolation mode (overrides `GOAT_ISOLATE`).
+    pub fn with_isolate(mut self, mode: crate::isolate::IsolateMode) -> Self {
+        self.isolate = mode;
+        self
+    }
+
+    /// Set the worker binary for process isolation (overrides
+    /// `GOAT_WORKER_CMD`).
+    pub fn with_worker_cmd(mut self, cmd: impl Into<String>) -> Self {
+        self.worker_cmd = Some(cmd.into());
         self
     }
 
@@ -460,6 +500,10 @@ pub struct CampaignSummary {
     pub first_detection: Option<usize>,
     /// Symptom code of the detected bug (Table IV legend), if any.
     pub bug: Option<String>,
+    /// Crash forensics of the detected bug (panic site + backtrace, or a
+    /// dead worker's signal/stderr post-mortem); `Some` only when the
+    /// bug is a crash that captured detail.
+    pub bug_detail: Option<String>,
     /// Per-iteration `(coverage %, universe size, yields)` series.
     pub iterations: Vec<(f64, usize, u32)>,
     /// Final coverage percentage.
@@ -493,11 +537,19 @@ impl serde::Serialize for CampaignSummary {
         let mut fields = vec![
             ("first_detection".to_string(), self.first_detection.to_content()),
             ("bug".to_string(), self.bug.to_content()),
+        ];
+        // Like the supervision fields below: only crash bugs with
+        // captured forensics carry the key, so every historical report
+        // stays byte-identical.
+        if let Some(d) = &self.bug_detail {
+            fields.push(("bug_detail".to_string(), d.to_content()));
+        }
+        fields.extend([
             ("iterations".to_string(), self.iterations.to_content()),
             ("final_coverage_percent".to_string(), self.final_coverage_percent.to_content()),
             ("covered".to_string(), self.covered.to_content()),
             ("universe".to_string(), self.universe.to_content()),
-        ];
+        ]);
         if let Some(q) = &self.quarantined {
             fields.push(("quarantined".to_string(), q.to_content()));
         }
@@ -523,6 +575,7 @@ impl serde::Deserialize for CampaignSummary {
         Ok(CampaignSummary {
             first_detection: serde::de_field(fields, "first_detection")?,
             bug: serde::de_field(fields, "bug")?,
+            bug_detail: serde::de_field(fields, "bug_detail")?,
             iterations: serde::de_field(fields, "iterations")?,
             final_coverage_percent: serde::de_field(fields, "final_coverage_percent")?,
             covered: serde::de_field(fields, "covered")?,
@@ -552,6 +605,10 @@ impl CampaignResult {
         CampaignSummary {
             first_detection: self.first_detection,
             bug: self.bug.as_ref().map(|b| b.symptom().code()),
+            bug_detail: match &self.bug {
+                Some(GoatVerdict::Crash { detail: Some(d), .. }) => Some(d.clone()),
+                _ => None,
+            },
             iterations: self
                 .records
                 .iter()
@@ -1218,7 +1275,7 @@ impl Goat {
     /// the instrumented main and is signalled when it returns. The
     /// watcher is excluded from application-level analysis (§III-E), so
     /// this also exercises the runtime-goroutine filter on every run.
-    fn instrumented(program: Arc<dyn Program>) -> impl FnOnce() + Send + 'static {
+    pub(crate) fn instrumented(program: Arc<dyn Program>) -> impl FnOnce() + Send + 'static {
         move || {
             let goat_done: Chan<()> = Chan::new(1);
             {
@@ -1413,6 +1470,30 @@ impl Goat {
         })
     }
 
+    /// Execute one iteration, honouring the isolation mode: under
+    /// [`IsolateMode::Proc`] the run is shipped to a sandboxed worker
+    /// subprocess (same deterministic engine, byte-identical results);
+    /// in-process otherwise. When isolation is requested but unavailable
+    /// — the worker binary cannot be spawned, or the program is not
+    /// resolvable by name in a separate process — the run transparently
+    /// falls back in-process, which preserves results exactly.
+    ///
+    /// [`IsolateMode::Proc`]: crate::isolate::IsolateMode::Proc
+    fn run_one(&self, i: usize, program: &Arc<dyn Program>, arm: Option<&Arm>) -> RunResult {
+        let cfg = self.cfg.runtime_config(i, arm);
+        if self.cfg.isolate == crate::isolate::IsolateMode::Proc {
+            if let Some(result) = crate::isolate::run_in_worker(
+                self.cfg.worker_cmd.as_deref(),
+                program.name(),
+                (i + 1) as u64,
+                &cfg,
+            ) {
+                return result;
+            }
+        }
+        Runtime::run(cfg, Self::instrumented(Arc::clone(program)))
+    }
+
     /// One supervised iteration: run it, and when the *infrastructure*
     /// (not the kernel) failed — pool checkout, thread spawn — retry up
     /// to [`GoatConfig::max_retries`] times with bounded backoff. Kernel
@@ -1425,10 +1506,7 @@ impl Goat {
     ) -> goat_runtime::RunResult {
         let mut attempt: u32 = 0;
         loop {
-            let result = Runtime::run(
-                self.cfg.runtime_config(i, arm.as_ref()),
-                Self::instrumented(Arc::clone(program)),
-            );
+            let result = self.run_one(i, program, arm.as_ref());
             let RunOutcome::InfraFailure { reason } = &result.outcome else { return result };
             if attempt >= self.cfg.max_retries {
                 return result;

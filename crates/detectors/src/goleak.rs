@@ -85,6 +85,13 @@ impl GoleakDetector {
                 symptom: Symptom::Crash,
                 detail: format!("panic in {g}: {msg}"),
             },
+            // Unreachable for in-process detector runs, but the outcome
+            // taxonomy is shared with the isolated campaign runner.
+            RunOutcome::Crashed { forensics } => ToolVerdict {
+                detected: true,
+                symptom: Symptom::Crash,
+                detail: format!("worker crashed: {}", forensics.summary),
+            },
         };
         (verdict, leaks)
     }

@@ -85,6 +85,13 @@ impl Detector for BuiltinDetector {
                 symptom: Symptom::None,
                 detail: format!("infra failure: {reason}"),
             },
+            // Unreachable for in-process detector runs, but the outcome
+            // taxonomy is shared with the isolated campaign runner.
+            RunOutcome::Crashed { forensics } => ToolVerdict {
+                detected: true,
+                symptom: Symptom::Crash,
+                detail: format!("worker crashed: {}", forensics.summary),
+            },
             RunOutcome::Completed => ToolVerdict {
                 detected: false,
                 symptom: Symptom::None,

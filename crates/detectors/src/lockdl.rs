@@ -205,6 +205,13 @@ impl LockdlDetector {
                 symptom: Symptom::Crash,
                 detail: format!("panic in {g}: {msg}"),
             },
+            // Unreachable for in-process detector runs, but the outcome
+            // taxonomy is shared with the isolated campaign runner.
+            RunOutcome::Crashed { ref forensics } => ToolVerdict {
+                detected: true,
+                symptom: Symptom::Crash,
+                detail: format!("worker crashed: {}", forensics.summary),
+            },
             RunOutcome::Completed => ToolVerdict::clean(),
         };
         (verdict, reports)

@@ -41,7 +41,7 @@ impl ReplayLog {
 }
 
 /// The scheduling policy driving nondeterministic choices.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub enum SchedPolicy {
     /// Go-like native scheduling: FIFO global run queue with
     /// probability-ε preemption noise (the default; §III-A).
@@ -70,7 +70,7 @@ pub enum SchedPolicy {
 /// let cfg = Config::new(42).with_delay_bound(3).with_trace(true);
 /// assert_eq!(cfg.delay_bound, 3);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Config {
     /// RNG seed; equal seeds give identical executions.
     pub seed: u64,
@@ -246,7 +246,7 @@ impl Default for Config {
 }
 
 /// Which watchdog escalation stage ended a [`RunOutcome::TimedOut`] run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TimeoutPhase {
     /// The run blew its soft deadline but a goroutine still reached the
     /// scheduler gate, so the runtime unwound it cooperatively — clean
@@ -267,8 +267,32 @@ impl fmt::Display for TimeoutPhase {
     }
 }
 
+/// Post-mortem of a worker process that died under process isolation.
+///
+/// Filled in by the orchestrator side of `GOAT_ISOLATE=proc` when a
+/// sandboxed worker exits (or is killed) instead of answering a run
+/// request; the payload travels inside [`RunOutcome::Crashed`] so the
+/// campaign layer can report *why* the process died without sharing its
+/// address space.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashForensics {
+    /// Signal number that terminated the worker, when it died by signal.
+    pub signal: Option<i32>,
+    /// Exit code, when the worker exited (abnormally) on its own.
+    pub exit_code: Option<i32>,
+    /// Tail of the worker's stderr (last lines, truncated) — panics,
+    /// abort messages, and sanitizer output land here.
+    pub stderr_tail: String,
+    /// Last iteration the worker acknowledged before dying (`None` when
+    /// it died before acknowledging this run).
+    pub last_ack_iter: Option<u64>,
+    /// Orchestrator-side summary of the death ("killed by signal 6
+    /// (SIGABRT)", "no heartbeat within 5000 ms", …).
+    pub summary: String,
+}
+
 /// How a run ended.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RunOutcome {
     /// The main goroutine returned normally (leaked goroutines, if any,
     /// are discovered by offline analysis of the trace).
@@ -304,6 +328,14 @@ pub enum RunOutcome {
         /// What broke.
         reason: String,
     },
+    /// The sandboxed worker process hosting the run died (signal, abort,
+    /// rlimit kill, or missed heartbeats) under `GOAT_ISOLATE=proc`.
+    /// Unlike [`RunOutcome::InfraFailure`] this *is* attributed to the
+    /// kernel under test: it feeds the crash streak and quarantine.
+    Crashed {
+        /// Post-mortem collected by the orchestrator.
+        forensics: CrashForensics,
+    },
 }
 
 impl RunOutcome {
@@ -326,6 +358,9 @@ impl fmt::Display for RunOutcome {
                 write!(f, "wall-clock watchdog fired ({phase}, {elapsed_ms} ms)")
             }
             RunOutcome::InfraFailure { reason } => write!(f, "infra failure: {reason}"),
+            RunOutcome::Crashed { forensics } => {
+                write!(f, "worker crashed: {}", forensics.summary)
+            }
         }
     }
 }
@@ -374,7 +409,7 @@ impl SchedCounters {
 }
 
 /// Information about a goroutine still alive when the run ended.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AliveGoroutine {
     /// The goroutine.
     pub g: Gid,
@@ -388,7 +423,7 @@ pub struct AliveGoroutine {
 }
 
 /// The result of one execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
     /// How the run ended.
     pub outcome: RunOutcome,
@@ -423,6 +458,10 @@ pub struct RunResult {
     /// operations. [`goat_trace::tracebuf::FP_SEED`] when tracing was
     /// disabled.
     pub fingerprint: u64,
+    /// Crash forensics for a [`RunOutcome::Panicked`] run: the panic
+    /// site plus (when `RUST_BACKTRACE` enables capture) a truncated
+    /// backtrace. `None` for non-panicking runs.
+    pub panic_detail: Option<String>,
 }
 
 impl RunResult {

@@ -24,6 +24,9 @@
 //! | `iter`          | `wedge` | `seed=N`    | run N's main stalls **outside** runtime primitives (hard watchdog path) |
 //! | `iter`          | `spin`  | `seed=N`    | run N's main yields forever **inside** the scheduler (cooperative watchdog path) |
 //! | `iter`          | `panic` | `seed=N`    | run N's main panics (kernel-crash path)       |
+//! | `worker`        | `kill`  | `<sig>[@seed=N]` | isolated worker raises signal `<sig>` on run N (worker-death forensics path) |
+//! | `worker`        | `wedge` | `seed=N`    | isolated worker stops heartbeating on run N (outside-SIGKILL path) |
+//! | `worker`        | `garbage-frame` | `seed=N` | isolated worker answers run N with a corrupt frame (protocol-recovery path) |
 //!
 //! (`sink:err[:after=N]` is honoured by `goat-metrics`' JSONL sink,
 //! which sits below this crate; the grammar is shared.)
@@ -57,12 +60,29 @@ pub enum SeedFault {
     Panic,
 }
 
+/// A fault fired inside an isolated worker process (`GOAT_ISOLATE=proc`)
+/// when it receives the run whose seed matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// Raise the given signal on the worker process (worker-death path).
+    Kill(i32),
+    /// Stop heartbeating without answering — the orchestrator's
+    /// no-heartbeat deadline must SIGKILL the worker from outside.
+    Wedge,
+    /// Answer with a corrupt frame (protocol-recovery path).
+    Garbage,
+}
+
 #[derive(Debug, Clone)]
 enum Action {
     /// Fail with the given probability per draw.
     Err { prob: f64 },
     /// Fire a [`SeedFault`] on the run whose seed matches.
     OnSeed { fault: SeedFault, seed: Option<u64> },
+    /// Isolated worker raises `sig` on itself for the matching run.
+    WorkerKill { sig: i32, seed: Option<u64> },
+    /// Isolated worker answers the matching run with a corrupt frame.
+    GarbageFrame { seed: Option<u64> },
 }
 
 #[derive(Debug, Clone)]
@@ -73,6 +93,10 @@ struct Spec {
 
 struct Plan {
     specs: Vec<Spec>,
+    /// The raw spec string the plan was parsed from, so an orchestrator
+    /// can propagate the active plan into isolated worker subprocesses
+    /// via their environment (see [`current_spec`]).
+    raw: String,
     rng: Mutex<SmallRng>,
 }
 
@@ -118,6 +142,23 @@ fn parse_spec(one: &str) -> Option<Spec> {
             };
             Action::OnSeed { fault, seed }
         }
+        "kill" => {
+            // `worker:kill:<sig>` or `worker:kill:<sig>@seed=N`.
+            let p = param?;
+            let (sig, seed) = match p.split_once("@seed=") {
+                Some((sig, seed)) => (sig.trim(), Some(seed.parse::<u64>().ok()?)),
+                None => (p, None),
+            };
+            let sig = sig.parse::<i32>().ok().filter(|&s| (1..=64).contains(&s))?;
+            Action::WorkerKill { sig, seed }
+        }
+        "garbage-frame" => {
+            let seed = match param {
+                None => None,
+                Some(p) => Some(p.strip_prefix("seed=").unwrap_or(p).parse::<u64>().ok()?),
+            };
+            Action::GarbageFrame { seed }
+        }
         _ => return None,
     };
     Some(Spec { site: site.to_string(), action })
@@ -132,7 +173,7 @@ fn parse_plan(raw: &str) -> Plan {
         }
     }
     let seed = std::env::var(FAULT_SEED_ENV).ok().and_then(|v| v.parse().ok()).unwrap_or(0);
-    Plan { specs, rng: Mutex::new(SmallRng::seed_from_u64(seed)) }
+    Plan { specs, raw: raw.to_string(), rng: Mutex::new(SmallRng::seed_from_u64(seed)) }
 }
 
 fn install_locked(slot: &mut Option<&'static Plan>, plan: Option<Plan>) {
@@ -252,6 +293,43 @@ pub fn seed_fault(site: &str, seed: u64) -> Option<SeedFault> {
     .flatten()
 }
 
+/// Seed-keyed worker fault for isolated runs (a spec without a seed
+/// fires on every run); `Some` when the worker hosting this seed must
+/// die, wedge, or corrupt its answer. Consulted by the worker itself on
+/// receipt of a run request, so the fault fires deterministically inside
+/// the sandbox regardless of which pool slot picked the run up.
+pub fn worker_fault(seed: u64) -> Option<WorkerFault> {
+    with_plan(|plan| {
+        for spec in &plan.specs {
+            if spec.site != "worker" {
+                continue;
+            }
+            let (fault, want) = match spec.action {
+                Action::WorkerKill { sig, seed: want } => (WorkerFault::Kill(sig), want),
+                Action::OnSeed { fault: SeedFault::Wedge, seed: want } => {
+                    (WorkerFault::Wedge, want)
+                }
+                Action::GarbageFrame { seed: want } => (WorkerFault::Garbage, want),
+                _ => continue,
+            };
+            if want.is_none_or(|w| w == seed) {
+                note_injected("worker", &format!("injected fault: worker:{fault:?} seed={seed}"));
+                return Some(fault);
+            }
+        }
+        None
+    })
+    .flatten()
+}
+
+/// The raw spec string of the active fault plan, whether it came from
+/// `GOAT_FAULT` or a [`scoped`] installation. Orchestrators use this to
+/// re-inject the plan into isolated worker subprocesses (which otherwise
+/// would not see a test's in-process scoped plan).
+pub fn current_spec() -> Option<String> {
+    with_plan(|plan| plan.raw.clone())
+}
+
 /// Serializes scoped fault installations so concurrently running tests
 /// cannot see each other's plans.
 static SCOPE: Mutex<()> = Mutex::new(());
@@ -318,6 +396,52 @@ mod tests {
         }
         assert!(should_fail("pool_checkout").is_none());
         assert_eq!(seed_fault("iter", 5), None);
+    }
+
+    #[test]
+    fn parses_worker_profiles() {
+        let plan = parse_plan("worker:kill:6@seed=11,worker:wedge:seed=3,worker:garbage-frame");
+        assert_eq!(plan.specs.len(), 3);
+        assert!(matches!(plan.specs[0].action, Action::WorkerKill { sig: 6, seed: Some(11) }));
+        assert!(matches!(
+            plan.specs[1].action,
+            Action::OnSeed { fault: SeedFault::Wedge, seed: Some(3) }
+        ));
+        assert!(matches!(plan.specs[2].action, Action::GarbageFrame { seed: None }));
+        // Malformed worker specs are dropped, not misparsed.
+        assert!(parse_spec("worker:kill").is_none());
+        assert!(parse_spec("worker:kill:notasig").is_none());
+        assert!(parse_spec("worker:kill:99").is_none());
+        assert!(parse_spec("worker:garbage-frame:seed=x").is_none());
+    }
+
+    #[test]
+    fn worker_faults_fire_by_seed() {
+        {
+            let _g = scoped("worker:kill:9@seed=4,worker:garbage-frame:seed=7");
+            assert_eq!(worker_fault(4), Some(WorkerFault::Kill(9)));
+            assert_eq!(worker_fault(7), Some(WorkerFault::Garbage));
+            assert_eq!(worker_fault(5), None);
+            // `iter` faults never leak into the worker site.
+            assert_eq!(seed_fault("iter", 4), None);
+        }
+        assert_eq!(worker_fault(4), None);
+    }
+
+    #[test]
+    fn worker_wedge_maps_onto_worker_fault() {
+        let _g = scoped("worker:wedge:seed=2");
+        assert_eq!(worker_fault(2), Some(WorkerFault::Wedge));
+        assert_eq!(worker_fault(3), None);
+    }
+
+    #[test]
+    fn current_spec_reflects_scoped_plan() {
+        {
+            let _g = scoped("worker:kill:6@seed=1");
+            assert_eq!(current_spec().as_deref(), Some("worker:kill:6@seed=1"));
+        }
+        assert_eq!(current_spec(), None);
     }
 
     #[test]

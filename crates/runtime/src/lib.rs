@@ -63,8 +63,8 @@ pub mod time;
 
 pub use chan::{Chan, RangeIter};
 pub use config::{
-    AliveGoroutine, Config, Decision, ReplayLog, RunOutcome, RunResult, SchedCounters, SchedPolicy,
-    TimeoutPhase,
+    AliveGoroutine, Config, CrashForensics, Decision, ReplayLog, RunOutcome, RunResult,
+    SchedCounters, SchedPolicy, TimeoutPhase,
 };
 pub use monitor::{Monitor, NullMonitor};
 pub use rt::{gid, go, go_internal, go_named, gosched, Runtime};

@@ -46,20 +46,61 @@ pub(crate) struct ShutdownSignal;
 /// Panic payload for Go-level runtime panics ("send on closed channel").
 pub(crate) struct GoPanic {
     pub msg: String,
+    /// Call site of the `gopanic` that raised this panic (deterministic
+    /// forensics: the same seed panics at the same source location).
+    pub site: &'static panic::Location<'static>,
 }
 
 /// Raise a Go-level panic (crashes the whole program, like Go).
+#[track_caller]
 pub(crate) fn gopanic(msg: impl Into<String>) -> ! {
-    panic::panic_any(GoPanic { msg: msg.into() })
+    panic::panic_any(GoPanic { msg: msg.into(), site: panic::Location::caller() })
 }
 
 pub(crate) fn shutdown_unwind() -> ! {
     panic::panic_any(ShutdownSignal)
 }
 
+thread_local! {
+    /// Forensics captured by the panic hook for the most recent *genuine*
+    /// panic on this thread (location + truncated backtrace). The hook
+    /// runs on the panicking thread, so `goroutine_main`'s catch site can
+    /// read it back without any cross-thread plumbing.
+    static LAST_PANIC_DETAIL: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Cap on backtrace lines folded into a panic's forensics detail.
+const PANIC_BACKTRACE_LINES: usize = 16;
+
+/// Render a genuine panic's forensics: the panic location, plus a
+/// truncated backtrace when `RUST_BACKTRACE` enables capture (the
+/// default — capture disabled — keeps the detail deterministic).
+fn render_panic_detail(info: &panic::PanicHookInfo<'_>) -> String {
+    let mut detail = match info.location() {
+        Some(loc) => format!("panicked at {}:{}:{}", loc.file(), loc.line(), loc.column()),
+        None => "panicked at unknown location".to_string(),
+    };
+    let bt = std::backtrace::Backtrace::capture();
+    if bt.status() == std::backtrace::BacktraceStatus::Captured {
+        let text = bt.to_string();
+        let mut lines = text.lines();
+        for line in lines.by_ref().take(PANIC_BACKTRACE_LINES) {
+            detail.push('\n');
+            detail.push_str(line);
+        }
+        let dropped = lines.count();
+        if dropped > 0 {
+            detail.push_str(&format!("\n... ({dropped} more backtrace lines)"));
+        }
+    }
+    detail
+}
+
 /// Install a process-wide panic hook that silences the runtime's
 /// controlled unwinds (shutdown signals and Go-level panics) while
-/// delegating genuine panics to the previous hook.
+/// delegating genuine panics to the previous hook. Genuine panics also
+/// leave their forensics (location + truncated backtrace) in a
+/// thread-local for the goroutine catch site to collect.
 fn install_panic_hook() {
     use std::sync::Once;
     static HOOK: Once = Once::new();
@@ -70,6 +111,8 @@ fn install_panic_hook() {
             if p.is::<ShutdownSignal>() || p.is::<GoPanic>() {
                 return;
             }
+            let detail = render_panic_detail(info);
+            LAST_PANIC_DETAIL.with(|d| *d.borrow_mut() = Some(detail));
             prev(info);
         }));
     });
@@ -183,6 +226,10 @@ pub(crate) struct Sched {
     /// Alive-goroutine snapshot taken at the moment the outcome was
     /// decided (before shutdown unwinding marks everything done).
     alive_snapshot: Option<Vec<AliveGoroutine>>,
+    /// Forensics for the panic that decided the outcome (call site and,
+    /// when enabled, a truncated backtrace); exported through
+    /// [`RunResult::panic_detail`].
+    panic_detail: Option<String>,
     /// Main returned; the scheduler is draining runnable goroutines
     /// before declaring the run complete.
     main_exited: bool,
@@ -235,6 +282,7 @@ impl Sched {
             yields_injected: 0,
             monitor,
             alive_snapshot: None,
+            panic_detail: None,
             main_exited: false,
             decision_log: Vec::new(),
             replay_cursor: 0,
@@ -797,15 +845,25 @@ fn spawn_goroutine(rt: &Arc<RtShared>, gid: Gid, body: Box<dyn FnOnce() + Send +
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Decode a caught panic payload into (message, forensics detail).
+///
+/// Go-level panics carry their own call site (deterministic); genuine
+/// Rust panics read the location + backtrace the hook left in the
+/// thread-local on this same thread.
+fn panic_forensics(payload: Box<dyn std::any::Any + Send>) -> (String, Option<String>) {
     if let Some(gp) = payload.downcast_ref::<GoPanic>() {
-        gp.msg.clone()
-    } else if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
+        let detail = format!("go panic at {}:{}", gp.site.file(), gp.site.line());
+        (gp.msg.clone(), Some(detail))
     } else {
-        "panic".to_string()
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic".to_string()
+        };
+        let detail = LAST_PANIC_DETAIL.with(|d| d.borrow_mut().take());
+        (msg, detail)
     }
 }
 
@@ -850,10 +908,13 @@ fn goroutine_main(rt: Arc<RtShared>, gid: Gid, body: Box<dyn FnOnce() + Send + '
                     let mut s = rt.state.lock();
                     s.slot_mut(gid).state = GState::Done;
                 } else {
-                    let msg = panic_message(payload);
+                    let (msg, detail) = panic_forensics(payload);
                     rt.tb.push(gid, EventKind::GoStop, None);
                     let mut s = rt.state.lock();
                     s.slot_mut(gid).state = GState::Done;
+                    if s.outcome.is_none() {
+                        s.panic_detail = detail;
+                    }
                     rt.finish(&mut s, RunOutcome::Panicked { g: gid, msg });
                 }
             }
@@ -1086,8 +1147,10 @@ impl Runtime {
             .filter(|a| !a.internal)
             .collect();
         let schedule = ReplayLog { decisions: std::mem::take(&mut s.decision_log) };
+        let panic_detail = s.panic_detail.take();
         let result = RunResult {
             outcome,
+            panic_detail,
             ect,
             fingerprint,
             steps: s.steps,

@@ -44,7 +44,7 @@ pub const PCT_DEFAULT_LENGTH: u32 = 512;
 /// Parsed from `GOAT_STRATEGY` (`native`, `random`, `pct`,
 /// `pct:<depth>`, `pct:<depth>:<length>`); the unset default is
 /// [`StrategyKind::Native`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum StrategyKind {
     /// FIFO + ε preemption noise + delay-bounded yield injection.
     #[default]

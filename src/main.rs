@@ -41,6 +41,8 @@ struct Cli {
     spin: Option<u32>,
     memo: Option<String>,
     trace_pool_max: Option<usize>,
+    // Process isolation (flag wins over GOAT_ISOLATE).
+    isolate: Option<goat::core::IsolateMode>,
 }
 
 /// Set `name` only when the environment does not already define it.
@@ -69,6 +71,7 @@ fn parse_args() -> Result<Cli, String> {
         spin: None,
         memo: None,
         trace_pool_max: None,
+        isolate: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -125,6 +128,13 @@ fn parse_args() -> Result<Cli, String> {
             }
             "-trace-pool-max" | "--trace-pool-max" => {
                 cli.trace_pool_max = Some(num("-trace-pool-max", take("-trace-pool-max")?)?)
+            }
+            "-isolate" | "--isolate" => {
+                let v = take("-isolate")?;
+                cli.isolate = Some(
+                    goat::core::IsolateMode::parse(&v)
+                        .ok_or_else(|| format!("-isolate: expected off|proc, got {v}"))?,
+                );
             }
             "-h" | "--help" => {
                 print_help();
@@ -186,8 +196,19 @@ fn campaign_config(cli: &Cli) -> GoatConfig {
     if let Some(w) = cli.saturation_window {
         cfg = cfg.with_saturation_window(Some(w));
     }
+    if let Some(m) = cli.isolate {
+        cfg = cfg.with_isolate(m);
+    }
     cfg
 }
+
+/// Exit code for a usage error (bad flags, unknown kernel) — EX_USAGE.
+const EXIT_USAGE: u8 = 64;
+/// Exit code when a campaign was quarantined or otherwise could not
+/// deliver a verdict (infra failure).
+const EXIT_INFRA: u8 = 2;
+/// Exit code when a bug was detected (like a failing test).
+const EXIT_BUG: u8 = 1;
 
 /// Derive a kernel-specific checkpoint sidecar from the base path the
 /// user supplied: `cp.json` → `cp.<kernel>.json` (no extension:
@@ -230,7 +251,12 @@ fn print_help() {
          \x20 -memo <off|on|verify>     duplicate-schedule analysis memoization; verify\n\
          \x20                           re-analyzes hits and asserts equality (GOAT_MEMO)\n\
          \x20 -trace-pool-max <int>     recycled trace buffers kept per process\n\
-         \x20                           (GOAT_TRACE_POOL_MAX, default 32)"
+         \x20                           (GOAT_TRACE_POOL_MAX, default 32)\n\n\
+         process isolation (flag overrides the GOAT_ISOLATE env knob):\n\
+         \x20 -isolate <off|proc>       run each iteration in a sandboxed worker\n\
+         \x20                           subprocess with crash forensics and rlimit\n\
+         \x20                           jails (GOAT_ISOLATE; default off)\n\n\
+         exit codes: 0 clean, 1 bug detected, 2 quarantined/infra failure, 64 usage"
     );
 }
 
@@ -246,12 +272,22 @@ impl Program for KernelProgram {
 }
 
 fn main() -> ExitCode {
+    // Hidden worker mode: `goat --worker` serves sandboxed runs over
+    // stdin/stdout for a `GOAT_ISOLATE=proc` orchestrator. Intercepted
+    // before flag parsing so the frame protocol owns the process.
+    if std::env::args().nth(1).as_deref() == Some("--worker") {
+        let code = goat::core::serve_worker(&|name| {
+            goat::goker::by_name(name).map(|k| Arc::new(KernelProgram(k)) as Arc<dyn Program>)
+        });
+        return ExitCode::from(code.clamp(0, 255) as u8);
+    }
+
     let cli = match parse_args() {
         Ok(c) => c,
         Err(e) => {
             eprintln!("goat: {e}\n");
             print_help();
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
 
@@ -272,6 +308,7 @@ fn main() -> ExitCode {
     if cli.target == "all" {
         // The paper's `-eval_conf … -freq` whole-benchmark run.
         let mut detected = 0usize;
+        let mut quarantined = 0usize;
         for kernel in goat::goker::all_kernels() {
             let mut cfg = campaign_config(&cli);
             // One shared sidecar across 68 kernels would fingerprint-
@@ -289,6 +326,7 @@ fn main() -> ExitCode {
             // for the next kernel's campaign.
             result.recycle_bug_trace();
             if let Some(reason) = &result.quarantined {
+                quarantined += 1;
                 println!(
                     "{:<18} QUARANTINED ({reason}; {} iteration(s) skipped)",
                     kernel.name, result.skipped
@@ -318,12 +356,18 @@ fn main() -> ExitCode {
 detected {detected}/68 at D={} within {} iterations",
             cli.d, cli.freq
         );
-        return if detected == 68 { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        return if quarantined > 0 {
+            ExitCode::from(EXIT_INFRA)
+        } else if detected == 68 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(EXIT_BUG)
+        };
     }
 
     let Some(kernel) = goat::goker::by_name(&cli.target) else {
         eprintln!("goat: unknown kernel '{}'; try -target list or -target all", cli.target);
-        return ExitCode::from(2);
+        return ExitCode::from(EXIT_USAGE);
     };
 
     println!(
@@ -349,7 +393,19 @@ detected {detected}/68 at D={} within {} iterations",
             );
             println!("{}", bug_report(kernel.name, verdict, ect));
         }
-        _ => println!(
+        // A worker crash leaves no trace to report — the evidence is
+        // the forensics (signal, stderr tail) carried by the verdict.
+        (Some(verdict), None) => {
+            println!(
+                "\nbug detected on iteration {} (no trace: the sandboxed worker died)\n",
+                result.first_detection.expect("detected"),
+            );
+            println!("== {} ==\nverdict: {verdict}", kernel.name);
+            if let Some(detail) = result.summary().bug_detail {
+                println!("--- crash forensics ---\n{detail}");
+            }
+        }
+        (None, _) => println!(
             "\nno bug detected in {} iterations (final coverage {:.1}%)",
             result.records.len(),
             result.coverage_percent()
@@ -365,7 +421,9 @@ detected {detected}/68 at D={} within {} iterations",
     result.recycle_bug_trace();
 
     if result.detected() {
-        ExitCode::FAILURE // bug found: nonzero, like a failing test
+        ExitCode::from(EXIT_BUG) // bug found: nonzero, like a failing test
+    } else if result.quarantined.is_some() {
+        ExitCode::from(EXIT_INFRA) // no verdict: the campaign was cut short
     } else {
         ExitCode::SUCCESS
     }

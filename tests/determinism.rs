@@ -286,3 +286,123 @@ fn traces_are_well_formed_across_the_suite() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Process-isolation equivalence: `GOAT_ISOLATE=proc` is a robustness
+// feature, not a semantic one — the full Config travels in the Run
+// frame, so a sandboxed worker must return bit-for-bit the result an
+// in-process run produces, and campaign reports must not change.
+// ---------------------------------------------------------------------
+
+use goat::core::IsolateMode;
+
+fn isolated_summary_json(
+    kernel: &'static goat::goker::BugKernel,
+    d: u32,
+    seed0: u64,
+    iterations: usize,
+    stop_on_bug: bool,
+    isolate: IsolateMode,
+) -> String {
+    let mut cfg = GoatConfig::default()
+        .with_delay_bound(d)
+        .with_iterations(iterations)
+        .with_seed0(seed0)
+        .with_isolate(isolate)
+        .with_worker_cmd(env!("CARGO_BIN_EXE_goat"));
+    if !stop_on_bug {
+        cfg = cfg.keep_running();
+    }
+    Goat::new(cfg)
+        .test(Arc::new(KernelProgram(kernel)))
+        .to_json_summary()
+        .expect("summary serializes")
+}
+
+#[test]
+fn campaign_summaries_identical_with_process_isolation() {
+    for (name, d, seed0, iterations, stop_on_bug) in [
+        ("moby28462", 2u32, 7u64, 12usize, true),
+        ("etcd6708", 1, 11, 12, false),
+        ("grpc1424", 0, 3, 10, false),
+    ] {
+        let kernel = goat::goker::by_name(name).expect("kernel");
+        let off =
+            isolated_summary_json(kernel, d, seed0, iterations, stop_on_bug, IsolateMode::Off);
+        let proc_ =
+            isolated_summary_json(kernel, d, seed0, iterations, stop_on_bug, IsolateMode::Proc);
+        assert_eq!(
+            off, proc_,
+            "{name}: campaign report must be byte-identical across isolation modes"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint/resume under isolation: SIGKILLing the *orchestrator* of
+// an isolated campaign mid-flight (workers and all) and resuming from
+// its sidecar must still produce a byte-identical report.
+// ---------------------------------------------------------------------
+
+const ISO_KILL_ITERATIONS: usize = 400;
+
+fn iso_kill_campaign(checkpoint: Option<&std::path::Path>) -> String {
+    let kernel = goat::goker::by_name(KILL_KERNEL).expect("kernel");
+    let mut cfg = GoatConfig::default()
+        .with_delay_bound(1)
+        .with_iterations(ISO_KILL_ITERATIONS)
+        .with_seed0(KILL_SEED0)
+        .keep_running()
+        .with_checkpoint_every(1)
+        .with_isolate(IsolateMode::Proc)
+        .with_worker_cmd(env!("CARGO_BIN_EXE_goat"));
+    if let Some(path) = checkpoint {
+        cfg = cfg.with_checkpoint(path);
+    }
+    Goat::new(cfg)
+        .test(Arc::new(KernelProgram(kernel)))
+        .to_json_summary()
+        .expect("summary serializes")
+}
+
+#[test]
+fn sigkilled_isolated_campaign_resumes_byte_identically() {
+    // Child mode: run the isolated checkpointing campaign until the
+    // parent SIGKILLs us (taking our workers down too).
+    if std::env::var("GOAT_DETERMINISM_ISO_CHILD").is_ok() {
+        let path = std::env::var("GOAT_DETERMINISM_CKPT").expect("checkpoint path");
+        iso_kill_campaign(Some(std::path::Path::new(&path)));
+        return;
+    }
+
+    let dir = std::env::temp_dir().join(format!("goat-iso-kill-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let ckpt = dir.join("campaign.json");
+    let _ = std::fs::remove_file(&ckpt);
+
+    // Reference: the identical isolated campaign, uninterrupted.
+    let reference = iso_kill_campaign(None);
+
+    let exe = std::env::current_exe().expect("test binary");
+    let mut child = std::process::Command::new(exe)
+        .args(["sigkilled_isolated_campaign_resumes_byte_identically", "--exact", "--nocapture"])
+        .env("GOAT_DETERMINISM_ISO_CHILD", "1")
+        .env("GOAT_DETERMINISM_CKPT", &ckpt)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child campaign");
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    child.kill().expect("SIGKILL the campaign"); // SIGKILL on unix
+    let _ = child.wait();
+
+    // Resume from whatever the child persisted; the fingerprint covers
+    // the isolation mode, so the sidecar is accepted only by a proc-mode
+    // resume of the same campaign.
+    let resumed = iso_kill_campaign(Some(&ckpt));
+    assert_eq!(
+        reference, resumed,
+        "isolated campaign resumed after SIGKILL must be byte-identical to the uninterrupted one"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

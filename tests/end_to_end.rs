@@ -147,3 +147,107 @@ fn static_and_dynamic_cu_models_agree_on_listing1() {
     }
     assert!(missing.is_empty(), "dynamic CUs missing from static model: {missing:?}");
 }
+
+// ---------------------------------------------------------------------
+// Process isolation (GOAT_ISOLATE=proc): a dying worker must be
+// autopsied into crash forensics, replaced, and survived — one crashing
+// seed must never take the campaign down with it.
+// ---------------------------------------------------------------------
+
+use goat::core::{IsolateMode, Program};
+use goat::runtime::faultpoint;
+
+struct KernelProgram(&'static goat::goker::BugKernel);
+
+impl Program for KernelProgram {
+    fn name(&self) -> &str {
+        Program::name(self.0)
+    }
+    fn main(&self) {
+        Program::main(self.0)
+    }
+}
+
+/// Run an isolated campaign whose iteration-1 worker is killed by `sig`
+/// through the `worker:kill` fault profile.
+fn worker_death_campaign(sig: i32) -> goat::core::CampaignResult {
+    let kernel = goat::goker::by_name("moby28462").expect("kernel");
+    let _plan = faultpoint::scoped(&format!("worker:kill:{sig}@seed=1"));
+    let cfg = GoatConfig::default()
+        .with_iterations(6)
+        .with_seed0(1)
+        .keep_running()
+        .with_isolate(IsolateMode::Proc)
+        .with_worker_cmd(env!("CARGO_BIN_EXE_goat"));
+    Goat::new(cfg).test(Arc::new(KernelProgram(kernel)))
+}
+
+#[test]
+fn sigabrt_worker_death_is_survived_with_forensics() {
+    let spawned_before = goat::metrics::global().counter("isolate.workers_spawned").get();
+    let result = worker_death_campaign(6);
+    // The campaign survived the dead worker and ran its full budget.
+    assert_eq!(result.records.len(), 6, "remaining iterations completed");
+    assert_eq!(result.first_detection, Some(1));
+    let Some(GoatVerdict::Crash { msg, detail }) = &result.bug else {
+        panic!("expected a crash verdict, got {:?}", result.bug);
+    };
+    assert!(msg.contains("killed by signal 6 (SIGABRT)"), "{msg}");
+    let detail = detail.as_ref().expect("crash forensics detail");
+    assert!(detail.contains("stderr tail:"), "{detail}");
+    assert!(detail.contains("injected fault: raising signal 6"), "{detail}");
+    // Only iteration 1 crashed; a replacement worker served the rest.
+    for rec in &result.records[1..] {
+        assert!(!matches!(rec.verdict, GoatVerdict::Crash { .. }), "{:?}", rec.verdict);
+    }
+    let spawned_after = goat::metrics::global().counter("isolate.workers_spawned").get();
+    assert!(spawned_after - spawned_before >= 2, "the dead worker was replaced");
+    // The forensics detail reaches the machine-readable summary.
+    let summary = result.to_json_summary().expect("summary");
+    assert!(summary.contains("\"bug_detail\""), "{summary}");
+    assert!(summary.contains("SIGABRT"), "{summary}");
+}
+
+#[test]
+fn sigsegv_worker_death_is_survived_with_forensics() {
+    let result = worker_death_campaign(11);
+    assert_eq!(result.records.len(), 6, "remaining iterations completed");
+    let Some(GoatVerdict::Crash { msg, .. }) = &result.bug else {
+        panic!("expected a crash verdict, got {:?}", result.bug);
+    };
+    assert!(msg.contains("killed by signal 11 (SIGSEGV)"), "{msg}");
+}
+
+// ---------------------------------------------------------------------
+// CLI exit codes: 0 clean, 1 bug detected, 2 quarantined/infra failure,
+// 64 usage error.
+// ---------------------------------------------------------------------
+
+fn goat_cli() -> std::process::Command {
+    let mut c = std::process::Command::new(env!("CARGO_BIN_EXE_goat"));
+    c.stdout(std::process::Stdio::null()).stderr(std::process::Stdio::null());
+    c
+}
+
+#[test]
+fn cli_exit_codes_are_distinct_per_outcome() {
+    // 64: usage errors — a bad flag, and an unknown kernel.
+    assert_eq!(goat_cli().arg("-bogus").status().expect("run").code(), Some(64));
+    let unknown = goat_cli().args(["-target", "no-such-kernel"]).status().expect("run");
+    assert_eq!(unknown.code(), Some(64));
+    // 0: a clean campaign (no detection within the budget).
+    let clean = goat_cli().args(["-target", "grpc1424", "-freq", "1", "-seed", "1"]).status();
+    assert_eq!(clean.expect("run").code(), Some(0));
+    // 1: a bug detected.
+    let bug = goat_cli().args(["-target", "moby28462", "-freq", "5", "-seed", "1"]).status();
+    assert_eq!(bug.expect("run").code(), Some(1));
+    // 2: quarantined without a verdict — every isolated run corrupts
+    // its result frame, retries exhaust, and the infra streak trips.
+    let quarantined = goat_cli()
+        .args(["-target", "grpc1424", "-freq", "6", "-seed", "1", "-isolate", "proc"])
+        .args(["-quarantine-after", "2", "-max-retries", "1"])
+        .env("GOAT_FAULT", "worker:garbage-frame")
+        .status()
+        .expect("run");
+    assert_eq!(quarantined.code(), Some(2));
+}

@@ -66,7 +66,7 @@ fn faulted_campaign_completes_with_correct_accounting() {
                 rec.verdict
             ),
             112 => match &rec.verdict {
-                GoatVerdict::Crash { msg } => {
+                GoatVerdict::Crash { msg, .. } => {
                     assert!(msg.contains("injected fault"), "{msg}")
                 }
                 other => panic!("panic seed must record Crash, got {other}"),
