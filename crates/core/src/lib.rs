@@ -57,13 +57,16 @@ mod report;
 /// and passing executions.
 pub mod rootcause;
 mod runner;
+/// Binary frame codec for the process-isolation data plane
+/// (`GOAT_IPC=bin`).
+pub mod wire;
 
 pub use analysis::{analyze_run, analyze_run_with, crosscheck, deadlock_check, GoatVerdict};
 pub use bandit::{Arm, ArmReport, Bandit, GuidedReward, GuidedSummary, GUIDED_EPSILON, GUIDED_LAG};
 pub use checkpoint::{CampaignCheckpoint, CHECKPOINT_ENV};
 pub use coverage::{extract_coverage, extract_sync_pairs, RunCoverage};
 pub use globaltree::{GlobalGTree, GlobalNode};
-pub use isolate::{serve_worker, IsolateMode};
+pub use isolate::{serve_worker, IpcMode, IsolateMode};
 pub use plane::{EctBuffers, TraceAnalysis};
 pub use program::{program_fn, FnProgram, Program};
 pub use report::{

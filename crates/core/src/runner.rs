@@ -194,6 +194,21 @@ pub struct GoatConfig {
     /// environment variable; `None` falls back to the current
     /// executable.
     pub worker_cmd: Option<String>,
+    /// IPC payload encoding on the worker wire (see
+    /// [`crate::isolate::IpcMode`]): compact binary frames by default,
+    /// JSON as the debug/compat path. Defaults to the `GOAT_IPC`
+    /// environment variable. Results are byte-identical either way.
+    pub ipc: crate::isolate::IpcMode,
+    /// Ship bulky result payloads through a file-backed shared-memory
+    /// ring instead of the pipe (binary mode only; falls back to the
+    /// pipe when mapping fails). Defaults to the `GOAT_IPC_SHM`
+    /// environment variable (off when unset).
+    pub ipc_shm: bool,
+    /// `Run` frames sent to a worker per pipe write. Batching amortizes
+    /// write/wake costs; the effective batch is capped at the guided
+    /// bandit's feedback lag so guided campaigns stay byte-identical
+    /// to sequential ones. Defaults to `GOAT_IPC_BATCH` (1 when unset).
+    pub ipc_batch: usize,
 }
 
 impl Default for GoatConfig {
@@ -243,6 +258,16 @@ impl Default for GoatConfig {
             worker_cmd: std::env::var(crate::isolate::WORKER_CMD_ENV)
                 .ok()
                 .filter(|v| !v.is_empty()),
+            ipc: crate::isolate::IpcMode::from_env(),
+            ipc_shm: matches!(
+                std::env::var(crate::isolate::IPC_SHM_ENV).ok().as_deref(),
+                Some("1") | Some("on") | Some("true") | Some("yes")
+            ),
+            ipc_batch: std::env::var(crate::isolate::IPC_BATCH_ENV)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|n| *n >= 1)
+                .unwrap_or(1),
         }
     }
 }
@@ -369,6 +394,48 @@ impl GoatConfig {
     pub fn with_worker_cmd(mut self, cmd: impl Into<String>) -> Self {
         self.worker_cmd = Some(cmd.into());
         self
+    }
+
+    /// Set the IPC payload encoding (overrides `GOAT_IPC`).
+    pub fn with_ipc(mut self, mode: crate::isolate::IpcMode) -> Self {
+        self.ipc = mode;
+        self
+    }
+
+    /// Enable or disable the shared-memory result ring (overrides
+    /// `GOAT_IPC_SHM`; only effective under binary IPC).
+    pub fn with_ipc_shm(mut self, on: bool) -> Self {
+        self.ipc_shm = on;
+        self
+    }
+
+    /// Set the worker run-batching window (overrides `GOAT_IPC_BATCH`).
+    pub fn with_ipc_batch(mut self, n: usize) -> Self {
+        assert!(n >= 1, "IPC batch must be at least 1");
+        self.ipc_batch = n;
+        self
+    }
+
+    /// The batch of iterations shipped to a worker per pipe write: 1
+    /// unless process isolation is on, and capped at the guided
+    /// bandit's feedback lag — a run's arm selection may only read
+    /// rewards merged at least [`GUIDED_LAG`] iterations behind it, so
+    /// a larger batch would let execution outrun the rewards it needs.
+    pub(crate) fn effective_batch(&self) -> usize {
+        if self.isolate != crate::isolate::IsolateMode::Proc {
+            return 1;
+        }
+        let batch = self.ipc_batch.max(1);
+        if self.guided {
+            batch.min(GUIDED_LAG)
+        } else {
+            batch
+        }
+    }
+
+    /// The resolved IPC data-plane settings for this campaign.
+    pub(crate) fn ipc_spec(&self) -> crate::isolate::IpcSpec {
+        crate::isolate::IpcSpec { mode: self.ipc, shm: self.ipc_shm, batch: self.effective_batch() }
     }
 
     /// Runtime config for iteration `iter`; a guided campaign overlays
@@ -1210,18 +1277,23 @@ impl ClaimQueue {
         }
     }
 
-    /// Claim the next iteration index, blocking while the claim window
-    /// is exhausted; `None` once the campaign is over.
-    fn claim(&self) -> Option<usize> {
+    /// Claim up to `max` *contiguous* iteration indices `[lo, hi)`,
+    /// blocking while the claim window is exhausted; `None` once the
+    /// campaign is over. The range never reaches past the window, so
+    /// batched claims obey exactly the ordering constraint single
+    /// claims do (guided arm selection stays sound).
+    fn claim_batch(&self, max: usize) -> Option<(usize, usize)> {
+        let max = max.max(1);
         let mut st = self.state.lock().expect("claim queue");
         loop {
             if st.next >= st.cutoff {
                 return None;
             }
             if st.next < st.merged + self.window {
-                let i = st.next;
-                st.next += 1;
-                return Some(i);
+                let lo = st.next;
+                let hi = (st.merged + self.window).min(st.cutoff).min(lo + max);
+                st.next = hi;
+                return Some((lo, hi));
             }
             st = self.cv.wait(st).expect("claim queue");
         }
@@ -1350,20 +1422,42 @@ impl Goat {
 
         if self.cfg.parallelism <= 1 {
             if !resumed_stopped {
-                for i in start..self.cfg.iterations {
+                // Iterations are claimed in batches of `effective_batch`
+                // (1 unless process isolation is on): arm selection for
+                // every run in a batch happens before any of the batch
+                // merges, which is sound because the batch is capped at
+                // the bandit's feedback lag — exactly the parallel claim
+                // window's argument, so results stay byte-identical.
+                let batch = self.cfg.effective_batch();
+                let mut i = start;
+                'camp: while i < self.cfg.iterations {
+                    let n = batch.min(self.cfg.iterations - i);
+                    let arms: Vec<Option<Arm>> =
+                        (0..n).map(|k| Self::select_arm(&guided, i + k)).collect();
                     let t_iter = telemetry_on.then(Instant::now);
-                    let arm = Self::select_arm(&guided, i);
-                    let result = self.run_supervised(i, &program, arm);
+                    let results = self.run_batch_supervised(i, &program, &arms);
                     if let Some(t) = t_iter {
-                        iter_wall.record(t.elapsed().as_nanos() as u64);
+                        // Per-iteration share of the batch wall time:
+                        // keeps the histogram at one sample per
+                        // iteration, which the telemetry schema pins.
+                        let per = t.elapsed().as_nanos() as u64 / n as u64;
+                        for _ in 0..n {
+                            iter_wall.record(per);
+                        }
                     }
-                    let stop = m.merge_one(&self.cfg, i, result);
-                    if let Some(c) = ckpt.as_mut() {
-                        c.note_merged(&m);
+                    for (k, result) in results.into_iter().enumerate() {
+                        let stop = m.merge_one(&self.cfg, i + k, result);
+                        if let Some(c) = ckpt.as_mut() {
+                            c.note_merged(&m);
+                        }
+                        if stop {
+                            // Runs later in the batch were speculative
+                            // past the cutoff — discarded, exactly like
+                            // the parallel executor's post-stop claims.
+                            break 'camp;
+                        }
                     }
-                    if stop {
-                        break;
-                    }
+                    i += n;
                 }
             }
             if let Some(c) = ckpt.as_mut() {
@@ -1390,6 +1484,7 @@ impl Goat {
                 window = window.min(GUIDED_LAG);
             }
             let queue = ClaimQueue::new(start, self.cfg.iterations, window);
+            let batch = self.cfg.effective_batch();
             let (tx, rx) = mpsc::channel::<(usize, goat_runtime::RunResult)>();
             std::thread::scope(|scope| {
                 for _ in 0..self.cfg.parallelism {
@@ -1401,21 +1496,28 @@ impl Goat {
                     let (iter_wall, claim_wait) = (&iter_wall, &claim_wait);
                     scope.spawn(move || loop {
                         let t_claim = telemetry_on.then(Instant::now);
-                        let Some(i) = queue.claim() else { return };
+                        let Some((lo, hi)) = queue.claim_batch(batch) else { return };
                         if let Some(t) = t_claim {
                             claim_wait.record(t.elapsed().as_nanos() as u64);
                         }
                         // Arm selection happens at claim time in seed
                         // order; the lag-capped window guarantees the
-                        // rewards `select(i)` reads are already merged.
-                        let arm = Self::select_arm(guided, i);
+                        // rewards `select(i)` reads are already merged
+                        // for every index in the claimed range.
+                        let arms: Vec<Option<Arm>> =
+                            (lo..hi).map(|i| Self::select_arm(guided, i)).collect();
                         let t_iter = telemetry_on.then(Instant::now);
-                        let result = goat.run_supervised(i, program, arm);
+                        let results = goat.run_batch_supervised(lo, program, &arms);
                         if let Some(t) = t_iter {
-                            iter_wall.record(t.elapsed().as_nanos() as u64);
+                            let per = t.elapsed().as_nanos() as u64 / arms.len() as u64;
+                            for _ in 0..arms.len() {
+                                iter_wall.record(per);
+                            }
                         }
-                        if tx.send((i, result)).is_err() {
-                            return;
+                        for (k, result) in results.into_iter().enumerate() {
+                            if tx.send((lo + k, result)).is_err() {
+                                return;
+                            }
                         }
                     });
                 }
@@ -1487,6 +1589,7 @@ impl Goat {
                 program.name(),
                 (i + 1) as u64,
                 &cfg,
+                &self.cfg.ipc_spec(),
             ) {
                 return result;
             }
@@ -1504,9 +1607,24 @@ impl Goat {
         program: &Arc<dyn Program>,
         arm: Option<Arm>,
     ) -> goat_runtime::RunResult {
+        let first = self.run_one(i, program, arm.as_ref());
+        self.supervise_from(i, program, arm, first)
+    }
+
+    /// The retry tail of supervision, starting from an already-obtained
+    /// first result (so batch execution can feed its per-run outcomes
+    /// through exactly the same policy): infra failures retry up to
+    /// [`GoatConfig::max_retries`] times with deterministic backoff;
+    /// anything else — including worker crashes — is a result.
+    fn supervise_from(
+        &self,
+        i: usize,
+        program: &Arc<dyn Program>,
+        arm: Option<Arm>,
+        mut result: goat_runtime::RunResult,
+    ) -> goat_runtime::RunResult {
         let mut attempt: u32 = 0;
         loop {
-            let result = self.run_one(i, program, arm.as_ref());
             let RunOutcome::InfraFailure { reason } = &result.outcome else { return result };
             if attempt >= self.cfg.max_retries {
                 return result;
@@ -1528,7 +1646,50 @@ impl Goat {
             }
             std::thread::sleep(backoff);
             attempt += 1;
+            result = self.run_one(i, program, arm.as_ref());
         }
+    }
+
+    /// Execute the contiguous iterations `lo..lo + arms.len()` and
+    /// return their supervised results in order.
+    ///
+    /// Under process isolation with a batch window the whole range
+    /// ships to one worker as a single frame burst
+    /// ([`crate::isolate::run_batch`]); any per-run infra failures that
+    /// come back (stream corruption, mid-batch death) then re-enter the
+    /// normal one-at-a-time retry policy, so batching changes wall
+    /// clock, never results. Everything else — batch of one, isolation
+    /// off or unavailable — goes through the historical per-run path.
+    fn run_batch_supervised(
+        &self,
+        lo: usize,
+        program: &Arc<dyn Program>,
+        arms: &[Option<Arm>],
+    ) -> Vec<goat_runtime::RunResult> {
+        if arms.len() > 1 && self.cfg.isolate == crate::isolate::IsolateMode::Proc {
+            let runs: Vec<(u64, Config)> = arms
+                .iter()
+                .enumerate()
+                .map(|(k, arm)| {
+                    ((lo + k + 1) as u64, self.cfg.runtime_config(lo + k, arm.as_ref()))
+                })
+                .collect();
+            if let Some(results) = crate::isolate::run_batch(
+                self.cfg.worker_cmd.as_deref(),
+                program.name(),
+                &runs,
+                &self.cfg.ipc_spec(),
+            ) {
+                return results
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, r)| self.supervise_from(lo + k, program, arms[k], r))
+                    .collect();
+            }
+            // Isolation just became unavailable: fall through to the
+            // per-run path, which runs in-process.
+        }
+        arms.iter().enumerate().map(|(k, arm)| self.run_supervised(lo + k, program, *arm)).collect()
     }
 
     /// Package the merge state into a [`CampaignResult`]; when telemetry

@@ -26,6 +26,7 @@ pub mod gtree;
 pub mod recycle;
 pub mod stats;
 pub mod tracebuf;
+pub mod wire;
 
 pub use ect::{Ect, WellFormedError};
 pub use event::{BlockReason, Event, EventCategory, EventKind, Gid, RId, SelCaseFlavor, VTime};

@@ -41,8 +41,12 @@ struct Cli {
     spin: Option<u32>,
     memo: Option<String>,
     trace_pool_max: Option<usize>,
-    // Process isolation (flag wins over GOAT_ISOLATE).
+    // Process isolation (flags win over GOAT_ISOLATE / GOAT_IPC /
+    // GOAT_IPC_SHM / GOAT_IPC_BATCH).
     isolate: Option<goat::core::IsolateMode>,
+    ipc: Option<goat::core::IpcMode>,
+    ipc_shm: Option<bool>,
+    ipc_batch: Option<usize>,
 }
 
 /// Set `name` only when the environment does not already define it.
@@ -72,6 +76,9 @@ fn parse_args() -> Result<Cli, String> {
         memo: None,
         trace_pool_max: None,
         isolate: None,
+        ipc: None,
+        ipc_shm: None,
+        ipc_batch: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -136,6 +143,21 @@ fn parse_args() -> Result<Cli, String> {
                         .ok_or_else(|| format!("-isolate: expected off|proc, got {v}"))?,
                 );
             }
+            "-ipc" | "--ipc" => {
+                let v = take("-ipc")?;
+                cli.ipc = Some(
+                    goat::core::IpcMode::parse(&v)
+                        .ok_or_else(|| format!("-ipc: expected bin|json, got {v}"))?,
+                );
+            }
+            "-ipc-shm" | "--ipc-shm" => cli.ipc_shm = Some(true),
+            "-ipc-batch" | "--ipc-batch" => {
+                let n: usize = num("-ipc-batch", take("-ipc-batch")?)?;
+                if n == 0 {
+                    return Err("-ipc-batch: must be >= 1".into());
+                }
+                cli.ipc_batch = Some(n);
+            }
             "-h" | "--help" => {
                 print_help();
                 std::process::exit(0);
@@ -199,6 +221,15 @@ fn campaign_config(cli: &Cli) -> GoatConfig {
     if let Some(m) = cli.isolate {
         cfg = cfg.with_isolate(m);
     }
+    if let Some(m) = cli.ipc {
+        cfg = cfg.with_ipc(m);
+    }
+    if let Some(on) = cli.ipc_shm {
+        cfg = cfg.with_ipc_shm(on);
+    }
+    if let Some(n) = cli.ipc_batch {
+        cfg = cfg.with_ipc_batch(n);
+    }
     cfg
 }
 
@@ -252,10 +283,17 @@ fn print_help() {
          \x20                           re-analyzes hits and asserts equality (GOAT_MEMO)\n\
          \x20 -trace-pool-max <int>     recycled trace buffers kept per process\n\
          \x20                           (GOAT_TRACE_POOL_MAX, default 32)\n\n\
-         process isolation (flag overrides the GOAT_ISOLATE env knob):\n\
+         process isolation (flags override the matching GOAT_* env knobs):\n\
          \x20 -isolate <off|proc>       run each iteration in a sandboxed worker\n\
          \x20                           subprocess with crash forensics and rlimit\n\
-         \x20                           jails (GOAT_ISOLATE; default off)\n\n\
+         \x20                           jails (GOAT_ISOLATE; default off)\n\
+         \x20 -ipc <bin|json>           worker wire encoding: compact binary frames or\n\
+         \x20                           self-describing JSON (GOAT_IPC; default bin)\n\
+         \x20 -ipc-shm                  ship result payloads through a file-backed\n\
+         \x20                           shared-memory ring instead of the pipe; binary\n\
+         \x20                           mode only, auto-falls back (GOAT_IPC_SHM)\n\
+         \x20 -ipc-batch <int>          Run frames per pipe write; capped at the guided\n\
+         \x20                           feedback lag (GOAT_IPC_BATCH; default 1)\n\n\
          exit codes: 0 clean, 1 bug detected, 2 quarantined/infra failure, 64 usage"
     );
 }

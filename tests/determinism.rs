@@ -406,3 +406,154 @@ fn sigkilled_isolated_campaign_resumes_byte_identically() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---------------------------------------------------------------------
+// IPC data-plane equivalence: the frame codec (`GOAT_IPC`), the shared-
+// memory result ring (`GOAT_IPC_SHM`) and run batching (`GOAT_IPC_BATCH`)
+// are transport optimizations — campaign reports must be byte-identical
+// whichever of them carries the runs.
+// ---------------------------------------------------------------------
+
+use goat::core::IpcMode;
+
+#[allow(clippy::too_many_arguments)]
+fn ipc_summary_json(
+    kernel: &'static goat::goker::BugKernel,
+    d: u32,
+    seed0: u64,
+    iterations: usize,
+    stop_on_bug: bool,
+    ipc: IpcMode,
+    shm: bool,
+    batch: usize,
+) -> String {
+    let mut cfg = GoatConfig::default()
+        .with_delay_bound(d)
+        .with_iterations(iterations)
+        .with_seed0(seed0)
+        .with_isolate(IsolateMode::Proc)
+        .with_worker_cmd(env!("CARGO_BIN_EXE_goat"))
+        .with_ipc(ipc)
+        .with_ipc_shm(shm)
+        .with_ipc_batch(batch);
+    if !stop_on_bug {
+        cfg = cfg.keep_running();
+    }
+    Goat::new(cfg)
+        .test(Arc::new(KernelProgram(kernel)))
+        .to_json_summary()
+        .expect("summary serializes")
+}
+
+#[test]
+fn campaign_summaries_identical_across_ipc_modes() {
+    for (name, d, seed0, iterations, stop_on_bug) in
+        [("etcd6708", 1u32, 11u64, 12usize, false), ("moby28462", 2, 7, 12, true)]
+    {
+        let kernel = goat::goker::by_name(name).expect("kernel");
+        let off =
+            isolated_summary_json(kernel, d, seed0, iterations, stop_on_bug, IsolateMode::Off);
+        for (leg, ipc, shm, batch) in [
+            ("proc+json", IpcMode::Json, false, 1usize),
+            ("proc+bin", IpcMode::Bin, false, 1),
+            ("proc+bin+shm", IpcMode::Bin, true, 1),
+            ("proc+bin+shm+batch4", IpcMode::Bin, true, 4),
+        ] {
+            let got = ipc_summary_json(kernel, d, seed0, iterations, stop_on_bug, ipc, shm, batch);
+            assert_eq!(
+                off, got,
+                "{name}/{leg}: campaign report must be byte-identical across IPC modes"
+            );
+        }
+    }
+}
+
+// A worker that violates the binary protocol (emits a garbage frame
+// instead of a result) must be treated as broken infrastructure: the
+// orchestrator retries, exhausts the budget into InfraFailure verdicts,
+// and quarantines — it must never attribute the violation to the kernel.
+#[test]
+fn binary_garbage_frames_degrade_to_retried_infra_failures() {
+    use goat::core::GoatVerdict;
+    use goat::runtime::faultpoint;
+
+    let kernel = goat::goker::by_name("grpc1424").expect("kernel");
+    let _plan = faultpoint::scoped("worker:garbage-frame");
+    let cfg = GoatConfig::default()
+        .with_iterations(8)
+        .with_seed0(3)
+        .keep_running()
+        .with_isolate(IsolateMode::Proc)
+        .with_ipc(IpcMode::Bin)
+        .with_worker_cmd(env!("CARGO_BIN_EXE_goat"))
+        .with_max_retries(1)
+        .with_quarantine_after(2);
+    let result = Goat::new(cfg).test(Arc::new(KernelProgram(kernel)));
+
+    assert!(
+        result.quarantined.is_some(),
+        "a worker that only ever speaks garbage must quarantine the kernel"
+    );
+    assert!(!result.records.is_empty(), "the failing iterations are on record");
+    for rec in &result.records {
+        assert!(
+            matches!(rec.verdict, GoatVerdict::InfraFailure { .. }),
+            "protocol violations must surface as infra failures, got {:?}",
+            rec.verdict
+        );
+    }
+    assert!(result.bug.is_none(), "a protocol violation is never evidence about the program");
+}
+
+// Regression guard for stale per-checkout Init caching: a pooled worker
+// Init'ed with one base config must be re-Init'ed (not silently reused)
+// when a later campaign changes a base field that does not travel in the
+// per-run Run delta. `max_steps` is such a field — a stale 200k-step
+// Init would never report the tiny budget's hangs.
+#[test]
+fn pooled_workers_reinit_when_the_base_config_changes() {
+    let kernel = goat::goker::by_name("etcd6708").expect("kernel");
+
+    // Prime the pool with workers Init'ed at the default step budget.
+    let prime = GoatConfig::default()
+        .with_delay_bound(1)
+        .with_iterations(6)
+        .with_seed0(11)
+        .keep_running()
+        .with_isolate(IsolateMode::Proc)
+        .with_ipc(IpcMode::Bin)
+        .with_worker_cmd(env!("CARGO_BIN_EXE_goat"));
+    let _ = Goat::new(prime).test(Arc::new(KernelProgram(kernel)));
+
+    // Same pool geometry, different base config: an 8-step budget every
+    // run exhausts. The checked-in worker is eligible for reuse, so only
+    // an Init-hash mismatch stands between it and running with the stale
+    // 200k budget.
+    let tiny_budget_summary = |isolate: IsolateMode| {
+        let mut cfg = GoatConfig::default()
+            .with_delay_bound(1)
+            .with_iterations(6)
+            .with_seed0(11)
+            .keep_running()
+            .with_isolate(isolate)
+            .with_ipc(IpcMode::Bin)
+            .with_worker_cmd(env!("CARGO_BIN_EXE_goat"));
+        cfg.max_steps = 8;
+        Goat::new(cfg)
+            .test(Arc::new(KernelProgram(kernel)))
+            .to_json_summary()
+            .expect("summary serializes")
+    };
+
+    let off = tiny_budget_summary(IsolateMode::Off);
+    // The tiny budget must actually change behavior, or this test proves
+    // nothing about Init invalidation.
+    let default_budget_off = isolated_summary_json(kernel, 1, 11, 6, false, IsolateMode::Off);
+    assert_ne!(off, default_budget_off, "an 8-step budget must bite on this kernel");
+
+    let proc_ = tiny_budget_summary(IsolateMode::Proc);
+    assert_eq!(
+        off, proc_,
+        "reused workers must refresh their cached Init when the base config changes"
+    );
+}
