@@ -1190,6 +1190,33 @@ fn checkin(cmd: &str, spec: &IpcSpec, worker: Worker) {
     st.idle.entry(pool_key(cmd, spec)).or_default().push(worker);
 }
 
+/// Kill and reap every idle pooled worker, returning how many were
+/// drained (counted in `isolate.workers_drained`).
+///
+/// Campaign teardown: a lone `-target <kernel>` invocation drains on
+/// exit so no sandbox subprocesses outlive the run, while the suite
+/// orchestrator keeps the pool warm across kernels (checkouts re-`Init`
+/// per campaign, so cross-kernel reuse — counted in
+/// `isolate.workers_reused` — is always sound) and drains exactly once
+/// at suite end. In-flight (checked-out) workers are untouched: they
+/// return via [`checkin`] and are collected by the next drain.
+pub fn drain_idle_workers() -> usize {
+    let workers: Vec<Worker> = {
+        let mut st = pool().lock().expect("worker pool lock");
+        st.idle.drain().flat_map(|(_, v)| v).collect()
+    };
+    let mut drained = 0usize;
+    for mut worker in workers {
+        let _ = worker.child.kill();
+        let _ = worker.child.wait();
+        drained += 1;
+    }
+    if drained > 0 {
+        goat_metrics::global().counter("isolate.workers_drained").add(drained as u64);
+    }
+    drained
+}
+
 /// The campaign-constant part of a run's [`Config`]: everything the
 /// per-run `Run` delta does not override, with the delta fields zeroed
 /// so equal bases hash equal regardless of which run they came from.

@@ -57,6 +57,9 @@ mod report;
 /// and passing executions.
 pub mod rootcause;
 mod runner;
+/// Suite-scale orchestration: global cross-kernel work stealing, warm
+/// shared resources, and adaptive budget reallocation (`-target all`).
+pub mod suite;
 /// Binary frame codec for the process-isolation data plane
 /// (`GOAT_IPC=bin`).
 pub mod wire;
@@ -78,3 +81,4 @@ pub use runner::{
     CampaignResult, CampaignSummary, CampaignTelemetry, Goat, GoatConfig, GoatTool,
     IterationRecord, MemoMode,
 };
+pub use suite::{per_kernel_checkpoint, run_suite, SuiteConfig, SuiteManifest, SuiteStats};

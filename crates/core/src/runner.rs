@@ -722,13 +722,13 @@ impl CampaignResult {
 /// order — through [`MergeState::merge_one`] is what makes the parallel
 /// campaign byte-identical to the sequential one, including the
 /// `stop_on_bug` and coverage-threshold early exits.
-struct MergeState {
-    universe: RequirementUniverse,
-    covered: CoverageSet,
+pub(crate) struct MergeState {
+    pub(crate) universe: RequirementUniverse,
+    pub(crate) covered: CoverageSet,
     global_tree: GlobalGTree,
-    records: Vec<IterationRecord>,
-    first_detection: Option<usize>,
-    bug: Option<GoatVerdict>,
+    pub(crate) records: Vec<IterationRecord>,
+    pub(crate) first_detection: Option<usize>,
+    pub(crate) bug: Option<GoatVerdict>,
     bug_ect: Option<Ect>,
     bug_schedule: Option<goat_runtime::ReplayLog>,
     /// Scheduler counters summed over merged iterations (plain adds;
@@ -742,20 +742,22 @@ struct MergeState {
     /// Consecutive iterations that crashed (kernel panics).
     crash_streak: usize,
     /// Quarantine reason; `Some` stops the campaign.
-    quarantined: Option<String>,
+    pub(crate) quarantined: Option<String>,
     /// Consecutive iterations with a zero coverage delta (feeds the
     /// saturation early stop).
     zero_delta_streak: usize,
     /// 1-based iteration at which saturation stopped the campaign.
-    saturated: Option<usize>,
+    pub(crate) saturated: Option<usize>,
     /// Guided-mode bandit, shared with the executor's workers (they
     /// select arms; the merge loop records rewards). `None` when
     /// guided mode is off.
-    guided: Option<Arc<StdMutex<Bandit>>>,
+    pub(crate) guided: Option<Arc<StdMutex<Bandit>>>,
     /// Recycled analysis scratch (slot tables, coverage sets, tree
     /// slab) reused by every iteration's fused pass. Ephemeral like the
-    /// histograms: not persisted in checkpoints.
-    bufs: EctBuffers,
+    /// histograms: not persisted in checkpoints. The suite orchestrator
+    /// hands a finished campaign's grown scratch to the next kernel's
+    /// merge state, so it is crate-visible.
+    pub(crate) bufs: EctBuffers,
     /// Distribution of per-iteration fused-analysis time, nanoseconds.
     analysis_ns: Histogram,
     /// Analysis products stored per (schedule fingerprint, outcome) key.
@@ -842,7 +844,7 @@ fn retry_backoff(seed: u64, attempt: u32) -> Duration {
 
 /// Periodic checkpoint writer for one campaign; `None`-free wrapper
 /// around the optional `GOAT_CHECKPOINT` sidecar.
-struct Checkpointer {
+pub(crate) struct Checkpointer {
     path: PathBuf,
     fingerprint: String,
     every: usize,
@@ -850,7 +852,7 @@ struct Checkpointer {
 }
 
 impl Checkpointer {
-    fn new(cfg: &GoatConfig, program_name: &str) -> Option<Self> {
+    pub(crate) fn new(cfg: &GoatConfig, program_name: &str) -> Option<Self> {
         let path = cfg.checkpoint.clone()?;
         Some(Checkpointer {
             fingerprint: checkpoint::fingerprint(program_name, cfg),
@@ -864,7 +866,7 @@ impl Checkpointer {
     /// iteration index to resume from (0 for a fresh campaign). An
     /// unusable sidecar is reported and ignored — starting over is
     /// always sound, silently corrupting results never is.
-    fn resume(&self, m: &mut MergeState) -> usize {
+    pub(crate) fn resume(&self, m: &mut MergeState) -> usize {
         match CampaignCheckpoint::load(&self.path, &self.fingerprint) {
             Ok(Some(cp)) => {
                 let completed = cp.completed;
@@ -883,14 +885,14 @@ impl Checkpointer {
         }
     }
 
-    fn note_merged(&mut self, m: &MergeState) {
+    pub(crate) fn note_merged(&mut self, m: &MergeState) {
         self.since_write += 1;
         if self.since_write >= self.every {
             self.write(m);
         }
     }
 
-    fn finalize(&mut self, m: &MergeState) {
+    pub(crate) fn finalize(&mut self, m: &MergeState) {
         self.write(m);
     }
 
@@ -921,7 +923,7 @@ struct CoverageEvent {
 }
 
 impl MergeState {
-    fn new(table: CuTable) -> Self {
+    pub(crate) fn new(table: CuTable) -> Self {
         MergeState {
             universe: RequirementUniverse::from_table(table),
             covered: CoverageSet::new(),
@@ -1004,7 +1006,7 @@ impl MergeState {
     /// Fold iteration `iter_no`'s result into the campaign; returns
     /// `true` when the campaign must stop (bug with `stop_on_bug`, or
     /// coverage threshold reached).
-    fn merge_one(
+    pub(crate) fn merge_one(
         &mut self,
         cfg: &GoatConfig,
         iter_no: usize,
@@ -1565,7 +1567,7 @@ impl Goat {
 
     /// Guided arm selection for iteration `i` — `None` when guided mode
     /// is off (the base configuration runs unchanged).
-    fn select_arm(guided: &Option<Arc<StdMutex<Bandit>>>, i: usize) -> Option<Arm> {
+    pub(crate) fn select_arm(guided: &Option<Arc<StdMutex<Bandit>>>, i: usize) -> Option<Arm> {
         guided.as_ref().map(|b| {
             let bandit = b.lock().expect("bandit");
             bandit.arms()[bandit.select(i)]
@@ -1660,7 +1662,7 @@ impl Goat {
     /// normal one-at-a-time retry policy, so batching changes wall
     /// clock, never results. Everything else — batch of one, isolation
     /// off or unavailable — goes through the historical per-run path.
-    fn run_batch_supervised(
+    pub(crate) fn run_batch_supervised(
         &self,
         lo: usize,
         program: &Arc<dyn Program>,
@@ -1696,7 +1698,7 @@ impl Goat {
     /// is enabled (`t_campaign` is `Some`), attach a
     /// [`CampaignTelemetry`] block, bump the global registry and emit
     /// the campaign summary to the JSONL stream.
-    fn finish_campaign(
+    pub(crate) fn finish_campaign(
         &self,
         m: MergeState,
         program: &dyn Program,

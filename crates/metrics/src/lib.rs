@@ -31,7 +31,8 @@
 //! | `campaign.*` | `iterations`, `reorder_depth_max`, `memo_hits` / `memo_misses` (duplicate-schedule analysis memo) |
 //! | `supervision.*` | `timeouts`, `retries`, `infra_failures`, `quarantines`, `faults_injected`, `checkpoint_writes`, `checkpoint_resumes` |
 //! | `guided.*` | `arm_pulls`, `arm_new_coverage` (labelled `arm<idx>:<strategy>`; guided campaigns only) |
-//! | `isolate.*` (process-isolation worker pool) | `workers_spawned`, `workers_reused`, `workers_killed`, `workers_died`, `runs`; IPC data plane: `ipc_ser_ns` / `ipc_transport_ns` / `ipc_deser_ns` (per-run encode, write→result-arrival, decode histograms), `ipc_bytes_tx` / `ipc_bytes_rx` (bytes on the wire, counters) |
+//! | `isolate.*` (process-isolation worker pool) | `workers_spawned`, `workers_reused`, `workers_killed`, `workers_died`, `workers_drained` (idle pool teardown: per campaign for lone runs, per suite in suite mode), `runs`; IPC data plane: `ipc_ser_ns` / `ipc_transport_ns` / `ipc_deser_ns` (per-run encode, write→result-arrival, decode histograms), `ipc_bytes_tx` / `ipc_bytes_rx` (bytes on the wire, counters) |
+//! | `suite.*` (suite orchestrator, `-target all`) | `kernels`, `jobs`, `steals` (cross-kernel claim switches), `kernels_inflight_max`, `budget_donated` / `budget_granted` (adaptive reallocation), `warm_bufs_reused` (analysis scratch recycled across kernels), `isolate_workers_reused` (sandboxed-worker checkouts served warm during the suite) |
 //! | `telemetry.*` | `events_dropped` (sink back-pressure) |
 
 #![warn(missing_docs)]

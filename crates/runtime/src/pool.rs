@@ -244,6 +244,27 @@ pub struct PoolStats {
     pub workers_replaced: u64,
 }
 
+/// Pre-spawn parked workers until at least `target` (capped at the idle
+/// limit) are waiting on the idle stack, so a cold process's first
+/// burst of goroutine checkouts does not all pay thread-creation cost.
+/// Best effort — a failed spawn stops early. Returns how many workers
+/// were spawned. Used by the suite orchestrator's warm-resource path.
+pub fn prewarm(target: usize) -> usize {
+    let pool = global();
+    let want = target.min(pool.max_idle);
+    let mut spawned = 0usize;
+    // Workers park themselves asynchronously after running the empty
+    // first job, so spawn by deficit rather than polling the stack.
+    let deficit = want.saturating_sub(pool.idle.lock().expect("pool lock").len());
+    for _ in 0..deficit {
+        if pool.spawn_worker(Box::new(|| {})).is_err() {
+            break;
+        }
+        spawned += 1;
+    }
+    spawned
+}
+
 /// Snapshot the global pool's counters.
 pub fn stats() -> PoolStats {
     let pool = global();
@@ -297,6 +318,17 @@ mod tests {
             "expected reuse, spawned {} threads",
             after.threads_spawned - before.threads_spawned
         );
+    }
+
+    #[test]
+    fn prewarm_parks_idle_workers() {
+        assert_eq!(prewarm(0), 0);
+        prewarm(2);
+        // Pre-spawned workers run an empty job then park; other tests
+        // may park workers too, so only assert the floor.
+        drain_until(|| stats().idle_now >= 1);
+        // A warm stack satisfies a repeat prewarm without spawning.
+        drain_until(|| prewarm(1) == 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!
 //! Example: `goat -target moby28462 -d 2 -freq 200 -cov`
 
-use goat::core::{bug_report, Goat, GoatConfig, Program};
+use goat::core::{bug_report, Goat, GoatConfig, Program, SuiteConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -47,6 +47,10 @@ struct Cli {
     ipc: Option<goat::core::IpcMode>,
     ipc_shm: Option<bool>,
     ipc_batch: Option<usize>,
+    // Suite knobs for `-target all` (flags win over GOAT_JOBS /
+    // GOAT_SUITE_REALLOC).
+    jobs: Option<usize>,
+    realloc: Option<bool>,
 }
 
 /// Set `name` only when the environment does not already define it.
@@ -79,6 +83,8 @@ fn parse_args() -> Result<Cli, String> {
         ipc: None,
         ipc_shm: None,
         ipc_batch: None,
+        jobs: None,
+        realloc: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -150,6 +156,14 @@ fn parse_args() -> Result<Cli, String> {
                         .ok_or_else(|| format!("-ipc: expected bin|json, got {v}"))?,
                 );
             }
+            "-jobs" | "--jobs" => {
+                let n: usize = num("-jobs", take("-jobs")?)?;
+                if n == 0 {
+                    return Err("-jobs: must be >= 1".into());
+                }
+                cli.jobs = Some(n);
+            }
+            "-realloc" | "--realloc" => cli.realloc = Some(true),
             "-ipc-shm" | "--ipc-shm" => cli.ipc_shm = Some(true),
             "-ipc-batch" | "--ipc-batch" => {
                 let n: usize = num("-ipc-batch", take("-ipc-batch")?)?;
@@ -241,16 +255,6 @@ const EXIT_INFRA: u8 = 2;
 /// Exit code when a bug was detected (like a failing test).
 const EXIT_BUG: u8 = 1;
 
-/// Derive a kernel-specific checkpoint sidecar from the base path the
-/// user supplied: `cp.json` → `cp.<kernel>.json` (no extension:
-/// `cp` → `cp.<kernel>`).
-fn per_kernel_checkpoint(base: &std::path::Path, kernel: &str) -> std::path::PathBuf {
-    match base.extension().and_then(|e| e.to_str()) {
-        Some(ext) => base.with_extension(format!("{kernel}.{ext}")),
-        None => base.with_extension(kernel),
-    }
-}
-
 fn print_help() {
     println!(
         "goat — automated concurrency analysis and debugging (GoAT reproduction)\n\n\
@@ -294,6 +298,14 @@ fn print_help() {
          \x20                           mode only, auto-falls back (GOAT_IPC_SHM)\n\
          \x20 -ipc-batch <int>          Run frames per pipe write; capped at the guided\n\
          \x20                           feedback lag (GOAT_IPC_BATCH; default 1)\n\n\
+         suite mode, -target all (flags override the matching GOAT_* env knobs):\n\
+         \x20 -jobs <int>               cross-kernel suite workers over one global\n\
+         \x20                           work-stealing iteration queue; per-kernel output\n\
+         \x20                           is byte-identical at any value (GOAT_JOBS;\n\
+         \x20                           default GOAT_PARALLELISM, then 1)\n\
+         \x20 -realloc                  early-stopping kernels donate unspent budget to\n\
+         \x20                           still-exploring ones, deterministically\n\
+         \x20                           (GOAT_SUITE_REALLOC)\n\n\
          exit codes: 0 clean, 1 bug detected, 2 quarantined/infra failure, 64 usage"
     );
 }
@@ -344,51 +356,52 @@ fn main() -> ExitCode {
     }
 
     if cli.target == "all" {
-        // The paper's `-eval_conf … -freq` whole-benchmark run.
+        // The paper's `-eval_conf … -freq` whole-benchmark run, over
+        // the suite orchestrator's global work-stealing iteration
+        // queue. Per-kernel sidecar derivation, summary-line ordering
+        // (kernel order via the reorder buffer) and bug-trace recycling
+        // all live in `run_suite`; output is byte-identical at any
+        // `-jobs` value.
+        let mut suite = SuiteConfig::default();
+        if let Some(n) = cli.jobs {
+            suite = suite.with_jobs(n);
+        }
+        if let Some(on) = cli.realloc {
+            suite = suite.with_realloc(on);
+        }
+        let kernels: Vec<Arc<dyn Program>> = goat::goker::all_kernels()
+            .into_iter()
+            .map(|k| Arc::new(KernelProgram(k)) as Arc<dyn Program>)
+            .collect();
         let mut detected = 0usize;
         let mut quarantined = 0usize;
-        for kernel in goat::goker::all_kernels() {
-            let mut cfg = campaign_config(&cli);
-            // One shared sidecar across 68 kernels would fingerprint-
-            // mismatch on every kernel (program name differs) and each
-            // campaign would overwrite the previous kernel's state;
-            // give every kernel its own sidecar so suite-mode resume
-            // actually resumes.
-            if let Some(base) = cfg.checkpoint.take() {
-                cfg = cfg.with_checkpoint(per_kernel_checkpoint(&base, kernel.name));
-            }
-            let goat = Goat::new(cfg);
-            let mut result = goat.test(Arc::new(KernelProgram(kernel)));
-            // Suite mode renders no per-bug trace report, so the bug
-            // trace (if any) goes straight back to the recycling pool
-            // for the next kernel's campaign.
-            result.recycle_bug_trace();
+        goat::core::run_suite(&campaign_config(&cli), &suite, &kernels, &mut |_, name, result| {
             if let Some(reason) = &result.quarantined {
                 quarantined += 1;
                 println!(
                     "{:<18} QUARANTINED ({reason}; {} iteration(s) skipped)",
-                    kernel.name, result.skipped
+                    name, result.skipped
                 );
-                continue;
+                return;
             }
             match result.first_detection {
                 Some(iter) => {
                     detected += 1;
                     println!(
                         "{:<18} {:<10} (iteration {iter}, coverage {:.1}%)",
-                        kernel.name,
+                        name,
                         result.bug.as_ref().map(|b| b.to_string()).unwrap_or_default(),
                         result.coverage_percent()
                     );
                 }
                 None => println!(
                     "{:<18} X          ({} iterations, coverage {:.1}%)",
-                    kernel.name,
+                    name,
                     result.records.len(),
                     result.coverage_percent()
                 ),
             }
-        }
+        });
         println!(
             "
 detected {detected}/68 at D={} within {} iterations",
@@ -458,6 +471,11 @@ detected {detected}/68 at D={} within {} iterations",
     // recycling pool (a no-op when no bug was found).
     result.recycle_bug_trace();
 
+    // A lone-kernel run is over: kill any sandboxed workers still
+    // parked in the persistent pool so nothing outlives the process's
+    // useful life (the suite path drains inside `run_suite` instead).
+    goat::core::isolate::drain_idle_workers();
+
     if result.detected() {
         ExitCode::from(EXIT_BUG) // bug found: nonzero, like a failing test
     } else if result.quarantined.is_some() {
@@ -469,8 +487,10 @@ detected {detected}/68 at D={} within {} iterations",
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use goat::core::per_kernel_checkpoint;
 
+    // The CLI delegates sidecar derivation to the suite orchestrator;
+    // this pins the contract the `-checkpoint` docs promise.
     #[test]
     fn per_kernel_checkpoint_paths_are_distinct() {
         let base = std::path::Path::new("/tmp/cp.json");

@@ -505,6 +505,121 @@ fn binary_garbage_frames_degrade_to_retried_infra_failures() {
     assert!(result.bug.is_none(), "a protocol violation is never evidence about the program");
 }
 
+// ---------------------------------------------------------------------
+// Suite-orchestrator equivalence: `-target all -jobs N` multiplexes all
+// kernels over one global work-stealing iteration queue, but the
+// per-kernel summary lines render through a kernel-granularity reorder
+// buffer — stdout must be byte-identical to the sequential suite at any
+// jobs value, in both isolation modes, and a SIGKILLed suite must
+// resume from its per-kernel sidecars plus suite manifest to the same
+// bytes.
+// ---------------------------------------------------------------------
+
+/// The `goat` CLI with a scrubbed suite environment: tests control the
+/// suite knobs via flags only.
+fn goat_cmd() -> std::process::Command {
+    let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_goat"));
+    cmd.env_remove("GOAT_JOBS")
+        .env_remove("GOAT_SUITE_REALLOC")
+        .env_remove("GOAT_ISOLATE")
+        .env_remove("GOAT_CHECKPOINT")
+        .env_remove("GOAT_PARALLELISM");
+    cmd
+}
+
+fn suite_stdout(cmd: &mut std::process::Command) -> String {
+    let out = cmd.output().expect("run goat suite");
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+#[test]
+fn suite_stdout_identical_across_jobs_and_isolation() {
+    for isolate in ["off", "proc"] {
+        let baseline = suite_stdout(
+            goat_cmd()
+                .args(["-target", "all", "-d", "1", "-freq", "2"])
+                .env("GOAT_ISOLATE", isolate),
+        );
+        assert!(
+            baseline.contains("/68 at D=1 within 2 iterations"),
+            "suite footer missing ({isolate}): {baseline:?}"
+        );
+        for jobs in ["2", "4"] {
+            let parallel = suite_stdout(
+                goat_cmd()
+                    .args(["-target", "all", "-d", "1", "-freq", "2", "-jobs", jobs])
+                    .env("GOAT_ISOLATE", isolate),
+            );
+            assert_eq!(
+                baseline, parallel,
+                "suite stdout diverged at -jobs {jobs} (GOAT_ISOLATE={isolate})"
+            );
+        }
+    }
+}
+
+#[test]
+fn sigkilled_suite_resumes_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("goat-suite-kill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let ckpt = dir.join("cp.json");
+    let args = |with_ckpt: bool| {
+        let mut v = vec![
+            "-target".to_string(),
+            "all".to_string(),
+            "-d".to_string(),
+            "1".to_string(),
+            "-freq".to_string(),
+            "120".to_string(),
+            "-jobs".to_string(),
+            "4".to_string(),
+            "-realloc".to_string(),
+        ];
+        if with_ckpt {
+            v.push("-checkpoint".to_string());
+            v.push(ckpt.display().to_string());
+        }
+        v
+    };
+
+    // Reference: the identical suite, uninterrupted, no checkpoint.
+    let reference = suite_stdout(goat_cmd().args(args(false)));
+
+    let mut child = goat_cmd()
+        .args(args(true))
+        .env("GOAT_CHECKPOINT_EVERY", "1")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn suite");
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    child.kill().expect("SIGKILL the suite"); // SIGKILL on unix
+    let _ = child.wait();
+
+    // The suite manifest and at least the first kernel's sidecar are
+    // derived from the base path (`cp.json` → `cp.<kernel>.json`).
+    assert!(dir.join("cp.suite.json").exists(), "suite manifest missing after kill");
+    let sidecars = std::fs::read_dir(&dir)
+        .expect("read tmpdir")
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let n = e.file_name().to_string_lossy().into_owned();
+            n.starts_with("cp.") && n.ends_with(".json") && n != "cp.json" && n != "cp.suite.json"
+        })
+        .count();
+    assert!(sidecars > 0, "no per-kernel sidecar was persisted before the kill");
+
+    // Resume from whatever the suite persisted: finished kernels replay
+    // from their sidecars, in-flight ones continue, and the final
+    // stdout must match the uninterrupted run byte for byte.
+    let resumed = suite_stdout(goat_cmd().args(args(true)).env("GOAT_CHECKPOINT_EVERY", "1"));
+    assert_eq!(
+        reference, resumed,
+        "suite resumed after SIGKILL must be byte-identical to the uninterrupted one"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 // Regression guard for stale per-checkout Init caching: a pooled worker
 // Init'ed with one base config must be re-Init'ed (not silently reused)
 // when a later campaign changes a base field that does not travel in the
